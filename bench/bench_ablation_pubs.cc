@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Ablations of PUBS design choices beyond the paper's own sweeps
+ * (DESIGN.md section 5):
+ *
+ *  1. resetting vs up/down-saturating confidence counters — the paper
+ *     asserts JRS resetting counters; we measure the difference by
+ *     comparing counter widths' unconfident rates under both shapes
+ *     (the up/down shape is approximated by a narrow resetting counter).
+ *  2. tag-hash width q for the brslice_tab/conf_tab vs full tags —
+ *     Section IV claims q=8/4 "hardly degrade the performance".
+ *  3. set-associative vs tagless tables — the paper's "preliminary
+ *     evaluation" preferred set-associative.
+ *  4. legacy IQ organisations (shifting / circular) vs the random queue
+ *     — quantifies the Section III-B1 taxonomy.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "sim/config.hh"
+#include "workloads/kernels.hh"
+
+int
+main()
+{
+    using namespace pubs::bench;
+    namespace sim = pubs::sim;
+    namespace wl = pubs::wl;
+
+    // A representative D-BP pair keeps this ablation bench fast.
+    std::vector<wl::Workload> picks;
+    picks.push_back(wl::makeWorkload("sjeng_like"));
+    picks.push_back(wl::makeWorkload("gobmk_like"));
+
+    std::fprintf(stderr, "ablation: base machine\n");
+    SuiteRun base = runSuite(picks, sim::makeConfig(sim::Machine::Base));
+
+    auto geomeanSpeedup = [&](const pubs::cpu::CoreParams &params) {
+        std::vector<double> ratios;
+        for (size_t i = 0; i < picks.size(); ++i) {
+            pubs::sim::RunResult r = runWorkload(picks[i], params);
+            ratios.push_back(r.speedupOver(base.results[i]));
+        }
+        return geoMeanRatio(ratios);
+    };
+
+    // --- 2/3: tag handling ---
+    TextTable tags({"tables", "speedup"});
+    {
+        pubs::cpu::CoreParams hashed = sim::makeConfig(sim::Machine::Pubs);
+        std::fprintf(stderr, "ablation: hashed tags\n");
+        tags.addRow({"hashed q=8/4 (default)",
+                     pct(geomeanSpeedup(hashed))});
+
+        pubs::cpu::CoreParams full = hashed;
+        full.pubs.fullTags = true;
+        std::fprintf(stderr, "ablation: full tags\n");
+        tags.addRow({"full tags", pct(geomeanSpeedup(full))});
+
+        pubs::cpu::CoreParams narrow = hashed;
+        narrow.pubs.brsliceHashBits = 4;
+        narrow.pubs.confHashBits = 2;
+        std::fprintf(stderr, "ablation: narrow hashes\n");
+        tags.addRow({"hashed q=4/2", pct(geomeanSpeedup(narrow))});
+
+        pubs::cpu::CoreParams tagless = hashed;
+        tagless.pubs.tagless = true;
+        std::fprintf(stderr, "ablation: tagless\n");
+        tags.addRow({"tagless direct-mapped",
+                     pct(geomeanSpeedup(tagless))});
+    }
+    std::printf("ABLATION: table tagging (Section IV claims hashing is "
+                "nearly free)\n\n%s\n", tags.str().c_str());
+    maybeWriteCsv("ablation_tags", tags);
+
+    // --- 4: IQ organisations (no PUBS) ---
+    TextTable iqKinds({"iq_organisation", "ipc_vs_random"});
+    {
+        for (auto kind : {pubs::iq::IqKind::Shifting,
+                          pubs::iq::IqKind::Circular}) {
+            pubs::cpu::CoreParams params =
+                sim::makeConfig(sim::Machine::Base);
+            params.iqKind = kind;
+            std::fprintf(stderr, "ablation: %s queue\n",
+                         pubs::iq::iqKindName(kind));
+            iqKinds.addRow({pubs::iq::iqKindName(kind),
+                            pct(geomeanSpeedup(params))});
+        }
+        pubs::cpu::CoreParams age = sim::makeConfig(sim::Machine::Age);
+        std::fprintf(stderr, "ablation: random + age matrix\n");
+        iqKinds.addRow({"random + age matrix", pct(geomeanSpeedup(age))});
+    }
+    std::printf("ABLATION: IQ organisation IPC vs the random queue "
+                "(Section III-B1 taxonomy)\n\n%s\n",
+                iqKinds.str().c_str());
+    maybeWriteCsv("ablation_iq_kind", iqKinds);
+
+    // --- mode-switch thresholds ---
+    TextTable thresholds({"llc_mpki_threshold", "speedup(sjeng)",
+                          "speedup(mcf)"});
+    {
+        wl::Workload mcf = wl::makeWorkload("mcf_like");
+        std::fprintf(stderr, "ablation: mcf base\n");
+        pubs::sim::RunResult mcfBase =
+            runWorkload(mcf, sim::makeConfig(sim::Machine::Base));
+        for (double threshold : {0.5, 1.0, 4.0, 1e9}) {
+            pubs::cpu::CoreParams params =
+                sim::makeConfig(sim::Machine::Pubs);
+            params.pubs.modeMpkiThreshold = threshold;
+            std::fprintf(stderr, "ablation: threshold %.1f\n", threshold);
+            pubs::sim::RunResult sj = runWorkload(picks[0], params);
+            pubs::sim::RunResult mc = runWorkload(mcf, params);
+            thresholds.addRow(
+                {threshold > 1e6 ? "inf (never disable)"
+                                 : num(threshold, 1),
+                 pct(sj.speedupOver(base.results[0])),
+                 pct(mc.speedupOver(mcfBase))});
+        }
+    }
+    std::printf("ABLATION: mode-switch LLC MPKI threshold\n\n%s\n",
+                thresholds.str().c_str());
+    maybeWriteCsv("ablation_mode_threshold", thresholds);
+
+    // --- tag handling under a large static code footprint ---
+    // The suite's kernels are tiny loops, so the PC-indexed tables see
+    // almost no capacity or aliasing pressure. A 192x-unrolled kernel
+    // (~6K static instructions, ~200 static hard branches) stresses the
+    // brslice_tab/conf_tab the way big-code programs do.
+    TextTable bigCode({"tables (large footprint)", "speedup"});
+    {
+        wl::BranchyParams bp;
+        bp.seed = 7;
+        bp.elems = 1 << 12;
+        bp.hardBranches = 1;
+        bp.sliceDepth = 2;
+        bp.takenBias = 0.65;
+        bp.intFiller = 9;
+        bp.fpFiller = 10;
+        bp.unroll = 192;
+        wl::Workload big;
+        big.name = "bigcode";
+        big.program = wl::branchyProgram("bigcode", bp);
+
+        std::fprintf(stderr, "ablation: bigcode base\n");
+        pubs::sim::RunResult bigBase =
+            runWorkload(big, sim::makeConfig(sim::Machine::Base));
+        auto bigSpeedup = [&](const pubs::cpu::CoreParams &params) {
+            return runWorkload(big, params).speedupOver(bigBase);
+        };
+
+        pubs::cpu::CoreParams hashed = sim::makeConfig(sim::Machine::Pubs);
+        std::fprintf(stderr, "ablation: bigcode hashed\n");
+        bigCode.addRow({"hashed q=8/4 (default)",
+                        pct(bigSpeedup(hashed))});
+        pubs::cpu::CoreParams full = hashed;
+        full.pubs.fullTags = true;
+        std::fprintf(stderr, "ablation: bigcode full tags\n");
+        bigCode.addRow({"full tags", pct(bigSpeedup(full))});
+        pubs::cpu::CoreParams tagless = hashed;
+        tagless.pubs.tagless = true;
+        std::fprintf(stderr, "ablation: bigcode tagless\n");
+        bigCode.addRow({"tagless direct-mapped",
+                        pct(bigSpeedup(tagless))});
+        pubs::cpu::CoreParams smallTabs = hashed;
+        smallTabs.pubs.brsliceSets = 64;
+        smallTabs.pubs.confSets = 64;
+        std::fprintf(stderr, "ablation: bigcode small tables\n");
+        bigCode.addRow({"hashed, quarter-size tables",
+                        pct(bigSpeedup(smallTabs))});
+    }
+    std::printf("ABLATION: table tagging under a ~6K-instruction "
+                "footprint\n\n%s\n", bigCode.str().c_str());
+    maybeWriteCsv("ablation_tags_bigcode", bigCode);
+
+    // --- blind vs conf_tab under mixed branch confidence ---
+    // The suite's hard branches are data-random, so nearly every slice
+    // is unconfident and the blind model loses nothing. This kernel
+    // adds a perfectly-predicted (confident) loop branch whose slice —
+    // the whole index chain — floods the priority entries when every
+    // branch is blindly treated as unconfident, recreating the
+    // Fig. 11 blind-vs-PUBS gap in isolation.
+    TextTable blind({"confidence source (mixed kernel)", "speedup",
+                     "priority_stalls"});
+    {
+        wl::BranchyParams bp;
+        bp.seed = 11;
+        bp.elems = 1 << 12;
+        bp.hardBranches = 1;
+        bp.sliceDepth = 2;
+        bp.takenBias = 0.65;
+        bp.intFiller = 9;
+        bp.fpFiller = 10;
+        bp.condLoopBranch = true;
+        wl::Workload mixed;
+        mixed.name = "mixed_confidence";
+        mixed.program = wl::branchyProgram("mixed_confidence", bp);
+
+        std::fprintf(stderr, "ablation: mixed base\n");
+        pubs::sim::RunResult mixedBase =
+            runWorkload(mixed, sim::makeConfig(sim::Machine::Base));
+
+        pubs::cpu::CoreParams withConf =
+            sim::makeConfig(sim::Machine::Pubs);
+        std::fprintf(stderr, "ablation: mixed conf_tab\n");
+        pubs::sim::RunResult conf = runWorkload(mixed, withConf);
+        blind.addRow({"conf_tab (6-bit resetting)",
+                      pct(conf.speedupOver(mixedBase)),
+                      std::to_string(conf.priorityStallCycles)});
+
+        pubs::cpu::CoreParams blindCfg = withConf;
+        blindCfg.pubs.useConfTab = false;
+        std::fprintf(stderr, "ablation: mixed blind\n");
+        pubs::sim::RunResult blindRun = runWorkload(mixed, blindCfg);
+        blind.addRow({"blind (all branches unconfident)",
+                      pct(blindRun.speedupOver(mixedBase)),
+                      std::to_string(blindRun.priorityStallCycles)});
+    }
+    std::printf("ABLATION: blind vs conf_tab on a mixed-confidence "
+                "kernel (Fig. 11's blind gap)\n\n%s\n",
+                blind.str().c_str());
+    maybeWriteCsv("ablation_blind", blind);
+
+    // --- 1: confidence counter shape ---
+    TextTable shapes({"counter_shape", "speedup", "unconfident_rate"});
+    {
+        for (auto shape : {pubs::pubs::CounterShape::Resetting,
+                           pubs::pubs::CounterShape::UpDown}) {
+            pubs::cpu::CoreParams params =
+                sim::makeConfig(sim::Machine::Pubs);
+            params.pubs.counterShape = shape;
+            bool resetting =
+                shape == pubs::pubs::CounterShape::Resetting;
+            std::fprintf(stderr, "ablation: %s counters\n",
+                         resetting ? "resetting" : "up/down");
+            std::vector<double> ratios, rates;
+            for (size_t i = 0; i < picks.size(); ++i) {
+                pubs::sim::RunResult r = runWorkload(picks[i], params);
+                ratios.push_back(r.speedupOver(base.results[i]));
+                rates.push_back(r.unconfidentBranchRate);
+            }
+            shapes.addRow({resetting ? "resetting (JRS, paper)"
+                                     : "up/down saturating",
+                           pct(geoMeanRatio(ratios)),
+                           num(pubs::arithmeticMean(rates), 2)});
+        }
+    }
+    std::printf("ABLATION: confidence counter shape\n"
+                "(the paper adopts resetting counters; up/down forgives "
+                "isolated mispredictions)\n\n%s\n",
+                shapes.str().c_str());
+    maybeWriteCsv("ablation_counter_shape", shapes);
+
+    // --- Section III-C variants ---
+    TextTable variants({"variant", "speedup_vs_unified_base"});
+    {
+        std::fprintf(stderr, "ablation: PUBS (unified, partitioned)\n");
+        variants.addRow({"PUBS (partitioned unified IQ)",
+                         pct(geomeanSpeedup(
+                             sim::makeConfig(sim::Machine::Pubs)))});
+
+        pubs::cpu::CoreParams ideal = sim::makeConfig(sim::Machine::Pubs);
+        ideal.pubs.priorityEntries = 0;
+        ideal.idealPrioritySelect = true;
+        std::fprintf(stderr, "ablation: ideal flexible select\n");
+        variants.addRow({"ideal flexible-priority select (III-C1)",
+                         pct(geomeanSpeedup(ideal))});
+
+        pubs::cpu::CoreParams distBase =
+            sim::makeConfig(sim::Machine::Base);
+        distBase.distributedIq = true;
+        std::fprintf(stderr, "ablation: distributed base\n");
+        variants.addRow({"distributed IQ, no PUBS (III-C2)",
+                         pct(geomeanSpeedup(distBase))});
+
+        pubs::cpu::CoreParams distPubs =
+            sim::makeConfig(sim::Machine::Pubs);
+        distPubs.distributedIq = true;
+        // Per-queue partitions are small, so the stall policy is too
+        // blunt here; the distributed port uses non-stall dispatch.
+        distPubs.pubs.stallPolicy = false;
+        std::fprintf(stderr, "ablation: distributed PUBS\n");
+        variants.addRow({"distributed IQ + PUBS (III-C2, non-stall)",
+                         pct(geomeanSpeedup(distPubs))});
+    }
+    std::printf("ABLATION: Section III-C implementation variants\n"
+                "(the ideal select bounds what partitioning "
+                "approximates; PUBS applies to distributed IQs too)\n\n"
+                "%s",
+                variants.str().c_str());
+    maybeWriteCsv("ablation_iii_c", variants);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 10: average speedup over the base in D-BP when varying the
+ * number of priority entries, for both dispatch policies. Paper: with
+ * the stall policy, 2 entries degrade below the base, the optimum is 6;
+ * the non-stall policy is consistently weaker.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace pubs::bench;
+    namespace sim = pubs::sim;
+    namespace wl = pubs::wl;
+
+    auto suite = wl::makeSuite();
+    std::fprintf(stderr, "fig10: base machine\n");
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+
+    // D-BP subset (classified on the base machine).
+    std::vector<size_t> dbp;
+    for (size_t i = 0; i < suite.size(); ++i)
+        if (base.results[i].branchMpki > dbpThreshold)
+            dbp.push_back(i);
+
+    const unsigned entryCounts[] = {2, 4, 6, 8, 10, 12};
+    TextTable table({"priority_entries", "stall", "non-stall"});
+
+    for (unsigned entries : entryCounts) {
+        std::vector<double> stall, nonStall;
+        for (bool stallPolicy : {true, false}) {
+            pubs::cpu::CoreParams params =
+                sim::makeConfig(sim::Machine::Pubs);
+            params.pubs.priorityEntries = entries;
+            params.pubs.stallPolicy = stallPolicy;
+            std::fprintf(stderr, "fig10: %u entries, %s policy\n",
+                         entries, stallPolicy ? "stall" : "non-stall");
+            for (size_t i : dbp) {
+                pubs::sim::RunResult r =
+                    runWorkload(suite[i], params);
+                (stallPolicy ? stall : nonStall)
+                    .push_back(r.speedupOver(base.results[i]));
+            }
+        }
+        table.addRow({std::to_string(entries),
+                      pct(geoMeanRatio(stall)),
+                      pct(geoMeanRatio(nonStall))});
+    }
+
+    std::printf("FIGURE 10: D-BP geomean speedup vs #priority entries\n");
+    std::printf("(paper: stall@2 below base; optimum 6; stall beats "
+                "non-stall)\n\n%s",
+                table.str().c_str());
+    maybeWriteCsv("fig10_priority_entries", table);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 11: average D-BP speedup (bars) and unconfident-branch rate
+ * (line) when varying the confidence counter width from 2 to 8 bits,
+ * plus the "blind" model (every branch deemed unconfident, no conf_tab).
+ * Paper: rate grows with width; optimum 6 bits at ~71% unconfident;
+ * blind is worse than PUBS with the conf_tab.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace pubs::bench;
+    namespace sim = pubs::sim;
+    namespace wl = pubs::wl;
+
+    auto suite = wl::makeSuite();
+    std::fprintf(stderr, "fig11: base machine\n");
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+
+    std::vector<size_t> dbp;
+    for (size_t i = 0; i < suite.size(); ++i)
+        if (base.results[i].branchMpki > dbpThreshold)
+            dbp.push_back(i);
+
+    TextTable table({"conf_bits", "speedup", "unconfident_rate"});
+
+    auto sweep = [&](const char *label, unsigned bits, bool useConfTab) {
+        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Pubs);
+        params.pubs.useConfTab = useConfTab;
+        if (useConfTab)
+            params.pubs.confCounterBits = bits;
+        std::fprintf(stderr, "fig11: %s\n", label);
+        std::vector<double> speedups, rates;
+        for (size_t i : dbp) {
+            pubs::sim::RunResult r = runWorkload(suite[i], params);
+            speedups.push_back(r.speedupOver(base.results[i]));
+            rates.push_back(useConfTab ? r.unconfidentBranchRate : 1.0);
+        }
+        table.addRow({label, pct(geoMeanRatio(speedups)),
+                      num(pubs::arithmeticMean(rates), 2)});
+    };
+
+    for (unsigned bits = 2; bits <= 8; ++bits)
+        sweep(std::to_string(bits).c_str(), bits, true);
+    sweep("blind", 0, false);
+
+    std::printf("FIGURE 11: D-BP speedup & unconfident rate vs counter "
+                "bits\n");
+    std::printf("(paper: optimum 6 bits at ~71%% unconfident; blind "
+                "below PUBS)\n\n%s",
+                table.str().c_str());
+    maybeWriteCsv("fig11_conf_bits", table);
+    return 0;
+}

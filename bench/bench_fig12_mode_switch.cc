@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 12: per-workload speedup with the mode switch enabled vs
+ * disabled. Paper: most programs are indifferent, but the memory-bound
+ * mcf and soplex degrade when the switch is disabled (PUBS's reserved
+ * entries then cost MLP when the IQ capacity matters most).
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace pubs::bench;
+    namespace sim = pubs::sim;
+    namespace wl = pubs::wl;
+
+    auto suite = wl::makeSuite();
+    std::fprintf(stderr, "fig12: base machine\n");
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+
+    std::vector<size_t> dbp;
+    for (size_t i = 0; i < suite.size(); ++i)
+        if (base.results[i].branchMpki > dbpThreshold)
+            dbp.push_back(i);
+
+    pubs::cpu::CoreParams withSwitch = sim::makeConfig(sim::Machine::Pubs);
+    pubs::cpu::CoreParams noSwitch = sim::makeConfig(sim::Machine::Pubs);
+    noSwitch.pubs.modeSwitch = false;
+
+    TextTable table({"workload", "llc_mpki", "switch_on", "switch_off",
+                     "pubs_on_fraction"});
+    std::vector<double> onRatios, offRatios;
+    for (size_t i : dbp) {
+        std::fprintf(stderr, "fig12: %s\n", suite[i].name.c_str());
+        pubs::sim::RunResult on = runWorkload(suite[i], withSwitch);
+        pubs::sim::RunResult off = runWorkload(suite[i], noSwitch);
+        double sOn = on.speedupOver(base.results[i]);
+        double sOff = off.speedupOver(base.results[i]);
+        onRatios.push_back(sOn);
+        offRatios.push_back(sOff);
+        table.addRow({suite[i].name, num(base.results[i].llcMpki, 1),
+                      pct(sOn), pct(sOff),
+                      num(on.pubsEnabledFraction, 2)});
+    }
+    table.addRow({"GM diff", "", pct(geoMeanRatio(onRatios)),
+                  pct(geoMeanRatio(offRatios)), ""});
+
+    std::printf("FIGURE 12: speedup with mode switch enabled/disabled "
+                "(D-BP)\n");
+    std::printf("(paper: mcf and soplex degrade when the switch is "
+                "off)\n\n%s",
+                table.str().c_str());
+    maybeWriteCsv("fig12_mode_switch", table);
+    return 0;
+}

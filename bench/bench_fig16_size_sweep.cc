@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 16 / Table IV: IPC increase of PUBS, AGE and PUBS+AGE over the
+ * base at four processor sizes. Paper: both criticality-aware schemes
+ * gain effectiveness as the window grows; PUBS stays ahead of AGE and
+ * PUBS+AGE ahead of both at every size.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace pubs::bench;
+    namespace sim = pubs::sim;
+    namespace wl = pubs::wl;
+    namespace cpu = pubs::cpu;
+
+    auto suite = wl::makeSuite();
+
+    // Print Table IV.
+    std::printf("TABLE IV: processor size classes\n");
+    TextTable sizes({"size", "width", "IQ", "ROB", "LSQ", "regs",
+                     "iALU/iMUL/LdSt/FPU"});
+    const cpu::SizeClass classes[] = {
+        cpu::SizeClass::Small, cpu::SizeClass::Medium,
+        cpu::SizeClass::Large, cpu::SizeClass::Huge};
+    for (auto size : classes) {
+        cpu::CoreParams p = cpu::CoreParams::scaled(size);
+        sizes.addRow({cpu::sizeClassName(size),
+                      std::to_string(p.issueWidth),
+                      std::to_string(p.iqEntries),
+                      std::to_string(p.robEntries),
+                      std::to_string(p.lsqEntries),
+                      std::to_string(p.intPhysRegs) + "+" +
+                          std::to_string(p.fpPhysRegs),
+                      std::to_string(p.numIntAlu) + "/" +
+                          std::to_string(p.numIntMulDiv) + "/" +
+                          std::to_string(p.numLdSt) + "/" +
+                          std::to_string(p.numFpu)});
+    }
+    std::printf("%s\n", sizes.str().c_str());
+
+    // Classify D-BP on the default (medium) base machine.
+    std::fprintf(stderr, "fig16: classification run\n");
+    SuiteRun medium = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    std::vector<size_t> dbp;
+    for (size_t i = 0; i < suite.size(); ++i)
+        if (medium.results[i].branchMpki > dbpThreshold)
+            dbp.push_back(i);
+
+    TextTable table({"size", "PUBS", "AGE", "PUBS+AGE"});
+    for (auto size : classes) {
+        std::fprintf(stderr, "fig16: size %s\n", cpu::sizeClassName(size));
+        std::vector<double> ratios[3];
+        std::vector<pubs::sim::RunResult> baseRuns;
+        for (size_t i : dbp) {
+            baseRuns.push_back(runWorkload(
+                suite[i], sim::makeConfig(sim::Machine::Base, size)));
+        }
+        const sim::Machine machines[3] = {sim::Machine::Pubs,
+                                          sim::Machine::Age,
+                                          sim::Machine::PubsAge};
+        for (int m = 0; m < 3; ++m) {
+            for (size_t k = 0; k < dbp.size(); ++k) {
+                pubs::sim::RunResult r = runWorkload(
+                    suite[dbp[k]], sim::makeConfig(machines[m], size));
+                ratios[m].push_back(r.speedupOver(baseRuns[k]));
+            }
+        }
+        table.addRow({cpu::sizeClassName(size),
+                      pct(geoMeanRatio(ratios[0])),
+                      pct(geoMeanRatio(ratios[1])),
+                      pct(geoMeanRatio(ratios[2]))});
+    }
+
+    std::printf("FIGURE 16: D-BP geomean IPC increase vs processor "
+                "size\n");
+    std::printf("(paper: effectiveness grows with size; PUBS > AGE, "
+                "PUBS+AGE best)\n\n%s",
+                table.str().c_str());
+    maybeWriteCsv("fig16_size_sweep", table);
+    return 0;
+}

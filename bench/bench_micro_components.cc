@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * predictor lookup/update, PUBS table operations, IQ dispatch/select
+ * structures, cache accesses, and whole-pipeline simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/perceptron.hh"
+#include "common/rng.hh"
+#include "emu/emulator.hh"
+#include "cpu/pipeline.hh"
+#include "iq/age_matrix.hh"
+#include "iq/random_queue.hh"
+#include "mem/cache.hh"
+#include "pubs/slice_unit.hh"
+#include "sim/config.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace pubs;
+
+void
+BM_PerceptronPredictUpdate(benchmark::State &state)
+{
+    branch::Perceptron pred(34, 256);
+    Rng rng(1);
+    Pc pc = 0x1000;
+    for (auto _ : state) {
+        bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+        pc = 0x1000 + (rng.next() & 0xff) * 4;
+    }
+}
+BENCHMARK(BM_PerceptronPredictUpdate);
+
+void
+BM_SliceUnitDecode(benchmark::State &state)
+{
+    ::pubs::pubs::SliceUnit unit({});
+    trace::DynInst alu;
+    alu.pc = 0x1000;
+    alu.op = isa::Opcode::Add;
+    alu.dst = 3;
+    alu.src1 = 4;
+    alu.src2 = 5;
+    trace::DynInst br;
+    br.pc = 0x1004;
+    br.op = isa::Opcode::Blt;
+    br.src1 = 3;
+    br.src2 = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.decode(alu));
+        benchmark::DoNotOptimize(unit.decode(br));
+    }
+}
+BENCHMARK(BM_SliceUnitDecode);
+
+void
+BM_RandomQueueDispatchRemove(benchmark::State &state)
+{
+    iq::RandomQueue queue(64, 6, 1);
+    Rng rng(2);
+    uint32_t id = 0;
+    std::vector<uint32_t> live;
+    for (auto _ : state) {
+        if (live.size() < 48 && queue.canDispatch(false)) {
+            queue.dispatch(id, id, false);
+            live.push_back(id++);
+        } else {
+            size_t pick = (size_t)rng.below(live.size());
+            queue.remove(live[pick]);
+            live.erase(live.begin() + (long)pick);
+        }
+    }
+}
+BENCHMARK(BM_RandomQueueDispatchRemove);
+
+void
+BM_AgeMatrixOldestReady(benchmark::State &state)
+{
+    iq::AgeMatrix age(64);
+    for (unsigned s = 0; s < 48; ++s)
+        age.dispatch(s);
+    std::vector<uint64_t> ready{0x0f0f0f0f0f0full};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(age.oldestReady(ready));
+}
+BENCHMARK(BM_AgeMatrixOldestReady);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::MainMemory dram(300, 8, 64);
+    mem::CacheParams params;
+    params.sizeBytes = 32 * 1024;
+    mem::Cache cache(params, &dram);
+    Rng rng(3);
+    Cycle t = 0;
+    for (auto _ : state) {
+        bool hit;
+        Addr addr = (rng.next() & 0xffff);
+        benchmark::DoNotOptimize(cache.access(addr, false, t += 2, hit));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EmulatorStep(benchmark::State &state)
+{
+    static wl::Workload w = wl::makeWorkload("sjeng_like");
+    emu::Emulator emu(w.program);
+    trace::DynInst di;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(emu.step(di));
+}
+BENCHMARK(BM_EmulatorStep);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    // Items processed = simulated instructions per wall second.
+    static wl::Workload w = wl::makeWorkload("sjeng_like");
+    emu::Emulator emu(w.program);
+    cpu::Pipeline pipe(sim::makeConfig(sim::Machine::Pubs), emu);
+    for (auto _ : state)
+        pipe.run(1000);
+    state.SetItemsProcessed((int64_t)pipe.stats().committed);
+}
+BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+#include "common/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pubs::bench
+{
+
+namespace
+{
+
+uint64_t
+envCount(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    fatal_if(end == value || parsed == 0, "bad %s value '%s'", name, value);
+    return parsed;
+}
+
+} // namespace
+
+uint64_t
+measureInsts()
+{
+    return envCount("PUBS_BENCH_INSTS", 1000000);
+}
+
+uint64_t
+warmupInsts()
+{
+    return envCount("PUBS_BENCH_WARMUP", 200000);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    while (cells.size() < header_.size())
+        cells.emplace_back("");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c]
+                << std::string(widths[c] + 2 - cells[c].size(), ' ');
+        }
+        out << "\n";
+    };
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+pct(double ratio)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%", (ratio - 1.0) * 100.0);
+    return buffer;
+}
+
+std::string
+num(double value, int digits)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+    return buffer;
+}
+
+bool
+maybeWriteCsv(const std::string &benchName, const TextTable &table)
+{
+    const char *dir = std::getenv("PUBS_BENCH_CSV");
+    if (!dir || !*dir)
+        return false;
+    std::string path = std::string(dir) + "/" + benchName + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write CSV to %s", path.c_str());
+        return false;
+    }
+    auto emitRow = [&out](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            out << (c ? "," : "") << cells[c];
+        out << "\n";
+    };
+    emitRow(table.header());
+    for (const auto &row : table.rows())
+        emitRow(row);
+    return true;
+}
+
+sim::RunResult
+runWorkload(const wl::Workload &workload, const cpu::CoreParams &params)
+{
+    sim::RunResult result =
+        sim::simulate(params, workload.program, warmupInsts(),
+                      measureInsts());
+    result.workload = workload.name;
+    return result;
+}
+
+SuiteRun
+runSuite(const std::vector<wl::Workload> &suite,
+         const cpu::CoreParams &params, bool verbose)
+{
+    SuiteRun run;
+    for (const auto &workload : suite) {
+        if (verbose) {
+            std::fprintf(stderr, "  running %-18s ...", workload.name.c_str());
+            std::fflush(stderr);
+        }
+        sim::RunResult r = runWorkload(workload, params);
+        if (verbose) {
+            std::fprintf(stderr, " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f\n",
+                         r.ipc, r.branchMpki, r.llcMpki);
+        }
+        run.results.push_back(std::move(r));
+    }
+    return run;
+}
+
+double
+geoMeanRatio(const std::vector<double> &ratios)
+{
+    return geometricMean(ratios);
+}
+
+} // namespace pubs::bench

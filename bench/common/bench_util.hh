@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared benchmark-harness utilities: instruction budgets (overridable
+ * via PUBS_BENCH_INSTS / PUBS_BENCH_WARMUP), aligned text tables in the
+ * style of the paper's figures, optional CSV emission
+ * (PUBS_BENCH_CSV=<dir>), and suite-run helpers.
+ */
+
+#ifndef PUBS_BENCH_COMMON_BENCH_UTIL_HH
+#define PUBS_BENCH_COMMON_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace pubs::bench
+{
+
+/** Measured instructions per run (default 1M; the paper used 100M). */
+uint64_t measureInsts();
+
+/** Warmup instructions per run (default 200K). */
+uint64_t warmupInsts();
+
+/** The paper's D-BP threshold: branch MPKI > 3.0 on the base machine. */
+constexpr double dbpThreshold = 3.0;
+
+/** The paper's memory-intensity threshold: LLC MPKI > 1.0. */
+constexpr double memIntensityThreshold = 1.0;
+
+/** Simple aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+        { return rows_; }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a ratio as a percentage delta, e.g. 1.078 -> "+7.8%". */
+std::string pct(double ratio);
+
+/** Format a double with @p digits decimals. */
+std::string num(double value, int digits = 3);
+
+/**
+ * Write the table as CSV into $PUBS_BENCH_CSV/<benchName>.csv if that
+ * environment variable is set. Returns true if written.
+ */
+bool maybeWriteCsv(const std::string &benchName, const TextTable &table);
+
+/** Run one workload on one machine configuration. */
+sim::RunResult runWorkload(const wl::Workload &workload,
+                           const cpu::CoreParams &params);
+
+/** Results of running the whole suite on one machine. */
+struct SuiteRun
+{
+    std::vector<sim::RunResult> results; ///< index-aligned with suite
+};
+
+/** Run every workload in @p suite on @p params. */
+SuiteRun runSuite(const std::vector<wl::Workload> &suite,
+                  const cpu::CoreParams &params, bool verbose = true);
+
+/** Geometric mean of per-workload ratios over a subset selector. */
+double geoMeanRatio(const std::vector<double> &ratios);
+
+} // namespace pubs::bench
+
+#endif // PUBS_BENCH_COMMON_BENCH_UTIL_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Example: write a program in the micro-ISA's text assembly, run it
+ * functionally, capture a trace, and replay that trace through the
+ * timing model — the workflow for bringing your own (open) traces.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+// A toy checksum kernel with one data-dependent branch: the kind of
+// loop PUBS accelerates. The data-dependent `blt` is hard to predict;
+// its slice is ld -> xor -> blt.
+const char *const kernel = R"(
+        li   r2, 0x100000     # array base
+        li   r10, 1023        # index mask
+        li   r20, 0x20000000  # branch threshold (~50% taken)
+        li   r21, 0x3fffffff  # value mask
+        li   r1, 0            # i
+        li   r11, 0           # checksum
+    loop:
+        and  r4, r1, r10
+        slli r5, r4, 3
+        add  r5, r5, r2
+        ld   r3, r5, 0
+        xor  r6, r3, r11
+        and  r6, r6, r21
+        blt  r6, r20, light
+        mul  r7, r3, r3       # heavy arm
+        add  r11, r11, r7
+        j    next
+    light:
+        xor  r11, r11, r3
+    next:
+        addi r1, r1, 1
+        addi r12, r12, 1      # independent filler
+        addi r13, r13, 3
+        add  r14, r20, r20
+        j    loop
+)";
+
+} // namespace
+
+int
+main()
+{
+    using namespace pubs;
+
+    // Assemble and attach input data.
+    isa::Program prog = isa::assemble(kernel, "checksum");
+    Rng rng(42);
+    for (int i = 0; i < 1024; ++i)
+        prog.addData64(0x100000 + (Addr)i * 8, rng.below(1u << 30));
+
+    std::printf("=== program listing (head) ===\n");
+    std::string listing = prog.listing();
+    std::printf("%.*s...\n\n", 420, listing.c_str());
+
+    // Functional run + trace capture.
+    std::string path =
+        (std::filesystem::temp_directory_path() / "checksum.trc").string();
+    {
+        emu::Emulator emu(prog);
+        trace::TraceWriter writer(path);
+        trace::DynInst di;
+        for (int i = 0; i < 400000 && emu.step(di); ++i)
+            writer.write(di);
+        writer.close();
+        std::printf("captured %llu instructions to %s\n",
+                    (unsigned long long)writer.recordsWritten(),
+                    path.c_str());
+        std::printf("architectural checksum r11 = %#llx\n\n",
+                    (unsigned long long)emu.intReg(11));
+    }
+
+    // Timing simulation straight from the emulator...
+    sim::RunResult live = sim::simulate(
+        sim::makeConfig(sim::Machine::Pubs), prog, 50000, 200000);
+    std::printf("emulator-driven   : IPC %.3f, branch MPKI %.1f\n",
+                live.ipc, live.branchMpki);
+
+    // ...and from the captured trace (wrong-path modelling degrades to
+    // redirect stalls because a trace has no static code to fetch).
+    sim::Simulator fromTrace(
+        sim::makeConfig(sim::Machine::Pubs),
+        std::make_unique<trace::TraceReader>(path));
+    sim::RunResult replay = fromTrace.run(50000, 200000);
+    std::printf("trace-driven      : IPC %.3f, branch MPKI %.1f\n",
+                replay.ipc, replay.branchMpki);
+
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * A command-line driver for one-off simulations:
+ *
+ *     pubs_sim_cli [options]
+ *       --workload <name|path.trc>   suite workload or trace file
+ *       --machine  <base|pubs|age|pubs+age>
+ *       --size     <small|medium|large|huge>
+ *       --insts    <n>               measured instructions (default 1M)
+ *       --warmup   <n>               warmup instructions (default 200K)
+ *       --seed     <n>
+ *       --priority-entries <n>       PUBS partition size
+ *       --conf-bits <n>              confidence counter width
+ *       --no-mode-switch             disable the LLC-MPKI mode switch
+ *       --non-stall                  non-stall dispatch policy
+ *       --distributed-iq             Section III-C2 distributed IQ
+ *       --iq <random|shifting|circular>
+ *       --list                       list suite workloads and exit
+ *
+ * Prints the full pipeline stat group.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "emu/emulator.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace pubs;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload W] [--machine M] [--size S]\n"
+                 "          [--insts N] [--warmup N] [--seed N]\n"
+                 "          [--priority-entries N] [--conf-bits N]\n"
+                 "          [--no-mode-switch] [--non-stall]\n"
+                 "          [--distributed-iq] [--iq KIND] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+sim::Machine
+parseMachine(const std::string &name)
+{
+    if (name == "base")
+        return sim::Machine::Base;
+    if (name == "pubs")
+        return sim::Machine::Pubs;
+    if (name == "age")
+        return sim::Machine::Age;
+    if (name == "pubs+age")
+        return sim::Machine::PubsAge;
+    fatal("unknown machine '%s'", name.c_str());
+}
+
+cpu::SizeClass
+parseSize(const std::string &name)
+{
+    if (name == "small")
+        return cpu::SizeClass::Small;
+    if (name == "medium")
+        return cpu::SizeClass::Medium;
+    if (name == "large")
+        return cpu::SizeClass::Large;
+    if (name == "huge")
+        return cpu::SizeClass::Huge;
+    fatal("unknown size class '%s'", name.c_str());
+}
+
+iq::IqKind
+parseIqKind(const std::string &name)
+{
+    if (name == "random")
+        return iq::IqKind::Random;
+    if (name == "shifting")
+        return iq::IqKind::Shifting;
+    if (name == "circular")
+        return iq::IqKind::Circular;
+    fatal("unknown IQ kind '%s'", name.c_str());
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "sjeng_like";
+    sim::Machine machine = sim::Machine::Pubs;
+    cpu::SizeClass size = cpu::SizeClass::Medium;
+    uint64_t insts = 1000000;
+    uint64_t warmup = 200000;
+
+    cpu::CoreParams overrides; // collected then applied
+    bool setPriorityEntries = false;
+    unsigned priorityEntries = 0;
+    bool setConfBits = false;
+    unsigned confBits = 0;
+    bool noModeSwitch = false;
+    bool nonStall = false;
+    bool distributed = false;
+    bool setIqKind = false;
+    iq::IqKind iqKind = iq::IqKind::Random;
+    uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--machine") {
+            machine = parseMachine(next());
+        } else if (arg == "--size") {
+            size = parseSize(next());
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--warmup") {
+            warmup = std::stoull(next());
+        } else if (arg == "--seed") {
+            seed = std::stoull(next());
+        } else if (arg == "--priority-entries") {
+            setPriorityEntries = true;
+            priorityEntries = (unsigned)std::stoul(next());
+        } else if (arg == "--conf-bits") {
+            setConfBits = true;
+            confBits = (unsigned)std::stoul(next());
+        } else if (arg == "--no-mode-switch") {
+            noModeSwitch = true;
+        } else if (arg == "--non-stall") {
+            nonStall = true;
+        } else if (arg == "--distributed-iq") {
+            distributed = true;
+        } else if (arg == "--iq") {
+            setIqKind = true;
+            iqKind = parseIqKind(next());
+        } else if (arg == "--list") {
+            for (const auto &name : wl::suiteNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    cpu::CoreParams params = sim::makeConfig(machine, size);
+    params.seed = seed;
+    if (setPriorityEntries)
+        params.pubs.priorityEntries = priorityEntries;
+    if (setConfBits)
+        params.pubs.confCounterBits = confBits;
+    if (noModeSwitch)
+        params.pubs.modeSwitch = false;
+    if (nonStall)
+        params.pubs.stallPolicy = false;
+    if (distributed)
+        params.distributedIq = true;
+    if (setIqKind)
+        params.iqKind = iqKind;
+
+    std::printf("machine: %s (%s)\n%s\n", sim::machineName(machine),
+                cpu::sizeClassName(size), params.describe().c_str());
+
+    std::unique_ptr<trace::InstSource> source;
+    isa::Program program;
+    if (endsWith(workload, ".trc")) {
+        source = std::make_unique<trace::TraceReader>(workload);
+    } else {
+        wl::Workload w = wl::makeWorkload(workload, seed);
+        program = std::move(w.program);
+        source = std::make_unique<emu::Emulator>(program);
+    }
+
+    sim::Simulator simulator(params, std::move(source));
+    sim::RunResult result = simulator.run(warmup, insts);
+
+    StatGroup group(workload);
+    simulator.pipeline().fillStats(group);
+    std::printf("%s", group.format().c_str());
+    return 0;
+}

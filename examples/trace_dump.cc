@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Inspect a captured .trc trace file: per-record disassembly and a
+ * summary of the instruction mix, branch behaviour, and memory
+ * footprint. Traces record operands but not immediates, so immediate
+ * fields print as 0. Usage:
+ *
+ *     trace_dump <file.trc> [maxRecords]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "isa/isa.hh"
+#include "trace/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pubs;
+
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <file.trc> [maxRecords]\n",
+                     argv[0]);
+        return 2;
+    }
+    uint64_t maxRecords = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : 20;
+
+    trace::TraceReader reader(argv[1]);
+    std::printf("%s: %" PRIu64 " records\n\n", argv[1],
+                reader.recordCount());
+
+    std::map<isa::OpClass, uint64_t> mix;
+    uint64_t branches = 0, taken = 0, loads = 0, stores = 0;
+    std::set<Addr> lines;
+    std::set<Pc> pcs;
+
+    trace::DynInst di;
+    uint64_t shown = 0;
+    uint64_t total = 0;
+    while (reader.next(di)) {
+        ++total;
+        ++mix[di.cls()];
+        pcs.insert(di.pc);
+        if (di.isCondBranch()) {
+            ++branches;
+            taken += di.taken;
+        }
+        if (di.isLoad())
+            ++loads;
+        if (di.isStore())
+            ++stores;
+        if (di.isMem())
+            lines.insert(di.effAddr & ~(Addr)63);
+
+        if (shown < maxRecords) {
+            isa::Inst staticInst{di.op, di.dst, di.src1, di.src2, 0};
+            std::printf("%8" PRIu64 "  %#8llx  %-24s", di.seq,
+                        (unsigned long long)di.pc,
+                        isa::disassemble(staticInst).c_str());
+            if (di.isMem())
+                std::printf("  [%#llx]", (unsigned long long)di.effAddr);
+            if (di.isCondBranch())
+                std::printf("  %s", di.taken ? "T" : "N");
+            std::printf("\n");
+            ++shown;
+        }
+    }
+    if (total > shown)
+        std::printf("  ... %" PRIu64 " more records\n", total - shown);
+
+    std::printf("\ninstruction mix:\n");
+    for (const auto &[cls, count] : mix) {
+        std::printf("  %-8s %10" PRIu64 "  (%.1f%%)\n",
+                    isa::opClassName(cls), count,
+                    100.0 * (double)count / (double)total);
+    }
+    std::printf("\nstatic PCs        : %zu\n", pcs.size());
+    std::printf("cond branches     : %" PRIu64 " (%.1f%% taken)\n",
+                branches,
+                branches ? 100.0 * (double)taken / (double)branches : 0.0);
+    std::printf("loads / stores    : %" PRIu64 " / %" PRIu64 "\n", loads,
+                stores);
+    std::printf("touched 64B lines : %zu (%.1f KB)\n", lines.size(),
+                (double)lines.size() * 64.0 / 1024.0);
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "branch/bimode.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Bimode::Bimode(unsigned choiceBits, unsigned directionBits)
+    : choiceBits_(choiceBits),
+      directionBits_(directionBits),
+      choice_((size_t)1 << choiceBits, 2),
+      takenBank_((size_t)1 << directionBits, 2),
+      notTakenBank_((size_t)1 << directionBits, 1)
+{
+    fatal_if(choiceBits == 0 || directionBits == 0, "bad bimode sizes");
+}
+
+size_t
+Bimode::choiceIndex(Pc pc) const
+{
+    return (pc / instBytes) & mask(choiceBits_);
+}
+
+size_t
+Bimode::directionIndex(Pc pc) const
+{
+    return ((pc / instBytes) ^ history_) & mask(directionBits_);
+}
+
+bool
+Bimode::predict(Pc pc)
+{
+    bool useTakenBank = choice_[choiceIndex(pc)] >= 2;
+    const auto &bank = useTakenBank ? takenBank_ : notTakenBank_;
+    return bank[directionIndex(pc)] >= 2;
+}
+
+void
+Bimode::update(Pc pc, bool taken)
+{
+    size_t ci = choiceIndex(pc);
+    size_t di = directionIndex(pc);
+    bool useTakenBank = choice_[ci] >= 2;
+    auto &bank = useTakenBank ? takenBank_ : notTakenBank_;
+    bool banksPrediction = bank[di] >= 2;
+
+    // Direction bank: always trained with the outcome.
+    uint8_t &ctr = bank[di];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    // Choice table: trained unless the selected bank was correct while
+    // the choice "disagreed" with the outcome (the classic partial-update
+    // rule).
+    if (!(banksPrediction == taken && useTakenBank != taken)) {
+        uint8_t &ch = choice_[ci];
+        if (taken && ch < 3)
+            ++ch;
+        else if (!taken && ch > 0)
+            --ch;
+    }
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask(directionBits_);
+}
+
+uint64_t
+Bimode::costBits() const
+{
+    return choice_.size() * 2 + takenBank_.size() * 2 +
+           notTakenBank_.size() * 2 + directionBits_;
+}
+
+} // namespace pubs::branch

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bi-mode predictor [Lee, Chen, Mudge, MICRO'97]: a choice table selects
+ * between a taken-biased and a not-taken-biased direction table, reducing
+ * destructive aliasing.
+ */
+
+#ifndef PUBS_BRANCH_BIMODE_HH
+#define PUBS_BRANCH_BIMODE_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pubs::branch
+{
+
+class Bimode : public BranchPredictor
+{
+  public:
+    /**
+     * @param choiceBits log2 size of the PC-indexed choice table.
+     * @param directionBits log2 size of each gshare-indexed direction
+     *        table.
+     */
+    Bimode(unsigned choiceBits, unsigned directionBits);
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    uint64_t costBits() const override;
+    const char *name() const override { return "bimode"; }
+
+  private:
+    size_t choiceIndex(Pc pc) const;
+    size_t directionIndex(Pc pc) const;
+
+    unsigned choiceBits_;
+    unsigned directionBits_;
+    uint64_t history_ = 0;
+    std::vector<uint8_t> choice_;   ///< 2-bit: selects bank
+    std::vector<uint8_t> takenBank_;
+    std::vector<uint8_t> notTakenBank_;
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_BIMODE_HH

@@ -1,0 +1,74 @@
+#include "branch/btb.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Btb::Btb(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), entries_((size_t)sets * ways)
+{
+    fatal_if(!isPowerOf2(sets), "BTB sets must be a power of two");
+    fatal_if(ways == 0, "BTB needs at least one way");
+}
+
+size_t
+Btb::setOf(Pc pc) const
+{
+    return (pc / instBytes) & (sets_ - 1);
+}
+
+uint64_t
+Btb::tagOf(Pc pc) const
+{
+    return (pc / instBytes) / sets_;
+}
+
+std::optional<Pc>
+Btb::lookup(Pc pc)
+{
+    size_t base = setOf(pc) * ways_;
+    uint64_t tag = tagOf(pc);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++useClock_;
+            ++hits_;
+            return e.target;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Btb::update(Pc pc, Pc target)
+{
+    size_t base = setOf(pc) * ways_;
+    uint64_t tag = tagOf(pc);
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lastUse = ++useClock_;
+            return;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lastUse < victim->lastUse)) {
+            if (!victim || victim->valid)
+                victim = &e;
+        }
+    }
+    *victim = {true, tag, target, ++useClock_};
+}
+
+uint64_t
+Btb::costBits() const
+{
+    // Per entry: valid + tag (model 20 bits) + target (48 bits).
+    return (uint64_t)sets_ * ways_ * (1 + 20 + 48);
+}
+
+} // namespace pubs::branch

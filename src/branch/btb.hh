@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Branch target buffer: set-associative, LRU, tagged with the upper PC
+ * bits. Table I: 2K sets, 4 ways.
+ */
+
+#ifndef PUBS_BRANCH_BTB_HH
+#define PUBS_BRANCH_BTB_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pubs::branch
+{
+
+class Btb
+{
+  public:
+    Btb(unsigned sets, unsigned ways);
+
+    /** Predicted target of the branch at @p pc, if present. */
+    std::optional<Pc> lookup(Pc pc);
+
+    /** Install / refresh the mapping pc -> target. */
+    void update(Pc pc, Pc target);
+
+    uint64_t costBits() const;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        Pc target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    size_t setOf(Pc pc) const;
+    uint64_t tagOf(Pc pc) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    uint64_t useClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    std::vector<Entry> entries_; ///< sets x ways, row-major
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_BTB_HH

@@ -1,0 +1,3 @@
+// confidence.hh is header-only; this translation unit exists so the build
+// exposes a place for future out-of-line confidence estimators.
+#include "branch/confidence.hh"

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch-prediction confidence estimation counters
+ * [Jacobsen, Rotenberg & Smith, MICRO'96].
+ *
+ * The paper uses *resetting* counters: increment on a correct prediction
+ * (saturating), reset to zero on a misprediction; confidence is asserted
+ * only at the maximum count. An up/down (saturating both ways) variant is
+ * provided for the ablation bench.
+ */
+
+#ifndef PUBS_BRANCH_CONFIDENCE_HH
+#define PUBS_BRANCH_CONFIDENCE_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+/** The JRS saturating resetting counter. */
+class ResettingCounter
+{
+  public:
+    explicit ResettingCounter(unsigned bits = 6)
+        : max_((1u << bits) - 1)
+    {
+        panic_if(bits == 0 || bits > 16, "bad confidence counter width");
+    }
+
+    /** Initialise per the paper: max if first outcome correct, else 0. */
+    void
+    initialise(bool correct)
+    {
+        value_ = correct ? max_ : 0;
+    }
+
+    void
+    update(bool correct)
+    {
+        if (correct) {
+            if (value_ < max_)
+                ++value_;
+        } else {
+            value_ = 0;
+        }
+    }
+
+    /** Confident only when saturated at the maximum. */
+    bool confident() const { return value_ == max_; }
+
+    uint32_t value() const { return value_; }
+    uint32_t max() const { return max_; }
+
+  private:
+    uint32_t max_;
+    uint32_t value_ = 0;
+};
+
+/** Up/down saturating counter variant (ablation). */
+class UpDownCounter
+{
+  public:
+    explicit UpDownCounter(unsigned bits = 6) : max_((1u << bits) - 1) {}
+
+    void initialise(bool correct) { value_ = correct ? max_ : 0; }
+
+    void
+    update(bool correct)
+    {
+        if (correct && value_ < max_)
+            ++value_;
+        else if (!correct && value_ > 0)
+            --value_;
+    }
+
+    bool confident() const { return value_ == max_; }
+    uint32_t value() const { return value_; }
+
+  private:
+    uint32_t max_;
+    uint32_t value_ = 0;
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_CONFIDENCE_HH

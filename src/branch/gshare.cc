@@ -1,0 +1,44 @@
+#include "branch/gshare.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Gshare::Gshare(unsigned indexBits)
+    : indexBits_(indexBits), counters_((size_t)1 << indexBits, 2)
+{
+    fatal_if(indexBits == 0 || indexBits > 30, "bad gshare index bits");
+}
+
+size_t
+Gshare::indexOf(Pc pc) const
+{
+    return ((pc / instBytes) ^ history_) & mask(indexBits_);
+}
+
+bool
+Gshare::predict(Pc pc)
+{
+    return counters_[indexOf(pc)] >= 2;
+}
+
+void
+Gshare::update(Pc pc, bool taken)
+{
+    uint8_t &ctr = counters_[indexOf(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask(indexBits_);
+}
+
+uint64_t
+Gshare::costBits() const
+{
+    return counters_.size() * 2 + indexBits_;
+}
+
+} // namespace pubs::branch

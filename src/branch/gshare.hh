@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Classic gshare predictor: 2-bit saturating counters indexed by
+ * PC xor global-history. Used by the paper's footnote as a cross-check
+ * predictor; also a handy fast baseline for tests.
+ */
+
+#ifndef PUBS_BRANCH_GSHARE_HH
+#define PUBS_BRANCH_GSHARE_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pubs::branch
+{
+
+class Gshare : public BranchPredictor
+{
+  public:
+    /** @param indexBits log2 of the counter-table size. */
+    explicit Gshare(unsigned indexBits);
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    uint64_t costBits() const override;
+    const char *name() const override { return "gshare"; }
+
+  private:
+    size_t indexOf(Pc pc) const;
+
+    unsigned indexBits_;
+    uint64_t history_ = 0;
+    std::vector<uint8_t> counters_; ///< 2-bit, initialised weakly taken
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_GSHARE_HH

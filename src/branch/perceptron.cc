@@ -1,0 +1,78 @@
+#include "branch/perceptron.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Perceptron::Perceptron(unsigned historyBits, unsigned tableEntries)
+    : historyBits_(historyBits),
+      tableEntries_(tableEntries),
+      threshold_((int)std::floor(1.93 * historyBits + 14)),
+      weights_((size_t)tableEntries * (historyBits + 1), 0)
+{
+    fatal_if(historyBits == 0 || historyBits > 63,
+             "perceptron history must be 1..63 bits");
+    fatal_if(!isPowerOf2(tableEntries),
+             "perceptron table size must be a power of two");
+}
+
+size_t
+Perceptron::indexOf(Pc pc) const
+{
+    return (pc / instBytes) & (tableEntries_ - 1);
+}
+
+int
+Perceptron::dot(size_t index) const
+{
+    const Weight *w = &weights_[index * (historyBits_ + 1)];
+    int y = w[0]; // bias weight
+    for (unsigned i = 0; i < historyBits_; ++i) {
+        bool taken = (history_ >> i) & 1;
+        y += taken ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+bool
+Perceptron::predict(Pc pc)
+{
+    return dot(indexOf(pc)) >= 0;
+}
+
+void
+Perceptron::update(Pc pc, bool taken)
+{
+    size_t index = indexOf(pc);
+    int y = dot(index);
+    bool predicted = y >= 0;
+
+    if (predicted != taken || std::abs(y) <= threshold_) {
+        Weight *w = &weights_[index * (historyBits_ + 1)];
+        int t = taken ? 1 : -1;
+        auto clamp = [](int v) {
+            return (Weight)std::min(weightMax, std::max(weightMin, v));
+        };
+        w[0] = clamp(w[0] + t);
+        for (unsigned i = 0; i < historyBits_; ++i) {
+            bool h = (history_ >> i) & 1;
+            int x = h ? 1 : -1;
+            w[i + 1] = clamp(w[i + 1] + t * x);
+        }
+    }
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask(historyBits_);
+}
+
+uint64_t
+Perceptron::costBits() const
+{
+    return (uint64_t)tableEntries_ * (historyBits_ + 1) * weightBits +
+           historyBits_;
+}
+
+} // namespace pubs::branch

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The perceptron branch predictor [Jiménez & Lin, HPCA'01], which the
+ * paper adopts because AMD Zen disclosed using one. Default configuration
+ * matches Table I: 34-bit global history, 256-entry weight table. The
+ * enlarged configuration of Fig. 13 uses 36-bit history and 512 entries.
+ */
+
+#ifndef PUBS_BRANCH_PERCEPTRON_HH
+#define PUBS_BRANCH_PERCEPTRON_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pubs::branch
+{
+
+class Perceptron : public BranchPredictor
+{
+  public:
+    /**
+     * @param historyBits length of the global history (number of inputs).
+     * @param tableEntries number of perceptrons (power of two).
+     */
+    Perceptron(unsigned historyBits, unsigned tableEntries);
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    uint64_t costBits() const override;
+    const char *name() const override { return "perceptron"; }
+
+    unsigned historyBits() const { return historyBits_; }
+    unsigned tableEntries() const { return tableEntries_; }
+
+    /** Training threshold theta = floor(1.93 h + 14) per the HPCA paper. */
+    int threshold() const { return threshold_; }
+
+  private:
+    using Weight = int16_t; // stored 8-bit semantics, wider for safety
+
+    static constexpr int weightBits = 8;
+    static constexpr int weightMax = 127;
+    static constexpr int weightMin = -128;
+
+    size_t indexOf(Pc pc) const;
+    int dot(size_t index) const;
+
+    unsigned historyBits_;
+    unsigned tableEntries_;
+    int threshold_;
+    uint64_t history_ = 0; ///< bit i = outcome of the i-th most recent
+    std::vector<Weight> weights_; ///< tableEntries x (historyBits + 1)
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_PERCEPTRON_HH

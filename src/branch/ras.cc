@@ -1,0 +1,32 @@
+#include "branch/ras.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Ras::Ras(unsigned depth) : stack_(depth, 0)
+{
+    fatal_if(depth == 0, "RAS needs at least one entry");
+}
+
+void
+Ras::push(Pc returnPc)
+{
+    stack_[top_] = returnPc;
+    top_ = (top_ + 1) % stack_.size();
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+Pc
+Ras::pop()
+{
+    if (size_ == 0)
+        return 0;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    return stack_[top_];
+}
+
+} // namespace pubs::branch

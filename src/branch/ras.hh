@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Return-address stack. Calls (jal) push the return PC; indirect jumps
+ * (jr) pop a predicted return target.
+ */
+
+#ifndef PUBS_BRANCH_RAS_HH
+#define PUBS_BRANCH_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pubs::branch
+{
+
+class Ras
+{
+  public:
+    explicit Ras(unsigned depth);
+
+    void push(Pc returnPc);
+
+    /** Pop a prediction; returns 0 when empty. */
+    Pc pop();
+
+    bool empty() const { return size_ == 0; }
+    unsigned size() const { return size_; }
+    unsigned depth() const { return (unsigned)stack_.size(); }
+
+  private:
+    std::vector<Pc> stack_;
+    unsigned top_ = 0;  ///< index of the next free slot (circular)
+    unsigned size_ = 0;
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_RAS_HH

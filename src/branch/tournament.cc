@@ -1,0 +1,81 @@
+#include "branch/tournament.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::branch
+{
+
+Tournament::Tournament(unsigned localHistBits, unsigned localEntries,
+                       unsigned globalBits)
+    : localHistBits_(localHistBits),
+      localEntriesLog2_(localEntries),
+      globalBits_(globalBits),
+      localHistory_((size_t)1 << localEntries, 0),
+      localCounters_((size_t)1 << localHistBits, 4),
+      globalCounters_((size_t)1 << globalBits, 2),
+      chooser_((size_t)1 << globalBits, 2)
+{
+    fatal_if(localHistBits > 16, "local history too long");
+}
+
+bool
+Tournament::predict(Pc pc)
+{
+    size_t lhIdx = (pc / instBytes) & mask(localEntriesLog2_);
+    uint16_t lh = localHistory_[lhIdx] & (uint16_t)mask(localHistBits_);
+    bool localPred = localCounters_[lh] >= 4;
+    size_t gIdx = globalHistory_ & mask(globalBits_);
+    bool globalPred = globalCounters_[gIdx] >= 2;
+    bool useGlobal = chooser_[gIdx] >= 2;
+    return useGlobal ? globalPred : localPred;
+}
+
+void
+Tournament::update(Pc pc, bool taken)
+{
+    size_t lhIdx = (pc / instBytes) & mask(localEntriesLog2_);
+    uint16_t lh = localHistory_[lhIdx] & (uint16_t)mask(localHistBits_);
+    size_t gIdx = globalHistory_ & mask(globalBits_);
+
+    bool localPred = localCounters_[lh] >= 4;
+    bool globalPred = globalCounters_[gIdx] >= 2;
+
+    // Chooser trains toward whichever component was right (if they
+    // disagreed).
+    if (localPred != globalPred) {
+        uint8_t &ch = chooser_[gIdx];
+        if (globalPred == taken && ch < 3)
+            ++ch;
+        else if (localPred == taken && ch > 0)
+            --ch;
+    }
+
+    // Local counters are 3-bit.
+    uint8_t &lc = localCounters_[lh];
+    if (taken && lc < 7)
+        ++lc;
+    else if (!taken && lc > 0)
+        --lc;
+
+    uint8_t &gc = globalCounters_[gIdx];
+    if (taken && gc < 3)
+        ++gc;
+    else if (!taken && gc > 0)
+        --gc;
+
+    localHistory_[lhIdx] =
+        (uint16_t)(((lh << 1) | (taken ? 1 : 0)) & mask(localHistBits_));
+    globalHistory_ =
+        ((globalHistory_ << 1) | (taken ? 1 : 0)) & mask(globalBits_);
+}
+
+uint64_t
+Tournament::costBits() const
+{
+    return localHistory_.size() * localHistBits_ +
+           localCounters_.size() * 3 + globalCounters_.size() * 2 +
+           chooser_.size() * 2 + globalBits_;
+}
+
+} // namespace pubs::branch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Alpha 21264-style tournament predictor: per-branch local history feeding
+ * a local table, a global-history table, and a chooser trained on which
+ * component was right.
+ */
+
+#ifndef PUBS_BRANCH_TOURNAMENT_HH
+#define PUBS_BRANCH_TOURNAMENT_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pubs::branch
+{
+
+class Tournament : public BranchPredictor
+{
+  public:
+    /**
+     * @param localHistBits bits of per-branch local history.
+     * @param localEntries log2 of the local-history and local-counter
+     *        table sizes.
+     * @param globalBits log2 of the global and chooser table sizes.
+     */
+    Tournament(unsigned localHistBits, unsigned localEntries,
+               unsigned globalBits);
+
+    bool predict(Pc pc) override;
+    void update(Pc pc, bool taken) override;
+    uint64_t costBits() const override;
+    const char *name() const override { return "tournament"; }
+
+  private:
+    unsigned localHistBits_;
+    unsigned localEntriesLog2_;
+    unsigned globalBits_;
+    uint64_t globalHistory_ = 0;
+    std::vector<uint16_t> localHistory_;
+    std::vector<uint8_t> localCounters_;  ///< 3-bit
+    std::vector<uint8_t> globalCounters_; ///< 2-bit
+    std::vector<uint8_t> chooser_;        ///< 2-bit: >=2 prefers global
+};
+
+} // namespace pubs::branch
+
+#endif // PUBS_BRANCH_TOURNAMENT_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error and status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef PUBS_COMMON_LOGGING_HH
+#define PUBS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pubs
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Count of warn() calls so far (used by tests). */
+uint64_t warnCount();
+
+} // namespace pubs
+
+#define panic(...) ::pubs::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::pubs::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::pubs::warnImpl(__VA_ARGS__)
+#define inform(...) ::pubs::informImpl(__VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+/** fatal() if the condition holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // PUBS_COMMON_LOGGING_HH

@@ -1,0 +1,112 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pubs
+{
+
+uint64_t
+Histogram::percentile(double fraction) const
+{
+    panic_if(fraction < 0.0 || fraction > 1.0, "bad percentile fraction");
+    if (total_ == 0)
+        return 0;
+    uint64_t threshold = (uint64_t)std::ceil(fraction * (double)total_);
+    uint64_t running = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= threshold)
+            return i;
+    }
+    return counts_.size() - 1;
+}
+
+void
+StatGroup::add(const std::string &key, double value, const std::string &desc)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        entries_[it->second].value = value;
+        if (!desc.empty())
+            entries_[it->second].desc = desc;
+        return;
+    }
+    index_[key] = entries_.size();
+    entries_.push_back({key, value, desc});
+}
+
+bool
+StatGroup::has(const std::string &key) const
+{
+    return index_.count(key) != 0;
+}
+
+double
+StatGroup::get(const std::string &key) const
+{
+    auto it = index_.find(key);
+    panic_if(it == index_.end(), "stat '%s.%s' not found", name_.c_str(),
+             key.c_str());
+    return entries_[it->second].value;
+}
+
+double
+StatGroup::getOr(const std::string &key, double fallback) const
+{
+    auto it = index_.find(key);
+    return it == index_.end() ? fallback : entries_[it->second].value;
+}
+
+std::string
+StatGroup::format() const
+{
+    size_t width = 0;
+    for (const auto &e : entries_)
+        width = std::max(width, name_.size() + 1 + e.key.size());
+
+    std::ostringstream out;
+    for (const auto &e : entries_) {
+        std::string full = name_ + "." + e.key;
+        char value[64];
+        if (e.value == std::floor(e.value) && std::abs(e.value) < 1e15) {
+            std::snprintf(value, sizeof(value), "%lld",
+                          (long long)e.value);
+        } else {
+            std::snprintf(value, sizeof(value), "%.6f", e.value);
+        }
+        out << full << std::string(width + 2 - full.size(), ' ') << value;
+        if (!e.desc.empty())
+            out << "  # " << e.desc;
+        out << "\n";
+    }
+    return out.str();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geometric mean of empty set");
+    double logSum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geometric mean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / (double)values.size());
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "arithmetic mean of empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / (double)values.size();
+}
+
+} // namespace pubs

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, averages, histograms and
+ * derived ratios collected into a StatGroup, plus report formatting and the
+ * geometric-mean helpers the paper's figures use.
+ */
+
+#ifndef PUBS_COMMON_STATS_HH
+#define PUBS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pubs
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    void reset() { sum_ = 0; count_ = 0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param buckets number of unit-width buckets before overflow. */
+    explicit Histogram(size_t buckets = 64) : counts_(buckets + 1, 0) {}
+
+    void
+    sample(uint64_t v)
+    {
+        size_t idx = v < counts_.size() - 1 ? v : counts_.size() - 1;
+        ++counts_[idx];
+        sum_ += v;
+        ++total_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        sum_ = 0;
+        total_ = 0;
+    }
+
+    uint64_t bucket(size_t i) const { return counts_.at(i); }
+    size_t numBuckets() const { return counts_.size(); }
+    uint64_t samples() const { return total_; }
+    double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
+
+    /** Value below which @p fraction of samples fall (bucket granularity). */
+    uint64_t percentile(double fraction) const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t sum_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named, ordered collection of scalar statistics for reporting.
+ *
+ * Subsystems register values at dump time; StatGroup is a passive
+ * formatting container, not a live registry, so there is no global state.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string &key, double value,
+             const std::string &desc = "");
+
+    bool has(const std::string &key) const;
+
+    /** Value for @p key; panics if missing. */
+    double get(const std::string &key) const;
+
+    /** Value for @p key or @p fallback if missing. */
+    double getOr(const std::string &key, double fallback) const;
+
+    /** Render as aligned "name  value  # desc" lines. */
+    std::string format() const;
+
+    const std::string &name() const { return name_; }
+
+    struct Entry
+    {
+        std::string key;
+        double value;
+        std::string desc;
+    };
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::string name_;
+    std::vector<Entry> entries_;
+    std::map<std::string, size_t> index_;
+};
+
+/** Geometric mean of @p values (all must be > 0). */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace pubs
+
+#endif // PUBS_COMMON_STATS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef PUBS_COMMON_TYPES_HH
+#define PUBS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pubs
+{
+
+/** Simulated clock cycle count. */
+using Cycle = uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = uint64_t;
+
+/** Program counter value. One instruction occupies four bytes. */
+using Pc = uint64_t;
+
+/** Architectural (logical) register identifier. */
+using RegId = int16_t;
+
+/** Physical register identifier (post-rename). */
+using PhysRegId = int16_t;
+
+/** Dynamic-instruction sequence number (monotonically increasing). */
+using SeqNum = uint64_t;
+
+/** Sentinel meaning "no register operand". */
+constexpr RegId invalidReg = -1;
+
+/** Sentinel meaning "no physical register". */
+constexpr PhysRegId invalidPhysReg = -1;
+
+/** Sentinel cycle value meaning "not yet scheduled / never". */
+constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Number of architectural integer registers. */
+constexpr int numIntRegs = 32;
+
+/** Number of architectural floating-point registers. */
+constexpr int numFpRegs = 32;
+
+/** Total architectural registers; the def_tab has one row per register. */
+constexpr int numLogicalRegs = numIntRegs + numFpRegs;
+
+/** Instruction size in bytes (fixed-width ISA). */
+constexpr Addr instBytes = 4;
+
+} // namespace pubs
+
+#endif // PUBS_COMMON_TYPES_HH

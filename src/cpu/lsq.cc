@@ -1,0 +1,85 @@
+#include "cpu/lsq.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::cpu
+{
+
+Lsq::Lsq(unsigned entries) : capacity_(entries)
+{
+    fatal_if(entries == 0, "LSQ needs at least one entry");
+}
+
+void
+Lsq::push(uint32_t id, bool isStore, Addr addr, unsigned size)
+{
+    panic_if(full(), "push to full LSQ");
+    entries_.push_back({id, isStore, addr, size, false, 0});
+}
+
+void
+Lsq::markDone(uint32_t id, Cycle doneCycle)
+{
+    for (auto &entry : entries_) {
+        if (entry.id == id) {
+            entry.done = true;
+            entry.doneCycle = doneCycle;
+            return;
+        }
+    }
+    panic("markDone of id %u not in LSQ", id);
+}
+
+void
+Lsq::remove(uint32_t id)
+{
+    panic_if(entries_.empty(), "remove from empty LSQ");
+    panic_if(entries_.front().id != id,
+             "LSQ remove of %u out of order (head is %u)", id,
+             entries_.front().id);
+    entries_.pop_front();
+}
+
+void
+Lsq::removeYoungest(uint32_t id)
+{
+    panic_if(entries_.empty(), "removeYoungest from empty LSQ");
+    panic_if(entries_.back().id != id,
+             "LSQ removeYoungest of %u but tail is %u", id,
+             entries_.back().id);
+    entries_.pop_back();
+}
+
+Lsq::Dep
+Lsq::olderStoreDependence(uint32_t loadId, Addr addr, unsigned size) const
+{
+    Dep dep;
+    for (const auto &entry : entries_) {
+        if (entry.id == loadId)
+            break; // everything after is younger
+        if (!entry.isStore)
+            continue;
+        bool overlap = entry.addr < addr + size &&
+                       addr < entry.addr + entry.size;
+        if (!overlap)
+            continue;
+        if (!entry.done) {
+            // Must wait for the store to execute; the youngest matching
+            // store wins, so keep scanning.
+            dep.kind = Dep::Wait;
+            dep.readyCycle = 0;
+        } else if (entry.addr == addr && entry.size == size) {
+            dep.kind = Dep::Forward;
+            dep.readyCycle = entry.doneCycle + forwardLatency;
+        } else {
+            // Partial overlap with a completed store: conservatively
+            // treat like a forward from its completion time (the cache
+            // line holds the merged data by then).
+            dep.kind = Dep::Forward;
+            dep.readyCycle = entry.doneCycle + forwardLatency;
+        }
+    }
+    return dep;
+}
+
+} // namespace pubs::cpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Load/store queue with store-to-load forwarding. Memory operations are
+ * tracked in program order; a load that overlaps an older, not-yet-done
+ * store waits for it, and an exact-match completed store forwards with a
+ * one-cycle bypass. Addresses are known at dispatch (trace-driven), which
+ * models perfect memory disambiguation.
+ */
+
+#ifndef PUBS_CPU_LSQ_HH
+#define PUBS_CPU_LSQ_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace pubs::cpu
+{
+
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned entries);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    size_t occupancy() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Allocate (at dispatch, in program order). */
+    void push(uint32_t id, bool isStore, Addr addr, unsigned size);
+
+    /** The op finished executing at @p doneCycle. */
+    void markDone(uint32_t id, Cycle doneCycle);
+
+    /** Deallocate (at commit). Must be the oldest entry. */
+    void remove(uint32_t id);
+
+    /** Deallocate the youngest entry (squash). Must match @p id. */
+    void removeYoungest(uint32_t id);
+
+    /** Dependence of a load on older stores. */
+    struct Dep
+    {
+        enum Kind
+        {
+            None,     ///< no overlapping older store
+            Forward,  ///< exact-match older store done: forward
+            Wait,     ///< overlapping older store not yet done
+        } kind = None;
+        /** For Forward: cycle the forwarded data is available. */
+        Cycle readyCycle = 0;
+    };
+
+    /**
+     * Check the load @p loadId (already in the queue) against all older
+     * stores overlapping [addr, addr + size).
+     */
+    Dep olderStoreDependence(uint32_t loadId, Addr addr,
+                             unsigned size) const;
+
+    /** Store-to-load forwarding bypass latency in cycles. */
+    static constexpr unsigned forwardLatency = 1;
+
+  private:
+    struct Entry
+    {
+        uint32_t id;
+        bool isStore;
+        Addr addr;
+        unsigned size;
+        bool done = false;
+        Cycle doneCycle = 0;
+    };
+
+    unsigned capacity_;
+    std::deque<Entry> entries_; ///< program order, oldest first
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_LSQ_HH

@@ -1,0 +1,121 @@
+#include "cpu/params.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pubs::cpu
+{
+
+const char *
+sizeClassName(SizeClass size)
+{
+    switch (size) {
+      case SizeClass::Small: return "small";
+      case SizeClass::Medium: return "medium";
+      case SizeClass::Large: return "large";
+      case SizeClass::Huge: return "huge";
+    }
+    panic("unknown size class %d", (int)size);
+}
+
+CoreParams
+CoreParams::scaled(SizeClass size)
+{
+    CoreParams p;
+    switch (size) {
+      case SizeClass::Small:
+        p.fetchWidth = p.decodeWidth = p.issueWidth = p.commitWidth = 2;
+        p.iqEntries = 32;
+        p.robEntries = 64;
+        p.lsqEntries = 32;
+        p.intPhysRegs = p.fpPhysRegs = 64;
+        p.numIntAlu = 1;
+        p.numIntMulDiv = 1;
+        p.numLdSt = 1;
+        p.numFpu = 1;
+        break;
+      case SizeClass::Medium:
+        // Table I defaults.
+        break;
+      case SizeClass::Large:
+        p.fetchWidth = p.decodeWidth = p.issueWidth = p.commitWidth = 6;
+        p.iqEntries = 128;
+        p.robEntries = 256;
+        p.lsqEntries = 128;
+        p.intPhysRegs = p.fpPhysRegs = 256;
+        p.numIntAlu = 3;
+        p.numIntMulDiv = 2;
+        p.numLdSt = 3;
+        p.numFpu = 3;
+        break;
+      case SizeClass::Huge:
+        p.fetchWidth = p.decodeWidth = p.issueWidth = p.commitWidth = 8;
+        p.iqEntries = 192;
+        p.robEntries = 384;
+        p.lsqEntries = 192;
+        p.intPhysRegs = p.fpPhysRegs = 384;
+        p.numIntAlu = 4;
+        p.numIntMulDiv = 2;
+        p.numLdSt = 4;
+        p.numFpu = 4;
+        break;
+    }
+    return p;
+}
+
+std::string
+CoreParams::describe() const
+{
+    std::ostringstream out;
+    out << "Pipeline width    " << fetchWidth
+        << "-wide fetch/decode/issue/commit\n"
+        << "Reorder buffer    " << robEntries << " entries\n"
+        << "IQ                " << iqEntries << " entries ("
+        << iq::iqKindName(iqKind) << (ageMatrix ? ", age matrix" : "")
+        << ")\n"
+        << "Load/store queue  " << lsqEntries << " entries\n"
+        << "Physical regs     " << intPhysRegs << "(int) + " << fpPhysRegs
+        << "(fp)\n"
+        << "Branch predictor  " << branch::predictorKindName(predictor)
+        << ", " << btbSets << "-set " << btbWays << "-way BTB, "
+        << recoveryPenalty << "-cycle recovery penalty\n"
+        << "Function units    " << numIntAlu << " iALU, " << numIntMulDiv
+        << " iMULT/DIV, " << numLdSt << " Ld/St, " << numFpu << " FPU\n"
+        << "L1 I-cache        " << memory.l1i.sizeBytes / 1024 << "KB, "
+        << memory.l1i.ways << "-way, " << memory.l1i.lineBytes
+        << "B line\n"
+        << "L1 D-cache        " << memory.l1d.sizeBytes / 1024 << "KB, "
+        << memory.l1d.ways << "-way, " << memory.l1d.lineBytes
+        << "B line, " << memory.l1d.hitLatency << "-cycle hit\n"
+        << "L2 cache          " << memory.l2.sizeBytes / 1024 / 1024
+        << "MB, " << memory.l2.ways << "-way, " << memory.l2.hitLatency
+        << "-cycle hit\n"
+        << "Main memory       " << memory.memLatency
+        << "-cycle min. latency, " << memory.memBytesPerCycle
+        << "B/cycle bandwidth\n"
+        << "Data prefetch     "
+        << (memory.prefetch ? "stream-based" : "disabled");
+    if (memory.prefetch) {
+        out << ": " << memory.prefetcher.streams << "-stream, "
+            << memory.prefetcher.distanceLines << "-line distance, "
+            << memory.prefetcher.degree << "-line degree, into L2";
+    }
+    out << "\n";
+    if (usePubs) {
+        out << "PUBS              " << pubs.priorityEntries
+            << " priority entries ("
+            << (pubs.stallPolicy ? "stall" : "non-stall") << "), "
+            << pubs.confCounterBits << "-bit resetting counters, "
+            << "conf_tab " << pubs.confSets << "x" << pubs.confWays
+            << " (q=" << pubs.confHashBits << "), brslice_tab "
+            << pubs.brsliceSets << "x" << pubs.brsliceWays << " (q="
+            << pubs.brsliceHashBits << "), mode switch "
+            << (pubs.modeSwitch ? "on" : "off") << " (threshold "
+            << pubs.modeMpkiThreshold << " LLC MPKI / "
+            << pubs.modeInterval << "-inst interval)\n";
+    }
+    return out.str();
+}
+
+} // namespace pubs::cpu

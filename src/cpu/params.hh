@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Core configuration. Defaults reproduce Table I (an ARM Cortex-A72-like
+ * 4-wide mobile core); scaled() reproduces the four processor sizes of
+ * Table IV used in the Fig. 16 sensitivity study.
+ */
+
+#ifndef PUBS_CPU_PARAMS_HH
+#define PUBS_CPU_PARAMS_HH
+
+#include <string>
+
+#include "branch/predictor.hh"
+#include "iq/issue_queue.hh"
+#include "mem/memory_system.hh"
+#include "pubs/params.hh"
+
+namespace pubs::cpu
+{
+
+/** Table IV processor size classes. */
+enum class SizeClass
+{
+    Small,
+    Medium, ///< the default (Table I)
+    Large,
+    Huge,
+};
+
+const char *sizeClassName(SizeClass size);
+
+struct CoreParams
+{
+    // --- widths (Table I: 4-wide fetch/decode/issue/commit) ---
+    unsigned fetchWidth = 4;
+    unsigned decodeWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    // --- window (Table I) ---
+    unsigned robEntries = 128;
+    unsigned iqEntries = 64;
+    unsigned lsqEntries = 64;
+    unsigned intPhysRegs = 128;
+    unsigned fpPhysRegs = 128;
+
+    // --- pipeline ---
+    /** Fetch-to-dispatch latency in cycles (front-end depth). */
+    unsigned frontendDepth = 5;
+    /** State-recovery penalty after a misprediction (Table I: 10). */
+    unsigned recoveryPenalty = 10;
+    /** Fetch bubble when a taken branch misses in the BTB. */
+    unsigned btbMissPenalty = 2;
+
+    // --- function units (Table I / Cortex-A72) ---
+    unsigned numIntAlu = 2;
+    unsigned numIntMulDiv = 1;
+    unsigned numLdSt = 2;
+    unsigned numFpu = 2;
+
+    // --- branch prediction ---
+    branch::PredictorKind predictor = branch::PredictorKind::Perceptron;
+    unsigned btbSets = 2048;
+    unsigned btbWays = 4;
+    unsigned rasDepth = 16;
+
+    // --- issue-queue organisation ---
+    iq::IqKind iqKind = iq::IqKind::Random;
+    bool ageMatrix = false;
+
+    /**
+     * Section III-C2: distribute the IQ among the four FU groups (AMD
+     * Zen style), each sub-queue getting iqEntries/4 entries and its
+     * own PUBS priority partition.
+     */
+    bool distributedIq = false;
+
+    /**
+     * Section III-C1: the idealised flexible-priority select logic —
+     * ready unconfident-slice instructions win arbitration regardless
+     * of their queue position, with no reserved entries. The paper
+     * argues this circuit is impractical (huge MUX fan-in); we model it
+     * as an upper bound on what PUBS's partitioning approximates.
+     */
+    bool idealPrioritySelect = false;
+
+    // --- PUBS ---
+    bool usePubs = false;
+    pubs::PubsParams pubs{};
+
+    // --- memory hierarchy ---
+    mem::MemoryParams memory{};
+
+    /** Seed for all model-internal randomness. */
+    uint64_t seed = 1;
+
+    /** The Table IV configuration for @p size (other params default). */
+    static CoreParams scaled(SizeClass size);
+
+    /** Render Table I / Table II style configuration text. */
+    std::string describe() const;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_PARAMS_HH

@@ -1,0 +1,918 @@
+#include "cpu/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/program.hh"
+#include "iq/circular_queue.hh"
+#include "iq/random_queue.hh"
+#include "iq/shifting_queue.hh"
+
+namespace pubs::cpu
+{
+
+using isa::OpClass;
+using isa::Opcode;
+
+Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
+    : params_(params),
+      source_(source),
+      rename_(params.intPhysRegs, params.fpPhysRegs),
+      rob_(params.robEntries),
+      lsq_(params.lsqEntries),
+      fuPool_(params.numIntAlu, params.numIntMulDiv, params.numLdSt,
+              params.numFpu),
+      rng_(params.seed)
+{
+    fatal_if(params.fetchWidth == 0 || params.issueWidth == 0 ||
+                 params.commitWidth == 0,
+             "pipeline widths must be non-zero");
+    fatal_if(params.ageMatrix && params.iqKind != iq::IqKind::Random,
+             "the age matrix applies to the random queue only");
+    fatal_if(params.usePubs && params.iqKind != iq::IqKind::Random,
+             "PUBS partitions the random queue");
+
+    mem_ = std::make_unique<mem::MemorySystem>(params.memory);
+    predictor_ = branch::makePredictor(params.predictor);
+    btb_ = std::make_unique<branch::Btb>(params.btbSets, params.btbWays);
+    ras_ = std::make_unique<branch::Ras>(params.rasDepth);
+
+    unsigned priorityEntries =
+        params.usePubs ? params.pubs.priorityEntries : 0;
+    fatal_if(priorityEntries >= params.iqEntries,
+             "priority entries must leave room for normal entries");
+    fatal_if(params.idealPrioritySelect && !params.usePubs,
+             "ideal priority select needs the PUBS slice unit");
+    if (params.distributedIq) {
+        fatal_if(params.iqKind != iq::IqKind::Random,
+                 "the distributed IQ uses random sub-queues");
+        fatal_if(params.ageMatrix,
+                 "age matrix + distributed IQ is not modelled");
+        // Section III-C2: one sub-queue per FU group, each with its own
+        // priority partition.
+        unsigned perQueue = params.iqEntries / (unsigned)FuType::NumTypes;
+        fatal_if(perQueue < 2, "distributed IQ sub-queues too small");
+        for (unsigned q = 0; q < (unsigned)FuType::NumTypes; ++q) {
+            // Branch slices live almost entirely on the iALU and Ld/St
+            // queues (compares, address arithmetic, feeding loads), so
+            // those get the bulk of the reserved entries; the others
+            // keep a single entry so stray FP/mul slice members cannot
+            // deadlock the stall policy.
+            unsigned perQueuePriority = 0;
+            if (priorityEntries > 0) {
+                bool sliceHeavy = (FuType)q == FuType::IntAlu ||
+                                  (FuType)q == FuType::LdSt;
+                perQueuePriority =
+                    sliceHeavy ? std::max(1u, priorityEntries / 2) : 1;
+            }
+            fatal_if(perQueuePriority >= perQueue,
+                     "distributed priority partition too large");
+            iqs_.push_back(std::make_unique<iq::RandomQueue>(
+                perQueue, perQueuePriority, params.seed + 0x51c3 + q));
+        }
+    } else {
+        switch (params.iqKind) {
+          case iq::IqKind::Random:
+            iqs_.push_back(std::make_unique<iq::RandomQueue>(
+                params.iqEntries, priorityEntries, params.seed + 0x51c3));
+            break;
+          case iq::IqKind::Shifting:
+            iqs_.push_back(
+                std::make_unique<iq::ShiftingQueue>(params.iqEntries));
+            break;
+          case iq::IqKind::Circular:
+            iqs_.push_back(
+                std::make_unique<iq::CircularQueue>(params.iqEntries));
+            break;
+        }
+        if (params.ageMatrix)
+            ageMatrix_ = std::make_unique<iq::AgeMatrix>(params.iqEntries);
+    }
+    if (params.usePubs) {
+        sliceUnit_ = std::make_unique<pubs::SliceUnit>(params.pubs);
+        modeSwitch_ = std::make_unique<pubs::ModeSwitch>(params.pubs);
+    }
+
+    intRegReady_.assign(params.intPhysRegs, 0);
+    fpRegReady_.assign(params.fpPhysRegs, 0);
+
+    frontendCapacity_ = (size_t)params.frontendDepth * params.fetchWidth;
+    ring_.resize(params.robEntries + frontendCapacity_ + 8);
+    freeIds_.reserve(ring_.size());
+    for (size_t i = ring_.size(); i > 0; --i)
+        freeIds_.push_back((uint32_t)(i - 1));
+    readyMask_.assign((params.iqEntries + 63) / 64, 0);
+    staticProgram_ = source.program();
+}
+
+Pipeline::~Pipeline() = default;
+
+Cycle
+Pipeline::regReadyCycle(isa::RegClass cls, PhysRegId reg) const
+{
+    return cls == isa::RegClass::Fp ? fpRegReady_[reg] : intRegReady_[reg];
+}
+
+void
+Pipeline::setRegReady(isa::RegClass cls, PhysRegId reg, Cycle cycle)
+{
+    if (cls == isa::RegClass::Fp)
+        fpRegReady_[reg] = cycle;
+    else
+        intRegReady_[reg] = cycle;
+}
+
+bool
+Pipeline::drained() const
+{
+    return sourceExhausted_ && !havePending_ && frontendQueue_.empty() &&
+           rob_.empty();
+}
+
+uint64_t
+Pipeline::run(uint64_t maxInsts)
+{
+    uint64_t startCommitted = stats_.committed;
+    uint64_t target = startCommitted + maxInsts;
+    runTarget_ = target;
+    uint64_t lastCommitted = stats_.committed;
+    Cycle lastProgress = now_;
+
+    while (stats_.committed < target && !drained()) {
+        ++now_;
+        ++stats_.cycles;
+        cycle();
+
+        if (stats_.committed != lastCommitted) {
+            lastCommitted = stats_.committed;
+            lastProgress = now_;
+        } else if (now_ - lastProgress > 1000000) {
+            panic("pipeline made no progress for 1M cycles "
+                  "(committed=%llu rob=%zu iq=%zu)",
+                  (unsigned long long)stats_.committed, rob_.occupancy(),
+                  iqs_[0]->occupancy());
+        }
+    }
+    return stats_.committed - startCommitted;
+}
+
+void
+Pipeline::resetStats()
+{
+    stats_ = PipelineStats{};
+}
+
+void
+Pipeline::cycle()
+{
+    applyConfEvents();
+    processSquashes();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doFetch();
+
+    size_t occupancy = 0;
+    for (const auto &queue : iqs_)
+        occupancy += queue->occupancy();
+    stats_.iqOccupancy.sample(occupancy);
+}
+
+void
+Pipeline::applyConfEvents()
+{
+    while (!confEvents_.empty() && confEvents_.top().cycle <= now_) {
+        const ConfEvent &event = confEvents_.top();
+        sliceUnit_->branchResolved(event.pc, event.correct);
+        confEvents_.pop();
+    }
+}
+
+void
+Pipeline::processSquashes()
+{
+    while (!squashEvents_.empty() && squashEvents_.top().cycle <= now_) {
+        uint32_t branchId = squashEvents_.top().branchId;
+        squashEvents_.pop();
+        squashYoungerThan(branchId);
+        // State recovery: fetch resumes on the correct path after the
+        // recovery penalty (Table I: 10 cycles).
+        wrongPathActive_ = false;
+        wrongPathPc_ = 0;
+        fetchBlockedOnBranch_ = false;
+        fetchSuspendedUntil_ = std::max(
+            fetchSuspendedUntil_, now_ + params_.recoveryPenalty);
+    }
+}
+
+void
+Pipeline::squashYoungerThan(uint32_t branchId)
+{
+    // Drop not-yet-dispatched wrong-path instructions.
+    for (uint32_t id : frontendQueue_) {
+        at(id).valid = false;
+        freeIds_.push_back(id);
+        ++stats_.squashed;
+    }
+    frontendQueue_.clear();
+
+    // Walk the ROB from the tail, undoing dispatch effects in reverse
+    // program order until the mispredicted branch is the youngest.
+    while (!rob_.empty() && rob_.tail() != branchId) {
+        uint32_t id = rob_.tail();
+        Inflight &inst = at(id);
+        panic_if(!inst.wrongPath, "squashing a correct-path instruction");
+        if (inst.inIq) {
+            iq::IssueQueue &queue = *iqs_[inst.iqIndex];
+            if (ageMatrix_ && inst.iqIndex == 0) {
+                const auto &cur = queue.prioritySlots();
+                for (uint32_t slot = 0; slot < cur.size(); ++slot) {
+                    if (cur[slot].valid && cur[slot].clientId == id) {
+                        ageMatrix_->remove(slot);
+                        break;
+                    }
+                }
+            }
+            queue.remove(id);
+            inst.inIq = false;
+        }
+        if (inst.inLsq)
+            lsq_.removeYoungest(id);
+        if (inst.physDst != invalidPhysReg) {
+            rename_.rollback(inst.dstCls, inst.di.dst, inst.physDst,
+                             inst.prevPhysDst);
+        }
+        inst.valid = false;
+        freeIds_.push_back(id);
+        rob_.popTail();
+        ++stats_.squashed;
+    }
+}
+
+void
+Pipeline::doCommit()
+{
+    unsigned committed = 0;
+    while (committed < params_.commitWidth && !rob_.empty() &&
+           stats_.committed < runTarget_) {
+        uint32_t id = rob_.head();
+        Inflight &inst = at(id);
+        if (!inst.issued || inst.doneCycle > now_)
+            break;
+
+        if (inst.physDst != invalidPhysReg)
+            rename_.freeReg(inst.dstCls, inst.prevPhysDst);
+        if (inst.inLsq) {
+            lsq_.remove(id);
+            if (inst.di.isStore()) {
+                recentStores_[recentStoreHead_] = {
+                    inst.di.effAddr, inst.di.memSize, inst.doneCycle};
+                recentStoreHead_ =
+                    (recentStoreHead_ + 1) % recentStoreDepth;
+            }
+        }
+        if (modeSwitch_)
+            modeSwitch_->noteCommit();
+        panic_if(inst.wrongPath, "committing a wrong-path instruction");
+        if (inst.di.op == Opcode::Halt)
+            haltCommitted_ = true;
+
+        inst.valid = false;
+        freeIds_.push_back(id);
+        rob_.popHead();
+        ++stats_.committed;
+        ++committed;
+    }
+}
+
+bool
+Pipeline::srcsReady(const Inflight &inst, Cycle &readyAt) const
+{
+    readyAt = 0;
+    if (inst.physSrc1 != invalidPhysReg) {
+        Cycle r = regReadyCycle(inst.src1Cls, inst.physSrc1);
+        if (r > now_)
+            return false;
+        readyAt = std::max(readyAt, r);
+    }
+    if (inst.physSrc2 != invalidPhysReg) {
+        Cycle r = regReadyCycle(inst.src2Cls, inst.physSrc2);
+        if (r > now_)
+            return false;
+        readyAt = std::max(readyAt, r);
+    }
+    return true;
+}
+
+void
+Pipeline::issueInst(uint32_t id, Inflight &inst)
+{
+    const trace::DynInst &di = inst.di;
+    const isa::OpInfo &info = isa::opInfo(di.op);
+
+    inst.issued = true;
+    inst.issueCycle = now_;
+    stats_.iqWaitSum += now_ - inst.dispatchCycle;
+    ++stats_.issued;
+
+    Cycle done;
+    if (di.isLoad()) {
+        Lsq::Dep dep = lsq_.olderStoreDependence(id, di.effAddr, di.memSize);
+        panic_if(dep.kind == Lsq::Dep::Wait,
+                 "load issued with unresolved older store");
+        Cycle aguDone = now_ + 1;
+        bool sbForward = false;
+        Cycle sbReady = 0;
+        if (dep.kind == Lsq::Dep::None) {
+            // Post-commit store buffer: the youngest covering store
+            // forwards (newest-first search).
+            for (size_t i = 0; i < recentStoreDepth && !sbForward; ++i) {
+                size_t slot = (recentStoreHead_ + recentStoreDepth - 1 -
+                               i) % recentStoreDepth;
+                const RecentStore &st = recentStores_[slot];
+                if (st.size != 0 && st.addr <= di.effAddr &&
+                    st.addr + st.size >= di.effAddr + di.memSize) {
+                    sbForward = true;
+                    sbReady = st.done + Lsq::forwardLatency;
+                }
+            }
+        }
+        if (dep.kind == Lsq::Dep::Forward) {
+            done = std::max(aguDone, dep.readyCycle);
+        } else if (sbForward) {
+            done = std::max(aguDone, sbReady);
+        } else if (inst.wrongPath && di.effAddr == 0) {
+            // Wrong-path load with no address approximation: charge an
+            // L1 hit without touching the cache.
+            done = aguDone + params_.memory.l1d.hitLatency;
+        } else {
+            mem::DataAccess res = mem_->dataAccess(di.effAddr, false,
+                                                   aguDone);
+            ++stats_.l1dAccesses;
+            if (!res.l1Hit)
+                ++stats_.l1dMisses;
+            if (res.llcMiss) {
+                ++stats_.llcMisses;
+                if (modeSwitch_)
+                    modeSwitch_->noteLlcMiss();
+            }
+            done = res.readyCycle;
+        }
+        lsq_.markDone(id, done);
+    } else if (di.isStore()) {
+        Cycle aguDone = now_ + 1;
+        if (!inst.wrongPath) {
+            // Wrong-path stores never reach the cache (they would only
+            // write at commit); correct-path stores probe it when they
+            // issue, modelling an eagerly draining store buffer.
+            mem::DataAccess res = mem_->dataAccess(di.effAddr, true,
+                                                   aguDone);
+            ++stats_.l1dAccesses;
+            if (!res.l1Hit)
+                ++stats_.l1dMisses;
+            if (res.llcMiss) {
+                ++stats_.llcMisses;
+                if (modeSwitch_)
+                    modeSwitch_->noteLlcMiss();
+            }
+        }
+        done = aguDone;
+        lsq_.markDone(id, done);
+    } else {
+        done = now_ + info.latency;
+    }
+    inst.doneCycle = done;
+
+    if (inst.physDst != invalidPhysReg)
+        setRegReady(inst.dstCls, inst.physDst, done);
+
+    // Branch resolution: train the confidence table with the outcome,
+    // and schedule the misprediction squash for the completion cycle.
+    if (di.isCondBranch() && sliceUnit_ && !inst.wrongPath)
+        confEvents_.push({done, di.pc, inst.condPredictionCorrect});
+    if (inst.isMispredict) {
+        stats_.misspecPenaltySum += done - inst.fetchCycle;
+        ++stats_.misspecPenaltyCount;
+        stats_.misspecPenalty.sample(done - inst.fetchCycle);
+        squashEvents_.push({done, id});
+    }
+}
+
+iq::IssueQueue &
+Pipeline::queueFor(const trace::DynInst &di)
+{
+    if (iqs_.size() == 1)
+        return *iqs_[0];
+    return *iqs_[(size_t)fuTypeOf(isa::opClass(di.op))];
+}
+
+void
+Pipeline::doIssue()
+{
+    unsigned grants = 0;
+    for (size_t q = 0; q < iqs_.size(); ++q) {
+        if (grants >= params_.issueWidth)
+            break;
+        bool useAge = ageMatrix_ != nullptr && q == 0;
+        issueFromQueue(*iqs_[q], useAge, grants);
+    }
+}
+
+void
+Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
+                         unsigned &grants)
+{
+    const auto &slots = queue.prioritySlots();
+
+    // Wakeup: gather ready instructions in positional order.
+    std::fill(readyMask_.begin(), readyMask_.end(), 0);
+    static thread_local std::vector<uint32_t> readySlots;
+    readySlots.clear();
+    for (uint32_t s = 0; s < slots.size(); ++s) {
+        const iq::IqSlot &slot = slots[s];
+        if (!slot.valid)
+            continue;
+        Inflight &inst = at(slot.clientId);
+        Cycle readyAt;
+        if (!srcsReady(inst, readyAt))
+            continue;
+        if (inst.di.isLoad()) {
+            Lsq::Dep dep = lsq_.olderStoreDependence(
+                slot.clientId, inst.di.effAddr, inst.di.memSize);
+            if (dep.kind == Lsq::Dep::Wait)
+                continue;
+        }
+        readySlots.push_back(s);
+        readyMask_[s / 64] |= (uint64_t)1 << (s % 64);
+    }
+
+    static thread_local std::vector<uint32_t> grantedIds;
+    static thread_local std::vector<bool> granted;
+    grantedIds.clear();
+    granted.assign(slots.size(), false);
+
+    auto tryGrant = [&](uint32_t s) {
+        if (granted[s] || grants >= params_.issueWidth)
+            return;
+        Inflight &inst = at(slots[s].clientId);
+        const isa::OpInfo &info = isa::opInfo(inst.di.op);
+        FuType fu = fuTypeOf(info.cls);
+        unsigned busy = info.unpipelined ? info.latency : 1;
+        if (!fuPool_.acquire(fu, now_, busy))
+            return;
+        granted[s] = true;
+        grantedIds.push_back(slots[s].clientId);
+        ++grants;
+        issueInst(slots[s].clientId, inst);
+    };
+
+    // The age matrix promotes the single oldest ready instruction ahead
+    // of the positional scan (Section V-G1).
+    if (useAgeMatrix) {
+        int oldest = ageMatrix_->oldestReady(readyMask_);
+        if (oldest >= 0)
+            tryGrant((uint32_t)oldest);
+    }
+
+    // Section III-C1's idealised flexible-priority select: a first
+    // positional pass restricted to ready unconfident-slice
+    // instructions, regardless of where they sit in the queue.
+    if (params_.idealPrioritySelect) {
+        for (uint32_t s : readySlots) {
+            const Inflight &inst = at(slots[s].clientId);
+            if (inst.slice.unconfident)
+                tryGrant(s);
+        }
+    }
+
+    // Positional (head-first) select.
+    for (uint32_t s : readySlots)
+        tryGrant(s);
+
+    if (grantedIds.size() < readySlots.size())
+        ++stats_.issueConflictCycles;
+
+    // Physically vacate granted entries after the scan (keeps slot
+    // indices stable during selection, as in the real two-phase
+    // select/payload pipeline).
+    for (uint32_t id : grantedIds) {
+        if (useAgeMatrix) {
+            const auto &cur = queue.prioritySlots();
+            for (uint32_t s = 0; s < cur.size(); ++s) {
+                if (cur[s].valid && cur[s].clientId == id) {
+                    ageMatrix_->remove(s);
+                    break;
+                }
+            }
+        }
+        queue.remove(id);
+        at(id).inIq = false;
+    }
+}
+
+void
+Pipeline::doDispatch()
+{
+    unsigned dispatched = 0;
+    while (dispatched < params_.decodeWidth && !frontendQueue_.empty()) {
+        uint32_t id = frontendQueue_.front();
+        Inflight &inst = at(id);
+        if (inst.feReadyCycle > now_)
+            break;
+
+        const trace::DynInst &di = inst.di;
+        isa::Inst staticInst{di.op, di.dst, di.src1, di.src2, 0};
+
+        if (rob_.full()) {
+            ++stats_.robFullStallCycles;
+            break;
+        }
+        if (di.isMem() && lsq_.full())
+            break;
+
+        isa::RegClass dstCls = isa::dstRegClass(staticInst);
+        if (di.dst != invalidReg && dstCls != isa::RegClass::None &&
+            rename_.freeRegs(dstCls) == 0) {
+            break;
+        }
+
+        bool isNop = isa::opClass(di.op) == OpClass::Nop;
+        if (!isNop) {
+            iq::IssueQueue &queue = queueFor(di);
+            inst.iqIndex = iqs_.size() == 1
+                               ? 0
+                               : (uint8_t)fuTypeOf(isa::opClass(di.op));
+
+            bool pubsOn = params_.usePubs && queue.priorityEntries() > 0;
+            bool pubsActive = pubsOn && modeSwitch_->pubsEnabled();
+            bool wantPriority = pubsActive && inst.slice.unconfident;
+
+            if (pubsOn && !pubsActive) {
+                // Mode switch disabled PUBS: the whole IQ is used
+                // uniformly via weighted random free-list choice.
+                if (queue.occupancy() >= queue.capacity()) {
+                    ++stats_.iqFullStallCycles;
+                    break;
+                }
+                queue.dispatchUniform(id, di.seq, rng_);
+            } else if (wantPriority) {
+                if (queue.canDispatch(true)) {
+                    queue.dispatch(id, di.seq, true);
+                    inst.priorityEntry = true;
+                } else if (!params_.pubs.stallPolicy &&
+                           queue.canDispatch(false)) {
+                    // Non-stall policy: fall back to a normal entry.
+                    queue.dispatch(id, di.seq, false);
+                } else {
+                    ++stats_.priorityStallCycles;
+                    break;
+                }
+            } else {
+                if (!queue.canDispatch(false)) {
+                    ++stats_.iqFullStallCycles;
+                    break;
+                }
+                queue.dispatch(id, di.seq, false);
+            }
+
+            if (inst.priorityEntry)
+                ++stats_.priorityDispatches;
+            else
+                ++stats_.normalDispatches;
+
+            if (ageMatrix_ && inst.iqIndex == 0) {
+                const auto &cur = queue.prioritySlots();
+                for (uint32_t s = 0; s < cur.size(); ++s) {
+                    if (cur[s].valid && cur[s].clientId == id) {
+                        ageMatrix_->dispatch(s);
+                        break;
+                    }
+                }
+            }
+            inst.inIq = true;
+        }
+
+        // Rename.
+        if (di.src1 != invalidReg) {
+            inst.src1Cls = isa::srcRegClass(staticInst, 0);
+            inst.physSrc1 = rename_.mapOf(inst.src1Cls, di.src1);
+        }
+        if (di.src2 != invalidReg) {
+            inst.src2Cls = isa::srcRegClass(staticInst, 1);
+            inst.physSrc2 = rename_.mapOf(inst.src2Cls, di.src2);
+        }
+        if (di.dst != invalidReg && dstCls != isa::RegClass::None) {
+            inst.dstCls = dstCls;
+            inst.physDst =
+                rename_.renameDst(dstCls, di.dst, inst.prevPhysDst);
+            setRegReady(dstCls, inst.physDst, neverCycle);
+        }
+
+        if (di.isMem()) {
+            lsq_.push(id, di.isStore(), di.effAddr, di.memSize);
+            inst.inLsq = true;
+        }
+
+        rob_.push(id);
+        inst.dispatched = true;
+        inst.dispatchCycle = now_;
+
+        if (isNop) {
+            // Nops bypass the IQ: complete immediately.
+            inst.issued = true;
+            inst.issueCycle = now_;
+            inst.doneCycle = now_ + 1;
+        }
+
+        frontendQueue_.pop_front();
+        ++dispatched;
+    }
+}
+
+void
+Pipeline::doFetch()
+{
+    if (fetchBlockedOnBranch_ || now_ < fetchSuspendedUntil_)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth) {
+        if (frontendQueue_.size() >= frontendCapacity_)
+            break;
+
+        // Determine the next PC without consuming anything yet.
+        Pc fetchPc;
+        if (wrongPathActive_) {
+            if (wrongPathPc_ == 0)
+                break; // wrong path ran off a resolvable edge: idle
+            fetchPc = wrongPathPc_;
+        } else {
+            if (!havePending_) {
+                if (sourceExhausted_ || !source_.next(pending_)) {
+                    sourceExhausted_ = true;
+                    break;
+                }
+                havePending_ = true;
+            }
+            fetchPc = pending_.pc;
+        }
+
+        // Instruction cache.
+        uint64_t llcBefore = mem_->llcMisses();
+        Cycle icReady = mem_->fetchAccess(fetchPc, now_);
+        stats_.llcMisses += mem_->llcMisses() - llcBefore;
+        if (icReady > now_ + params_.memory.l1i.hitLatency) {
+            // I-cache miss: fetch resumes when the line arrives.
+            fetchSuspendedUntil_ = icReady;
+            break;
+        }
+
+        bool wpEndGroup = false;
+        trace::DynInst di;
+        bool onWrongPath = wrongPathActive_;
+        if (onWrongPath) {
+            if (!makeWrongPathInst(di)) {
+                break;
+            }
+            wpEndGroup = di.isBranch() && di.taken;
+        } else {
+            di = pending_;
+            havePending_ = false;
+        }
+        di.seq = fetchSeq_++;
+
+        // Allocate the in-flight record.
+        panic_if(freeIds_.empty(), "in-flight ring exhausted");
+        uint32_t id = freeIds_.back();
+        freeIds_.pop_back();
+        ++fetchCounter_;
+        Inflight &inst = at(id);
+        panic_if(inst.valid, "in-flight slot %u still live", id);
+        inst = Inflight{};
+        inst.valid = true;
+        inst.di = di;
+        inst.wrongPath = onWrongPath;
+        inst.fetchCycle = now_;
+        inst.feReadyCycle = now_ + params_.frontendDepth;
+
+        // PUBS slice classification happens in the in-order front end —
+        // including on the wrong path, exactly as the hardware would.
+        if (sliceUnit_)
+            inst.slice = sliceUnit_->decode(inst.di);
+
+        bool endGroup = false;
+        bool blockFetch = false;
+        bool btbBubble = false;
+        if (!onWrongPath) {
+            // Remember data addresses so wrong-path replays of this
+            // static instruction can approximate their accesses.
+            if (di.isMem())
+                lastMemAddr_[di.pc] = di.effAddr;
+            fetchControl(inst, endGroup, blockFetch, btbBubble);
+        } else {
+            endGroup = wpEndGroup;
+            ++stats_.wrongPathFetched;
+        }
+
+        frontendQueue_.push_back(id);
+        ++fetched;
+        ++stats_.fetched;
+
+        if (blockFetch) {
+            // No static program available: degrade to redirect-stall
+            // modelling (fetch idles until the branch resolves).
+            fetchBlockedOnBranch_ = true;
+            break;
+        }
+        if (btbBubble) {
+            ++stats_.btbMissBubbles;
+            fetchSuspendedUntil_ = now_ + params_.btbMissPenalty;
+            break;
+        }
+        if (endGroup)
+            break;
+        if (!onWrongPath && wrongPathActive_)
+            break; // just switched onto the wrong path
+    }
+}
+
+void
+Pipeline::fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
+                       bool &btbBubble)
+{
+    const trace::DynInst &di = inst.di;
+
+    auto enterWrongPath = [this, &blockFetch](Pc wrongPc) {
+        if (staticProgram_) {
+            wrongPathActive_ = true;
+            wrongPathPc_ =
+                staticProgram_->contains(wrongPc) ? wrongPc : 0;
+        } else {
+            blockFetch = true;
+        }
+    };
+
+    if (di.isCondBranch()) {
+        ++stats_.condBranches;
+        bool predTaken = predictor_->predict(di.pc);
+        predictor_->update(di.pc, di.taken);
+        inst.condPredictionCorrect = predTaken == di.taken;
+        inst.isMispredict = !inst.condPredictionCorrect;
+        if (predTaken && !btb_->lookup(di.pc))
+            btbBubble = true;
+        if (di.taken)
+            btb_->update(di.pc, di.nextPc);
+        if (inst.isMispredict) {
+            ++stats_.condMispredicts;
+            // The wrong path is the direction the predictor chose.
+            Pc wrongPc;
+            if (predTaken) {
+                // Predicted taken, actually fell through: the machine
+                // fetches from the branch target.
+                size_t index = staticProgram_
+                                   ? staticProgram_->indexOf(di.pc)
+                                   : 0;
+                wrongPc = staticProgram_
+                              ? staticProgram_->pcOf(
+                                    (size_t)staticProgram_->at(index).imm)
+                              : 0;
+            } else {
+                wrongPc = di.fallthroughPc();
+            }
+            enterWrongPath(wrongPc);
+        } else if (di.taken) {
+            endGroup = true;
+        }
+    } else if (di.op == Opcode::J || di.op == Opcode::Jal) {
+        if (!btb_->lookup(di.pc))
+            btbBubble = true;
+        btb_->update(di.pc, di.nextPc);
+        if (di.op == Opcode::Jal)
+            ras_->push(di.pc + instBytes);
+        endGroup = true;
+    } else if (di.op == Opcode::Jr) {
+        ++stats_.indirectJumps;
+        Pc predTarget = ras_->pop();
+        if (predTarget != di.nextPc) {
+            ++stats_.indirectMispredicts;
+            inst.isMispredict = true;
+            if (predTarget != 0) {
+                enterWrongPath(predTarget);
+            } else {
+                // No predicted target at all: the front end idles.
+                if (staticProgram_) {
+                    wrongPathActive_ = true;
+                    wrongPathPc_ = 0;
+                } else {
+                    blockFetch = true;
+                }
+            }
+        } else {
+            endGroup = true;
+        }
+    }
+}
+
+bool
+Pipeline::makeWrongPathInst(trace::DynInst &out)
+{
+    panic_if(!staticProgram_, "wrong-path fetch without a program");
+    if (wrongPathPc_ == 0 || !staticProgram_->contains(wrongPathPc_)) {
+        wrongPathPc_ = 0;
+        return false;
+    }
+    Pc pc = wrongPathPc_;
+    const isa::Inst &si = staticProgram_->at(staticProgram_->indexOf(pc));
+
+    out = trace::DynInst{};
+    out.pc = pc;
+    out.op = si.op;
+    out.dst = si.dst;
+    out.src1 = si.src1;
+    out.src2 = si.src2;
+    out.nextPc = pc + instBytes;
+
+    if (isa::isMem(si.op)) {
+        auto it = lastMemAddr_.find(pc);
+        out.effAddr = it != lastMemAddr_.end() ? it->second : 0;
+        out.memSize =
+            (si.op == Opcode::Lw || si.op == Opcode::Sw) ? 4 : 8;
+    } else if (isa::isCondBranch(si.op)) {
+        // Follow the predictor (without training it: outcomes of
+        // wrong-path branches are unknown and never update state).
+        bool predTaken = predictor_->predict(pc);
+        out.taken = predTaken;
+        out.nextPc = predTaken
+                         ? staticProgram_->pcOf((size_t)si.imm)
+                         : pc + instBytes;
+    } else if (si.op == Opcode::J || si.op == Opcode::Jal) {
+        out.taken = true;
+        out.nextPc = staticProgram_->pcOf((size_t)si.imm);
+    } else if (si.op == Opcode::Jr) {
+        // Unpredictable indirect target on the wrong path: emit the jump
+        // and stop fetching until the squash.
+        out.taken = true;
+        wrongPathPc_ = 0;
+        return true;
+    } else if (si.op == Opcode::Halt) {
+        // A wrong-path halt never commits; stop fetching junk.
+        wrongPathPc_ = 0;
+        return true;
+    }
+
+    wrongPathPc_ = staticProgram_->contains(out.nextPc) ? out.nextPc : 0;
+    return true;
+}
+
+void
+Pipeline::fillStats(StatGroup &group) const
+{
+    const PipelineStats &s = stats_;
+    group.add("cycles", (double)s.cycles, "simulated clock cycles");
+    group.add("committed", (double)s.committed, "instructions committed");
+    group.add("ipc", s.ipc(), "committed instructions per cycle");
+    group.add("cond_branches", (double)s.condBranches);
+    group.add("cond_mispredicts", (double)s.condMispredicts);
+    group.add("branch_mpki", s.branchMpki(),
+              "mispredictions per kilo instructions");
+    group.add("llc_misses", (double)s.llcMisses);
+    group.add("llc_mpki", s.llcMpki(), "LLC misses per kilo instructions");
+    group.add("l1d_accesses", (double)s.l1dAccesses);
+    group.add("l1d_misses", (double)s.l1dMisses);
+    group.add("btb_miss_bubbles", (double)s.btbMissBubbles);
+    group.add("issued", (double)s.issued);
+    group.add("issue_conflict_cycles", (double)s.issueConflictCycles,
+              "cycles a ready instruction was left unissued");
+    group.add("avg_iq_wait",
+              s.issued ? (double)s.iqWaitSum / (double)s.issued : 0.0,
+              "mean cycles between dispatch and issue");
+    group.add("avg_misspec_penalty", s.avgMisspecPenalty(),
+              "mean fetch-to-resolution cycles of mispredicted branches");
+    group.add("p50_misspec_penalty",
+              (double)s.misspecPenalty.percentile(0.5));
+    group.add("p90_misspec_penalty",
+              (double)s.misspecPenalty.percentile(0.9));
+    group.add("avg_iq_occupancy", s.iqOccupancy.mean(),
+              "mean occupied IQ entries per cycle");
+    group.add("wrong_path_fetched", (double)s.wrongPathFetched);
+    group.add("squashed", (double)s.squashed);
+    group.add("priority_dispatches", (double)s.priorityDispatches);
+    group.add("priority_stall_cycles", (double)s.priorityStallCycles);
+    group.add("iq_full_stall_cycles", (double)s.iqFullStallCycles);
+    group.add("rob_full_stall_cycles", (double)s.robFullStallCycles);
+    if (sliceUnit_) {
+        group.add("unconfident_branch_rate",
+                  sliceUnit_->unconfidentBranchRate(),
+                  "unconfident / dynamic conditional branches");
+        group.add("slice_insts", (double)sliceUnit_->sliceInsts());
+        group.add("unconfident_slice_insts",
+                  (double)sliceUnit_->unconfidentSliceInsts());
+    }
+    if (modeSwitch_) {
+        group.add("pubs_enabled_fraction", modeSwitch_->enabledFraction(),
+                  "fraction of mode-switch intervals with PUBS on");
+    }
+}
+
+} // namespace pubs::cpu

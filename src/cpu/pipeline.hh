@@ -1,0 +1,321 @@
+/**
+ * @file
+ * The cycle-level out-of-order core model.
+ *
+ * Stages: fetch -> (frontendDepth-cycle in-order front end, where branch
+ * prediction and the PUBS slice unit operate) -> rename/dispatch ->
+ * wakeup/select issue from the IQ -> execute -> commit.
+ *
+ * Misprediction modelling (see DESIGN.md): a mispredicted branch stalls
+ * further fetch until the branch completes execution, then fetch resumes
+ * on the correct path after the state-recovery penalty. The interval from
+ * the branch's fetch to its execution completion is exactly the paper's
+ * *misspeculation penalty*; PUBS shortens the IQ-waiting portion of it by
+ * dispatching unconfident-branch-slice instructions into the reserved
+ * priority entries at the head of the IQ.
+ */
+
+#ifndef PUBS_CPU_PIPELINE_HH
+#define PUBS_CPU_PIPELINE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/lsq.hh"
+#include "cpu/params.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "iq/age_matrix.hh"
+#include "iq/issue_queue.hh"
+#include "mem/memory_system.hh"
+#include "pubs/mode_switch.hh"
+#include "pubs/slice_unit.hh"
+#include "trace/dyninst.hh"
+
+namespace pubs::cpu
+{
+
+/** Counters the benches and tests read out. */
+struct PipelineStats
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t fetched = 0;
+
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t indirectJumps = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t btbMissBubbles = 0;
+
+    uint64_t llcMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+
+    uint64_t priorityDispatches = 0;
+    uint64_t normalDispatches = 0;
+    uint64_t priorityStallCycles = 0; ///< dispatch blocked on priority entry
+    uint64_t iqFullStallCycles = 0;
+    uint64_t robFullStallCycles = 0;
+
+    uint64_t issueConflictCycles = 0; ///< ready inst left unissued
+    uint64_t issued = 0;
+
+    /** Sum/count of fetch-to-execution-completion cycles of mispredicted
+     *  branches: the misspeculation penalty. */
+    uint64_t misspecPenaltySum = 0;
+    uint64_t misspecPenaltyCount = 0;
+
+    uint64_t wrongPathFetched = 0; ///< wrong-path instructions fetched
+    uint64_t squashed = 0;         ///< wrong-path instructions squashed
+
+    /** Sum of IQ waiting cycles of issued instructions. */
+    uint64_t iqWaitSum = 0;
+
+    /** Distribution of misspeculation penalties (cycle buckets). */
+    Histogram misspecPenalty{192};
+    /** Per-cycle IQ occupancy distribution (entry buckets). */
+    Histogram iqOccupancy{256};
+
+    double ipc() const
+    {
+        return cycles ? (double)committed / (double)cycles : 0.0;
+    }
+
+    double
+    branchMpki() const
+    {
+        uint64_t mispredicts = condMispredicts + indirectMispredicts;
+        return committed ? (double)mispredicts * 1000.0 / (double)committed
+                         : 0.0;
+    }
+
+    double
+    llcMpki() const
+    {
+        return committed ? (double)llcMisses * 1000.0 / (double)committed
+                         : 0.0;
+    }
+
+    double
+    avgMisspecPenalty() const
+    {
+        return misspecPenaltyCount
+                   ? (double)misspecPenaltySum / (double)misspecPenaltyCount
+                   : 0.0;
+    }
+};
+
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &params, trace::InstSource &source);
+    ~Pipeline();
+
+    Pipeline(const Pipeline &) = delete;
+    Pipeline &operator=(const Pipeline &) = delete;
+
+    /**
+     * Run until @p maxInsts more instructions commit or the source is
+     * exhausted (and the pipeline drains).
+     * @return instructions committed by this call.
+     */
+    uint64_t run(uint64_t maxInsts);
+
+    /** Zero the measurement counters (tables stay trained): warmup. */
+    void resetStats();
+
+    const PipelineStats &stats() const { return stats_; }
+    Cycle now() const { return now_; }
+    bool drained() const;
+
+    const CoreParams &params() const { return params_; }
+    const mem::MemorySystem &memory() const { return *mem_; }
+    const pubs::SliceUnit *sliceUnit() const { return sliceUnit_.get(); }
+    const pubs::ModeSwitch *modeSwitch() const { return modeSwitch_.get(); }
+    const iq::IssueQueue &issueQueue() const { return *iqs_[0]; }
+    size_t issueQueueCount() const { return iqs_.size(); }
+    const branch::BranchPredictor &predictor() const { return *predictor_; }
+
+    /** Summarise into a stat group for reporting. */
+    void fillStats(StatGroup &group) const;
+
+  private:
+    struct Inflight
+    {
+        trace::DynInst di{};
+        bool valid = false;
+
+        // Rename.
+        PhysRegId physSrc1 = invalidPhysReg;
+        PhysRegId physSrc2 = invalidPhysReg;
+        PhysRegId physDst = invalidPhysReg;
+        PhysRegId prevPhysDst = invalidPhysReg;
+        isa::RegClass src1Cls = isa::RegClass::None;
+        isa::RegClass src2Cls = isa::RegClass::None;
+        isa::RegClass dstCls = isa::RegClass::None;
+
+        // Timing state.
+        Cycle fetchCycle = 0;
+        Cycle feReadyCycle = 0; ///< earliest dispatch cycle
+        Cycle dispatchCycle = 0;
+        Cycle issueCycle = 0;
+        Cycle doneCycle = 0;
+        bool dispatched = false;
+        bool inIq = false;
+        bool issued = false;
+        bool done = false;
+        bool inLsq = false;
+        bool priorityEntry = false;
+        uint8_t iqIndex = 0; ///< which queue holds it (distributed IQ)
+
+        // Branch bookkeeping.
+        bool isMispredict = false;
+        bool condPredictionCorrect = false;
+        bool wrongPath = false; ///< fetched past an unresolved mispredict
+
+        pubs::SliceDecision slice{};
+    };
+
+    /** Scheduled conf_tab training at branch-resolution time. */
+    struct ConfEvent
+    {
+        Cycle cycle;
+        Pc pc;
+        bool correct;
+
+        bool operator>(const ConfEvent &o) const { return cycle > o.cycle; }
+    };
+
+    void cycle();
+    void doCommit();
+    void applyConfEvents();
+    void processSquashes();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Handle control flow of a just-fetched correct-path instruction. */
+    void fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
+                      bool &btbBubble);
+
+    /** Synthesise the next wrong-path instruction from the static
+     *  program; returns false when wrong-path fetch must stop. */
+    bool makeWrongPathInst(trace::DynInst &out);
+
+    /** Squash everything younger than @p branchId (ROB tail walk). */
+    void squashYoungerThan(uint32_t branchId);
+
+    bool srcsReady(const Inflight &inst, Cycle &readyAt) const;
+    void issueInst(uint32_t id, Inflight &inst);
+    void issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
+                        unsigned &grants);
+    iq::IssueQueue &queueFor(const trace::DynInst &di);
+    Cycle regReadyCycle(isa::RegClass cls, PhysRegId reg) const;
+    void setRegReady(isa::RegClass cls, PhysRegId reg, Cycle cycle);
+
+    Inflight &at(uint32_t id) { return ring_[id]; }
+    const Inflight &at(uint32_t id) const { return ring_[id]; }
+
+    CoreParams params_;
+    trace::InstSource &source_;
+
+    std::unique_ptr<mem::MemorySystem> mem_;
+    std::unique_ptr<branch::BranchPredictor> predictor_;
+    std::unique_ptr<branch::Btb> btb_;
+    std::unique_ptr<branch::Ras> ras_;
+    /** One queue (unified) or one per FU group (distributed). */
+    std::vector<std::unique_ptr<iq::IssueQueue>> iqs_;
+    std::unique_ptr<iq::AgeMatrix> ageMatrix_;
+    std::unique_ptr<pubs::SliceUnit> sliceUnit_;
+    std::unique_ptr<pubs::ModeSwitch> modeSwitch_;
+    RenameUnit rename_;
+    Rob rob_;
+    Lsq lsq_;
+    FuPool fuPool_;
+    Rng rng_;
+
+    // Physical register ready cycles.
+    std::vector<Cycle> intRegReady_;
+    std::vector<Cycle> fpRegReady_;
+
+    // In-flight instructions, indexed by clientId; free slots are
+    // recycled through freeIds_.
+    std::vector<Inflight> ring_;
+    std::vector<uint32_t> freeIds_;
+
+    // In-order front-end queue of clientIds awaiting dispatch.
+    std::deque<uint32_t> frontendQueue_;
+    size_t frontendCapacity_;
+
+    // Fetch state.
+    Cycle now_ = 0;
+    Cycle fetchSuspendedUntil_ = 0;
+    bool fetchBlockedOnBranch_ = false;
+    bool sourceExhausted_ = false;
+    bool haltCommitted_ = false;
+    bool havePending_ = false;
+    trace::DynInst pending_{};
+    uint64_t fetchCounter_ = 0;
+    uint64_t fetchSeq_ = 0;
+    uint64_t runTarget_ = UINT64_MAX;
+
+    // Wrong-path fetch state (active between the fetch of a mispredicted
+    // branch and its resolution).
+    const isa::Program *staticProgram_ = nullptr;
+    bool wrongPathActive_ = false;
+    Pc wrongPathPc_ = 0;
+
+    /** Last effective address seen per static memory instruction, used
+     *  to approximate wrong-path load/store addresses. */
+    std::unordered_map<Pc, Addr> lastMemAddr_;
+
+    /** Scheduled squashes: (resolution cycle, mispredicted branch id). */
+    struct SquashEvent
+    {
+        Cycle cycle;
+        uint32_t branchId;
+        bool operator>(const SquashEvent &o) const
+            { return cycle > o.cycle; }
+    };
+    std::priority_queue<SquashEvent, std::vector<SquashEvent>,
+                        std::greater<SquashEvent>>
+        squashEvents_;
+
+    /**
+     * Post-commit store buffer: committed stores whose data can still
+     * forward to younger loads while the cache write drains.
+     */
+    struct RecentStore
+    {
+        Addr addr = 0;
+        uint8_t size = 0;
+        Cycle done = 0;
+    };
+    static constexpr size_t recentStoreDepth = 32;
+    std::array<RecentStore, recentStoreDepth> recentStores_{};
+    size_t recentStoreHead_ = 0;
+
+    std::priority_queue<ConfEvent, std::vector<ConfEvent>,
+                        std::greater<ConfEvent>>
+        confEvents_;
+
+    // Scratch for the age matrix ready mask.
+    std::vector<uint64_t> readyMask_;
+
+    PipelineStats stats_;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_PIPELINE_HH

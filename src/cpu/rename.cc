@@ -1,0 +1,94 @@
+#include "cpu/rename.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::cpu
+{
+
+RenameUnit::RenameUnit(unsigned intPhysRegs, unsigned fpPhysRegs)
+{
+    fatal_if(intPhysRegs <= numIntRegs,
+             "need more than %d int physical registers", numIntRegs);
+    fatal_if(fpPhysRegs <= numFpRegs,
+             "need more than %d fp physical registers", numFpRegs);
+
+    auto init = [](File &file, unsigned total, unsigned archRegs) {
+        file.total = total;
+        // Architectural registers start mapped to phys [0, archRegs).
+        for (unsigned i = 0; i < archRegs; ++i)
+            file.map[i] = (PhysRegId)i;
+        for (unsigned i = archRegs; i < total; ++i)
+            file.freeList.push_back((PhysRegId)i);
+    };
+    init(int_, intPhysRegs, numIntRegs);
+    init(fp_, fpPhysRegs, numFpRegs);
+}
+
+RenameUnit::File &
+RenameUnit::fileOf(isa::RegClass cls)
+{
+    panic_if(cls == isa::RegClass::None, "rename of class None");
+    return cls == isa::RegClass::Fp ? fp_ : int_;
+}
+
+const RenameUnit::File &
+RenameUnit::fileOf(isa::RegClass cls) const
+{
+    return const_cast<RenameUnit *>(this)->fileOf(cls);
+}
+
+size_t
+RenameUnit::freeRegs(isa::RegClass cls) const
+{
+    return fileOf(cls).freeList.size();
+}
+
+PhysRegId
+RenameUnit::mapOf(isa::RegClass cls, RegId reg) const
+{
+    const File &file = fileOf(cls);
+    panic_if(reg < 0 || (size_t)reg >= file.map.size(),
+             "rename map index %d out of range", (int)reg);
+    return file.map[reg];
+}
+
+PhysRegId
+RenameUnit::renameDst(isa::RegClass cls, RegId reg, PhysRegId &prevOut)
+{
+    File &file = fileOf(cls);
+    panic_if(file.freeList.empty(), "rename with empty free list");
+    prevOut = file.map[reg];
+    PhysRegId next = file.freeList.back();
+    file.freeList.pop_back();
+    file.map[reg] = next;
+    return next;
+}
+
+void
+RenameUnit::rollback(isa::RegClass cls, RegId reg,
+                     PhysRegId squashedMapping, PhysRegId prevMapping)
+{
+    File &file = fileOf(cls);
+    panic_if(file.map[reg] != squashedMapping,
+             "rollback of r%d expected mapping %d, found %d", (int)reg,
+             (int)squashedMapping, (int)file.map[reg]);
+    file.map[reg] = prevMapping;
+    file.freeList.push_back(squashedMapping);
+}
+
+void
+RenameUnit::freeReg(isa::RegClass cls, PhysRegId reg)
+{
+    File &file = fileOf(cls);
+    panic_if(reg < 0 || (unsigned)reg >= file.total,
+             "freeing bad physical register %d", (int)reg);
+    file.freeList.push_back(reg);
+}
+
+unsigned
+RenameUnit::totalRegs(isa::RegClass cls) const
+{
+    return fileOf(cls).total;
+}
+
+} // namespace pubs::cpu

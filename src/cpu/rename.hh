@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Register rename: architectural-to-physical map tables plus physical
+ * free lists for the integer and FP register files. Commit frees the
+ * previous mapping of the destination (the standard merged-file scheme).
+ */
+
+#ifndef PUBS_CPU_RENAME_HH
+#define PUBS_CPU_RENAME_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace pubs::cpu
+{
+
+class RenameUnit
+{
+  public:
+    RenameUnit(unsigned intPhysRegs, unsigned fpPhysRegs);
+
+    /** Free physical registers available in @p cls right now. */
+    size_t freeRegs(isa::RegClass cls) const;
+
+    /** Current mapping of logical @p reg in @p cls. */
+    PhysRegId mapOf(isa::RegClass cls, RegId reg) const;
+
+    /**
+     * Rename a destination: allocates a new physical register and
+     * returns it; @p prevOut receives the previous mapping (to be freed
+     * when the instruction commits).
+     */
+    PhysRegId renameDst(isa::RegClass cls, RegId reg, PhysRegId &prevOut);
+
+    /** Release @p reg of @p cls back to the free list (at commit). */
+    void freeReg(isa::RegClass cls, PhysRegId reg);
+
+    /**
+     * Undo a rename during a misprediction squash (must be applied in
+     * reverse program order): restores the map of @p reg to
+     * @p prevMapping and frees @p squashedMapping.
+     */
+    void rollback(isa::RegClass cls, RegId reg, PhysRegId squashedMapping,
+                  PhysRegId prevMapping);
+
+    unsigned totalRegs(isa::RegClass cls) const;
+
+  private:
+    struct File
+    {
+        std::array<PhysRegId, numIntRegs> map{};
+        std::vector<PhysRegId> freeList;
+        unsigned total = 0;
+    };
+
+    File &fileOf(isa::RegClass cls);
+    const File &fileOf(isa::RegClass cls) const;
+
+    File int_;
+    File fp_;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_RENAME_HH

@@ -1,0 +1,3 @@
+// Rob is header-only; kept as a translation unit for future extension
+// (e.g. checkpointed ROB state for wrong-path modelling).
+#include "cpu/rob.hh"

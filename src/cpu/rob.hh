@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reorder buffer: a bounded FIFO of in-flight instruction handles.
+ * Program order is the push order; commit pops from the head.
+ */
+
+#ifndef PUBS_CPU_ROB_HH
+#define PUBS_CPU_ROB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pubs::cpu
+{
+
+class Rob
+{
+  public:
+    explicit Rob(unsigned entries) : ring_(entries)
+    {
+        fatal_if(entries == 0, "ROB needs at least one entry");
+    }
+
+    bool full() const { return count_ == ring_.size(); }
+    bool empty() const { return count_ == 0; }
+    size_t occupancy() const { return count_; }
+    size_t capacity() const { return ring_.size(); }
+
+    void
+    push(uint32_t id)
+    {
+        panic_if(full(), "push to full ROB");
+        ring_[tail_] = id;
+        tail_ = (tail_ + 1) % ring_.size();
+        ++count_;
+    }
+
+    uint32_t
+    head() const
+    {
+        panic_if(empty(), "head of empty ROB");
+        return ring_[head_];
+    }
+
+    void
+    popHead()
+    {
+        panic_if(empty(), "pop of empty ROB");
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+    }
+
+    /** Youngest entry (for squash walks). */
+    uint32_t
+    tail() const
+    {
+        panic_if(empty(), "tail of empty ROB");
+        return ring_[(tail_ + ring_.size() - 1) % ring_.size()];
+    }
+
+    /** Remove the youngest entry (misprediction squash). */
+    void
+    popTail()
+    {
+        panic_if(empty(), "popTail of empty ROB");
+        tail_ = (tail_ + ring_.size() - 1) % ring_.size();
+        --count_;
+    }
+
+  private:
+    std::vector<uint32_t> ring_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_ROB_HH

@@ -1,0 +1,346 @@
+#include "emu/emulator.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pubs::emu
+{
+
+using isa::Opcode;
+
+SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    auto &slot = pages_[addr / pageBytes];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+uint8_t
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % pageBytes] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr addr, uint8_t value)
+{
+    getPage(addr)[addr % pageBytes] = value;
+}
+
+uint64_t
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "bad access size %u", size);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= (uint64_t)readByte(addr + i) << (8 * i);
+    return v;
+}
+
+void
+SparseMemory::write(Addr addr, uint64_t value, unsigned size)
+{
+    panic_if(size == 0 || size > 8, "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, (value >> (8 * i)) & 0xff);
+}
+
+double
+SparseMemory::readF64(Addr addr) const
+{
+    uint64_t bits = read(addr, 8);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+SparseMemory::writeF64(Addr addr, double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(addr, bits, 8);
+}
+
+Emulator::Emulator(const isa::Program &program) : prog_(program)
+{
+    fatal_if(prog_.empty(), "cannot emulate an empty program");
+    reset();
+}
+
+void
+Emulator::reset()
+{
+    intRegs_.fill(0);
+    fpRegs_.fill(0.0);
+    mem_ = SparseMemory();
+    for (const auto &init : prog_.dataInits()) {
+        for (size_t i = 0; i < init.bytes.size(); ++i)
+            mem_.writeByte(init.addr + i, init.bytes[i]);
+    }
+    pc_ = prog_.basePc();
+    seq_ = 0;
+    halted_ = false;
+}
+
+int64_t
+Emulator::intReg(RegId r) const
+{
+    panic_if(r < 0 || r >= numIntRegs, "int register %d out of range",
+             (int)r);
+    return r == 0 ? 0 : intRegs_[r];
+}
+
+void
+Emulator::setIntReg(RegId r, int64_t value)
+{
+    panic_if(r < 0 || r >= numIntRegs, "int register %d out of range",
+             (int)r);
+    if (r != 0)
+        intRegs_[r] = value;
+}
+
+double
+Emulator::fpReg(RegId r) const
+{
+    panic_if(r < 0 || r >= numFpRegs, "fp register %d out of range",
+             (int)r);
+    return fpRegs_[r];
+}
+
+void
+Emulator::setFpReg(RegId r, double value)
+{
+    panic_if(r < 0 || r >= numFpRegs, "fp register %d out of range",
+             (int)r);
+    fpRegs_[r] = value;
+}
+
+Pc
+Emulator::executeBranch(const isa::Inst &inst, bool &taken)
+{
+    Pc target = prog_.pcOf((size_t)inst.imm);
+    int64_t a = inst.src1 != invalidReg ? intReg(inst.src1) : 0;
+    int64_t b = inst.src2 != invalidReg ? intReg(inst.src2) : 0;
+    uint64_t ua = (uint64_t)a, ub = (uint64_t)b;
+
+    switch (inst.op) {
+      case Opcode::Beq:  taken = a == b; break;
+      case Opcode::Bne:  taken = a != b; break;
+      case Opcode::Blt:  taken = a < b; break;
+      case Opcode::Bge:  taken = a >= b; break;
+      case Opcode::Bltu: taken = ua < ub; break;
+      case Opcode::Bgeu: taken = ua >= ub; break;
+      case Opcode::J:
+      case Opcode::Jal:
+        taken = true;
+        break;
+      case Opcode::Jr:
+        taken = true;
+        target = (Pc)ua;
+        break;
+      default:
+        panic("executeBranch on non-branch %s", isa::mnemonic(inst.op));
+    }
+    return taken ? target : pc_ + instBytes;
+}
+
+bool
+Emulator::step(trace::DynInst &out)
+{
+    if (halted_)
+        return false;
+
+    size_t index = prog_.indexOf(pc_);
+    const isa::Inst &inst = prog_.at(index);
+
+    out = trace::DynInst();
+    out.seq = seq_;
+    out.pc = pc_;
+    out.op = inst.op;
+    out.dst = inst.dst;
+    out.src1 = inst.src1;
+    out.src2 = inst.src2;
+
+    Pc nextPc = pc_ + instBytes;
+
+    auto r = [this](RegId reg) { return intReg(reg); };
+    auto f = [this](RegId reg) { return fpReg(reg); };
+
+    switch (inst.op) {
+      case Opcode::Add:  setIntReg(inst.dst, r(inst.src1) + r(inst.src2));
+        break;
+      case Opcode::Sub:  setIntReg(inst.dst, r(inst.src1) - r(inst.src2));
+        break;
+      case Opcode::And:  setIntReg(inst.dst, r(inst.src1) & r(inst.src2));
+        break;
+      case Opcode::Or:   setIntReg(inst.dst, r(inst.src1) | r(inst.src2));
+        break;
+      case Opcode::Xor:  setIntReg(inst.dst, r(inst.src1) ^ r(inst.src2));
+        break;
+      case Opcode::Sll:
+        setIntReg(inst.dst,
+                  (int64_t)((uint64_t)r(inst.src1)
+                            << ((uint64_t)r(inst.src2) & 63)));
+        break;
+      case Opcode::Srl:
+        setIntReg(inst.dst,
+                  (int64_t)((uint64_t)r(inst.src1) >>
+                            ((uint64_t)r(inst.src2) & 63)));
+        break;
+      case Opcode::Sra:
+        setIntReg(inst.dst, r(inst.src1) >> ((uint64_t)r(inst.src2) & 63));
+        break;
+      case Opcode::Slt:
+        setIntReg(inst.dst, r(inst.src1) < r(inst.src2) ? 1 : 0);
+        break;
+      case Opcode::Sltu:
+        setIntReg(inst.dst,
+                  (uint64_t)r(inst.src1) < (uint64_t)r(inst.src2) ? 1 : 0);
+        break;
+      case Opcode::Addi: setIntReg(inst.dst, r(inst.src1) + inst.imm);
+        break;
+      case Opcode::Andi: setIntReg(inst.dst, r(inst.src1) & inst.imm);
+        break;
+      case Opcode::Ori:  setIntReg(inst.dst, r(inst.src1) | inst.imm);
+        break;
+      case Opcode::Xori: setIntReg(inst.dst, r(inst.src1) ^ inst.imm);
+        break;
+      case Opcode::Slli:
+        setIntReg(inst.dst,
+                  (int64_t)((uint64_t)r(inst.src1) << (inst.imm & 63)));
+        break;
+      case Opcode::Srli:
+        setIntReg(inst.dst,
+                  (int64_t)((uint64_t)r(inst.src1) >> (inst.imm & 63)));
+        break;
+      case Opcode::Srai:
+        setIntReg(inst.dst, r(inst.src1) >> (inst.imm & 63));
+        break;
+      case Opcode::Slti:
+        setIntReg(inst.dst, r(inst.src1) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::Li:   setIntReg(inst.dst, inst.imm);
+        break;
+      case Opcode::Mul:  setIntReg(inst.dst, r(inst.src1) * r(inst.src2));
+        break;
+      case Opcode::Div: {
+        int64_t d = r(inst.src2);
+        setIntReg(inst.dst, d == 0 ? -1 : r(inst.src1) / d);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t d = r(inst.src2);
+        setIntReg(inst.dst, d == 0 ? r(inst.src1) : r(inst.src1) % d);
+        break;
+      }
+      case Opcode::Ld: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 8;
+        setIntReg(inst.dst, (int64_t)mem_.read(addr, 8));
+        break;
+      }
+      case Opcode::Lw: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 4;
+        setIntReg(inst.dst, (int64_t)(int32_t)mem_.read(addr, 4));
+        break;
+      }
+      case Opcode::St: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 8;
+        mem_.write(addr, (uint64_t)r(inst.src2), 8);
+        break;
+      }
+      case Opcode::Sw: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 4;
+        mem_.write(addr, (uint64_t)r(inst.src2), 4);
+        break;
+      }
+      case Opcode::Fld: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 8;
+        setFpReg(inst.dst, mem_.readF64(addr));
+        break;
+      }
+      case Opcode::Fst: {
+        Addr addr = (Addr)(r(inst.src1) + inst.imm);
+        out.effAddr = addr;
+        out.memSize = 8;
+        mem_.writeF64(addr, f(inst.src2));
+        break;
+      }
+      case Opcode::Fadd: setFpReg(inst.dst, f(inst.src1) + f(inst.src2));
+        break;
+      case Opcode::Fsub: setFpReg(inst.dst, f(inst.src1) - f(inst.src2));
+        break;
+      case Opcode::Fmul: setFpReg(inst.dst, f(inst.src1) * f(inst.src2));
+        break;
+      case Opcode::Fdiv: {
+        double d = f(inst.src2);
+        setFpReg(inst.dst, d == 0.0 ? 0.0 : f(inst.src1) / d);
+        break;
+      }
+      case Opcode::Fcvt: setFpReg(inst.dst, (double)r(inst.src1));
+        break;
+      case Opcode::Ficvt: setIntReg(inst.dst, (int64_t)f(inst.src1));
+        break;
+      case Opcode::Fmov: setFpReg(inst.dst, f(inst.src1));
+        break;
+      case Opcode::Fclt:
+        setIntReg(inst.dst, f(inst.src1) < f(inst.src2) ? 1 : 0);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::J:
+      case Opcode::Jr: {
+        bool taken = false;
+        nextPc = executeBranch(inst, taken);
+        out.taken = taken;
+        break;
+      }
+      case Opcode::Jal: {
+        setIntReg(inst.dst, (int64_t)(pc_ + instBytes));
+        bool taken = false;
+        nextPc = executeBranch(inst, taken);
+        out.taken = taken;
+        break;
+      }
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        nextPc = pc_;
+        break;
+      default:
+        panic("unimplemented opcode %d", (int)inst.op);
+    }
+
+    out.nextPc = nextPc;
+    pc_ = nextPc;
+    ++seq_;
+    return true;
+}
+
+} // namespace pubs::emu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Functional emulator for the micro-ISA. Executes a Program one
+ * instruction at a time, producing the dynamic-instruction stream the
+ * timing model consumes (it plays the role SimpleScalar's functional core
+ * played for the paper).
+ */
+
+#ifndef PUBS_EMU_EMULATOR_HH
+#define PUBS_EMU_EMULATOR_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "trace/dyninst.hh"
+
+namespace pubs::emu
+{
+
+/** Sparse byte-addressable memory backed by 4 KB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr size_t pageBytes = 4096;
+
+    uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, uint8_t value);
+
+    /** Little-endian multi-byte accessors; size 1..8 bytes. */
+    uint64_t read(Addr addr, unsigned size) const;
+    void write(Addr addr, uint64_t value, unsigned size);
+
+    uint64_t read64(Addr a) const { return read(a, 8); }
+    void write64(Addr a, uint64_t v) { write(a, v, 8); }
+
+    double readF64(Addr addr) const;
+    void writeF64(Addr addr, double value);
+
+    /** Number of pages currently allocated. */
+    size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * The architectural machine: registers + memory + PC. step() retires one
+ * instruction and reports it as a DynInst.
+ */
+class Emulator : public trace::InstSource
+{
+  public:
+    explicit Emulator(const isa::Program &program);
+
+    /** Reset architectural state and re-install the program's data. */
+    void reset();
+
+    /** Execute one instruction. @return false once halted. */
+    bool step(trace::DynInst &out);
+
+    /** InstSource interface. */
+    bool next(trace::DynInst &out) override { return step(out); }
+    const isa::Program *program() const override { return &prog_; }
+
+    bool halted() const { return halted_; }
+    Pc pc() const { return pc_; }
+    SeqNum instsRetired() const { return seq_; }
+
+    /** Architectural integer register (r0 reads as zero). */
+    int64_t intReg(RegId r) const;
+    void setIntReg(RegId r, int64_t value);
+
+    double fpReg(RegId r) const;
+    void setFpReg(RegId r, double value);
+
+    SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
+
+  private:
+    Pc executeBranch(const isa::Inst &inst, bool &taken);
+
+    const isa::Program &prog_;
+    SparseMemory mem_;
+    std::array<int64_t, numIntRegs> intRegs_{};
+    std::array<double, numFpRegs> fpRegs_{};
+    Pc pc_ = 0;
+    SeqNum seq_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace pubs::emu
+
+#endif // PUBS_EMU_EMULATOR_HH

@@ -1,0 +1,83 @@
+#include "iq/age_matrix.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::iq
+{
+
+AgeMatrix::AgeMatrix(unsigned size)
+    : size_(size),
+      words_((size + 63) / 64),
+      rows_((size_t)size * words_, 0),
+      valid_(words_, 0)
+{
+    fatal_if(size == 0, "age matrix size must be non-zero");
+}
+
+void
+AgeMatrix::dispatch(unsigned slot)
+{
+    panic_if(slot >= size_, "age matrix slot %u out of range", slot);
+    panic_if(valid(slot), "age matrix dispatch into occupied slot %u",
+             slot);
+    // Everything currently valid is older than the newcomer.
+    for (unsigned w = 0; w < words_; ++w)
+        rows_[(size_t)slot * words_ + w] = valid_[w];
+    valid_[slot / 64] |= (uint64_t)1 << (slot % 64);
+}
+
+void
+AgeMatrix::remove(unsigned slot)
+{
+    panic_if(slot >= size_, "age matrix slot %u out of range", slot);
+    panic_if(!valid(slot), "age matrix remove of empty slot %u", slot);
+    valid_[slot / 64] &= ~((uint64_t)1 << (slot % 64));
+    uint64_t clearMask = ~((uint64_t)1 << (slot % 64));
+    unsigned word = slot / 64;
+    for (unsigned s = 0; s < size_; ++s)
+        rows_[(size_t)s * words_ + word] &= clearMask;
+    for (unsigned w = 0; w < words_; ++w)
+        rows_[(size_t)slot * words_ + w] = 0;
+}
+
+bool
+AgeMatrix::valid(unsigned slot) const
+{
+    return (valid_[slot / 64] >> (slot % 64)) & 1;
+}
+
+bool
+AgeMatrix::older(unsigned a, unsigned b) const
+{
+    panic_if(a >= size_ || b >= size_, "age matrix slot out of range");
+    // a is older than b iff a appears in b's older-set row.
+    return (rows_[(size_t)b * words_ + a / 64] >> (a % 64)) & 1;
+}
+
+int
+AgeMatrix::oldestReady(const std::vector<uint64_t> &readyMask) const
+{
+    panic_if(readyMask.size() < words_, "ready mask too small");
+    for (unsigned w = 0; w < words_; ++w) {
+        uint64_t candidates = readyMask[w] & valid_[w];
+        while (candidates) {
+            unsigned bit = (unsigned)__builtin_ctzll(candidates);
+            candidates &= candidates - 1;
+            unsigned slot = w * 64 + bit;
+            // Oldest ready: no *ready* instruction is older than it.
+            bool anyOlderReady = false;
+            for (unsigned v = 0; v < words_; ++v) {
+                if (rows_[(size_t)slot * words_ + v] & readyMask[v] &
+                    valid_[v]) {
+                    anyOlderReady = true;
+                    break;
+                }
+            }
+            if (!anyOlderReady)
+                return (int)slot;
+        }
+    }
+    return -1;
+}
+
+} // namespace pubs::iq

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The age matrix (Section V-G1, after [11]/[7]): a bit matrix where row s
+ * records the set of IQ slots holding instructions *older* than slot s.
+ * Each cycle it picks the single oldest ready instruction — that slot's
+ * row ANDed with the ready (issue-request) vector is empty — which the
+ * select logic then grants with the highest priority; all other grants
+ * remain positional.
+ */
+
+#ifndef PUBS_IQ_AGE_MATRIX_HH
+#define PUBS_IQ_AGE_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pubs::iq
+{
+
+class AgeMatrix
+{
+  public:
+    explicit AgeMatrix(unsigned size);
+
+    /** Slot @p slot received a newly dispatched (youngest) instruction. */
+    void dispatch(unsigned slot);
+
+    /** Slot @p slot was vacated. */
+    void remove(unsigned slot);
+
+    /**
+     * The oldest slot among those set in @p readyMask (bit i = slot i
+     * requests issue). @return -1 if the mask is empty.
+     */
+    int oldestReady(const std::vector<uint64_t> &readyMask) const;
+
+    /** Is the instruction in slot @p a older than the one in @p b? */
+    bool older(unsigned a, unsigned b) const;
+
+    bool valid(unsigned slot) const;
+    unsigned size() const { return size_; }
+
+    /** Bits of storage: size x size matrix cells. */
+    uint64_t costBits() const { return (uint64_t)size_ * size_; }
+
+  private:
+    unsigned size_;
+    unsigned words_;
+    std::vector<uint64_t> rows_;  ///< rows_[s * words_ + w]
+    std::vector<uint64_t> valid_; ///< occupancy bit per slot
+};
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_AGE_MATRIX_HH

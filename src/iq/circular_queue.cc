@@ -1,0 +1,62 @@
+#include "iq/circular_queue.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::iq
+{
+
+CircularQueue::CircularQueue(unsigned size)
+    : capacity_(size), slots_(size)
+{
+    fatal_if(size == 0, "IQ size must be non-zero");
+}
+
+bool
+CircularQueue::canDispatch(bool) const
+{
+    return used_ < capacity_;
+}
+
+void
+CircularQueue::dispatch(uint32_t clientId, SeqNum seq, bool)
+{
+    panic_if(used_ >= capacity_, "dispatch into full circular queue");
+    slots_[tail_] = {true, clientId, seq};
+    tail_ = (tail_ + 1) % capacity_;
+    ++used_;
+    ++occupancy_;
+}
+
+void
+CircularQueue::remove(uint32_t clientId)
+{
+    for (size_t i = 0; i < capacity_; ++i) {
+        IqSlot &slot = slots_[i];
+        if (slot.valid && slot.clientId == clientId) {
+            slot.valid = false;
+            --occupancy_;
+            advanceHead();
+            return;
+        }
+    }
+    panic("remove of client %u not in circular queue", clientId);
+}
+
+void
+CircularQueue::advanceHead()
+{
+    // Reclaim leading holes only; interior holes stay wasted until the
+    // instructions ahead of them issue.
+    while (used_ > 0 && !slots_[head_].valid) {
+        head_ = (head_ + 1) % capacity_;
+        --used_;
+    }
+}
+
+size_t
+CircularQueue::holes() const
+{
+    return used_ - occupancy_;
+}
+
+} // namespace pubs::iq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The circular (non-compacting, age-ordered) queue of Section III-B1.
+ * Dispatch appends at the tail; issued instructions leave holes that are
+ * only reclaimed when the head pointer passes them, wasting capacity.
+ * Positional priority follows the *physical* index, so wraparound
+ * reverses the age-priority relation — both pathologies the paper cites
+ * for why this organisation is no longer used.
+ */
+
+#ifndef PUBS_IQ_CIRCULAR_QUEUE_HH
+#define PUBS_IQ_CIRCULAR_QUEUE_HH
+
+#include "iq/issue_queue.hh"
+
+namespace pubs::iq
+{
+
+class CircularQueue : public IssueQueue
+{
+  public:
+    explicit CircularQueue(unsigned size);
+
+    bool canDispatch(bool priority) const override;
+    void dispatch(uint32_t clientId, SeqNum seq, bool priority) override;
+    void remove(uint32_t clientId) override;
+    const std::vector<IqSlot> &prioritySlots() const override
+        { return slots_; }
+    size_t occupancy() const override { return occupancy_; }
+    size_t capacity() const override { return capacity_; }
+    const char *kindName() const override { return "circular"; }
+
+    /** Slots between head and tail that hold no instruction. */
+    size_t holes() const;
+
+  private:
+    void advanceHead();
+
+    unsigned capacity_;
+    std::vector<IqSlot> slots_;
+    size_t head_ = 0; ///< oldest possibly-valid physical slot
+    size_t tail_ = 0; ///< next dispatch position
+    size_t used_ = 0; ///< slots between head and tail (incl. holes)
+    size_t occupancy_ = 0;
+};
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_CIRCULAR_QUEUE_HH

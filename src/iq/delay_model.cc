@@ -1,0 +1,20 @@
+#include "iq/delay_model.hh"
+
+#include "common/logging.hh"
+#include "iq/issue_queue.hh"
+
+namespace pubs::iq
+{
+
+const char *
+iqKindName(IqKind kind)
+{
+    switch (kind) {
+      case IqKind::Random: return "random";
+      case IqKind::Shifting: return "shifting";
+      case IqKind::Circular: return "circular";
+    }
+    panic("unknown IQ kind %d", (int)kind);
+}
+
+} // namespace pubs::iq

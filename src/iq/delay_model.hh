@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytical IQ delay model (Section V-G1). The paper's transistor-level
+ * HSPICE study (CAM wakeup, prefix-sum select, 16 nm predictive models,
+ * ITRS wire parasitics) found that adding the age matrix lengthens the IQ
+ * critical path — and hence the clock cycle — by 13%. We take that
+ * result as the model's parameter and expose the cycle-time-adjusted
+ * performance computation used in Fig. 15(b).
+ */
+
+#ifndef PUBS_IQ_DELAY_MODEL_HH
+#define PUBS_IQ_DELAY_MODEL_HH
+
+namespace pubs::iq
+{
+
+class DelayModel
+{
+  public:
+    /** The paper's measured age-matrix delay penalty: +13%. */
+    static constexpr double paperAgeMatrixFactor = 1.13;
+
+    explicit DelayModel(double ageMatrixFactor = paperAgeMatrixFactor)
+        : ageMatrixFactor_(ageMatrixFactor)
+    {}
+
+    /** Relative clock cycle time (base = 1.0). */
+    double
+    cycleTime(bool hasAgeMatrix) const
+    {
+        return hasAgeMatrix ? ageMatrixFactor_ : 1.0;
+    }
+
+    /**
+     * Performance in instructions per unit time: IPC divided by cycle
+     * time (assuming the IQ delay increase directly lengthens the clock,
+     * as Fig. 15(b) does).
+     */
+    double
+    performance(double ipc, bool hasAgeMatrix) const
+    {
+        return ipc / cycleTime(hasAgeMatrix);
+    }
+
+    double ageMatrixFactor() const { return ageMatrixFactor_; }
+
+  private:
+    double ageMatrixFactor_;
+};
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_DELAY_MODEL_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Issue-queue organisations (Section III-B1).
+ *
+ * The select logic in all modern IQs is position-based: the closer an
+ * entry is to the head, the higher its issue priority. The queue kinds
+ * differ in how instructions map to positions:
+ *
+ *  - RandomQueue   — dispatch fills arbitrary free holes; position is
+ *                    uncorrelated with age (the paper's baseline). PUBS
+ *                    partitions it into priority + normal entries.
+ *  - ShiftingQueue — compacting, age-ordered (DEC Alpha 21264 style).
+ *  - CircularQueue — age-ordered circular buffer; holes waste capacity
+ *                    and wraparound reverses priority.
+ *
+ * The timing pipeline scans prioritySlots() in ascending order each cycle
+ * and issues ready instructions subject to FU ports — exactly the
+ * positional select the paper assumes.
+ */
+
+#ifndef PUBS_IQ_ISSUE_QUEUE_HH
+#define PUBS_IQ_ISSUE_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pubs::iq
+{
+
+/** One occupied (or free) position in an IQ, in priority order. */
+struct IqSlot
+{
+    bool valid = false;
+    uint32_t clientId = 0; ///< pipeline's in-flight instruction handle
+    SeqNum seq = 0;        ///< age (dispatch order)
+};
+
+class IssueQueue
+{
+  public:
+    virtual ~IssueQueue() = default;
+
+    /**
+     * Can an instruction be dispatched into the requested partition?
+     * Queues without partitions ignore @p priority.
+     */
+    virtual bool canDispatch(bool priority) const = 0;
+
+    /** Insert; panics if canDispatch(priority) is false. */
+    virtual void dispatch(uint32_t clientId, SeqNum seq, bool priority) = 0;
+
+    /**
+     * Dispatch ignoring the partition (PUBS disabled periods): a free
+     * list is chosen at random weighted by partition size
+     * (Section III-B3). Unpartitioned queues fall back to dispatch().
+     */
+    virtual void
+    dispatchUniform(uint32_t clientId, SeqNum seq, Rng &rng)
+    {
+        (void)rng;
+        dispatch(clientId, seq, false);
+    }
+
+    /** Remove the instruction with @p clientId (it issued / squashed). */
+    virtual void remove(uint32_t clientId) = 0;
+
+    /**
+     * Slots in positional priority order (ascending = highest priority
+     * first). Invalid slots are holes and must be skipped.
+     */
+    virtual const std::vector<IqSlot> &prioritySlots() const = 0;
+
+    virtual size_t occupancy() const = 0;
+    virtual size_t capacity() const = 0;
+
+    /** Number of reserved PUBS priority entries (0 if unpartitioned). */
+    virtual unsigned priorityEntries() const { return 0; }
+
+    virtual const char *kindName() const = 0;
+
+    bool empty() const { return occupancy() == 0; }
+};
+
+/** Queue kinds for configuration. */
+enum class IqKind
+{
+    Random,
+    Shifting,
+    Circular,
+};
+
+const char *iqKindName(IqKind kind);
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_ISSUE_QUEUE_HH

@@ -1,0 +1,89 @@
+#include "iq/random_queue.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::iq
+{
+
+RandomQueue::RandomQueue(unsigned size, unsigned priorityEntries,
+                         uint64_t seed)
+    : priorityEntries_(priorityEntries),
+      rng_(seed),
+      slots_(size),
+      priorityFree_(0, priorityEntries),
+      normalFree_(priorityEntries, size - priorityEntries)
+{
+    fatal_if(size == 0, "IQ size must be non-zero");
+    fatal_if(priorityEntries > size,
+             "more priority entries (%u) than IQ entries (%u)",
+             priorityEntries, size);
+}
+
+bool
+RandomQueue::canDispatch(bool priority) const
+{
+    if (priority)
+        return !priorityFree_.empty();
+    return !normalFree_.empty();
+}
+
+void
+RandomQueue::place(uint32_t index, uint32_t clientId, SeqNum seq)
+{
+    IqSlot &slot = slots_[index];
+    panic_if(slot.valid, "dispatch into occupied IQ slot %u", index);
+    slot = {true, clientId, seq};
+    ++occupancy_;
+}
+
+void
+RandomQueue::dispatch(uint32_t clientId, SeqNum seq, bool priority)
+{
+    panic_if(!canDispatch(priority), "dispatch into full %s partition",
+             priority ? "priority" : "normal");
+    uint32_t index = priority ? priorityFree_.popRandom(rng_)
+                              : normalFree_.popRandom(rng_);
+    place(index, clientId, seq);
+}
+
+void
+RandomQueue::dispatchUniform(uint32_t clientId, SeqNum seq, Rng &rng)
+{
+    // Section III-B3: choose a free list at random, weighted by the
+    // partition entry ratio; fall back to the other list when the chosen
+    // one is exhausted so no capacity is wasted in uniform mode.
+    bool pickPriority = false;
+    if (priorityEntries_ > 0) {
+        double ratio = (double)priorityEntries_ / (double)slots_.size();
+        pickPriority = rng.chance(ratio);
+    }
+    if (pickPriority && priorityFree_.empty())
+        pickPriority = false;
+    else if (!pickPriority && normalFree_.empty())
+        pickPriority = true;
+    panic_if(pickPriority ? priorityFree_.empty() : normalFree_.empty(),
+             "uniform dispatch into a full IQ");
+    uint32_t index = pickPriority ? priorityFree_.popRandom(rng_)
+                                  : normalFree_.popRandom(rng_);
+    place(index, clientId, seq);
+}
+
+void
+RandomQueue::remove(uint32_t clientId)
+{
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+        IqSlot &slot = slots_[i];
+        if (slot.valid && slot.clientId == clientId) {
+            slot.valid = false;
+            --occupancy_;
+            if (i < priorityEntries_)
+                priorityFree_.push(i);
+            else
+                normalFree_.push(i);
+            return;
+        }
+    }
+    panic("remove of client %u not in IQ", clientId);
+}
+
+} // namespace pubs::iq

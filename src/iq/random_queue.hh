@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The random queue (the paper's baseline IQ organisation) with optional
+ * PUBS partitioning: the first priorityEntries slots are reserved for
+ * unconfident-branch-slice instructions and, being closest to the head,
+ * are granted first by the positional select logic.
+ */
+
+#ifndef PUBS_IQ_RANDOM_QUEUE_HH
+#define PUBS_IQ_RANDOM_QUEUE_HH
+
+#include "iq/free_list.hh"
+#include "iq/issue_queue.hh"
+
+namespace pubs::iq
+{
+
+class RandomQueue : public IssueQueue
+{
+  public:
+    /**
+     * @param size total IQ entries.
+     * @param priorityEntries reserved head entries (0 = plain random
+     *        queue without PUBS).
+     */
+    RandomQueue(unsigned size, unsigned priorityEntries,
+                uint64_t seed = 1);
+
+    bool canDispatch(bool priority) const override;
+    void dispatch(uint32_t clientId, SeqNum seq, bool priority) override;
+    void dispatchUniform(uint32_t clientId, SeqNum seq, Rng &rng) override;
+    void remove(uint32_t clientId) override;
+    const std::vector<IqSlot> &prioritySlots() const override
+        { return slots_; }
+    size_t occupancy() const override { return occupancy_; }
+    size_t capacity() const override { return slots_.size(); }
+    unsigned priorityEntries() const override { return priorityEntries_; }
+    const char *kindName() const override { return "random"; }
+
+    size_t freePriority() const { return priorityFree_.size(); }
+    size_t freeNormal() const { return normalFree_.size(); }
+
+  private:
+    void place(uint32_t index, uint32_t clientId, SeqNum seq);
+
+    unsigned priorityEntries_;
+    Rng rng_;
+    std::vector<IqSlot> slots_;
+    FreeList priorityFree_;
+    FreeList normalFree_;
+    size_t occupancy_ = 0;
+};
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_RANDOM_QUEUE_HH

@@ -1,0 +1,44 @@
+#include "iq/shifting_queue.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::iq
+{
+
+ShiftingQueue::ShiftingQueue(unsigned size)
+    : capacity_(size), slots_(size)
+{
+    fatal_if(size == 0, "IQ size must be non-zero");
+}
+
+bool
+ShiftingQueue::canDispatch(bool) const
+{
+    return occupancy_ < capacity_;
+}
+
+void
+ShiftingQueue::dispatch(uint32_t clientId, SeqNum seq, bool)
+{
+    panic_if(occupancy_ >= capacity_, "dispatch into full shifting queue");
+    slots_[occupancy_] = {true, clientId, seq};
+    ++occupancy_;
+}
+
+void
+ShiftingQueue::remove(uint32_t clientId)
+{
+    for (size_t i = 0; i < occupancy_; ++i) {
+        if (slots_[i].clientId == clientId) {
+            // Compact: shift everything younger one slot toward the head.
+            for (size_t j = i + 1; j < occupancy_; ++j)
+                slots_[j - 1] = slots_[j];
+            --occupancy_;
+            slots_[occupancy_].valid = false;
+            return;
+        }
+    }
+    panic("remove of client %u not in shifting queue", clientId);
+}
+
+} // namespace pubs::iq

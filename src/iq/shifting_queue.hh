@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The shifting (compacting, age-ordered) queue of the DEC Alpha 21264.
+ * Instructions stay physically ordered by age; issued instructions'
+ * holes are compacted away, so positional priority equals age priority.
+ * Not used in modern processors (the compaction circuit sits on the IQ
+ * critical path) — modelled here for the Section III-B1 taxonomy ablation.
+ */
+
+#ifndef PUBS_IQ_SHIFTING_QUEUE_HH
+#define PUBS_IQ_SHIFTING_QUEUE_HH
+
+#include "iq/issue_queue.hh"
+
+namespace pubs::iq
+{
+
+class ShiftingQueue : public IssueQueue
+{
+  public:
+    explicit ShiftingQueue(unsigned size);
+
+    bool canDispatch(bool priority) const override;
+    void dispatch(uint32_t clientId, SeqNum seq, bool priority) override;
+    void remove(uint32_t clientId) override;
+    const std::vector<IqSlot> &prioritySlots() const override
+        { return slots_; }
+    size_t occupancy() const override { return occupancy_; }
+    size_t capacity() const override { return capacity_; }
+    const char *kindName() const override { return "shifting"; }
+
+  private:
+    unsigned capacity_;
+    /** Compacted: the first occupancy_ slots are valid, oldest first. */
+    std::vector<IqSlot> slots_;
+    size_t occupancy_ = 0;
+};
+
+} // namespace pubs::iq
+
+#endif // PUBS_IQ_SHIFTING_QUEUE_HH

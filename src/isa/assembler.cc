@@ -1,0 +1,259 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace pubs::isa
+{
+
+namespace
+{
+
+struct Token
+{
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (c == '#' || c == ';')
+            break;
+        if (std::isspace((unsigned char)c) || c == ',') {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> m;
+        for (size_t i = 0; i < (size_t)Opcode::NumOpcodes; ++i) {
+            auto op = (Opcode)i;
+            m[mnemonic(op)] = op;
+        }
+        return m;
+    }();
+    return table;
+}
+
+std::optional<RegId>
+parseReg(const std::string &token, char prefix, int limit)
+{
+    if (token.size() < 2 || token[0] != prefix)
+        return std::nullopt;
+    for (size_t i = 1; i < token.size(); ++i)
+        if (!std::isdigit((unsigned char)token[i]))
+            return std::nullopt;
+    int value = std::stoi(token.substr(1));
+    if (value >= limit)
+        return std::nullopt;
+    return (RegId)value;
+}
+
+RegId
+expectReg(int line, const std::string &token, RegClass cls)
+{
+    std::optional<RegId> r;
+    if (cls == RegClass::Fp)
+        r = parseReg(token, 'f', numFpRegs);
+    else
+        r = parseReg(token, 'r', numIntRegs);
+    if (!r) {
+        throw AsmError(line, "expected " +
+                       std::string(cls == RegClass::Fp ? "fp" : "int") +
+                       " register, got '" + token + "'");
+    }
+    return *r;
+}
+
+std::optional<int64_t>
+parseImm(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    size_t pos = 0;
+    bool negative = token[0] == '-';
+    if (negative)
+        pos = 1;
+    if (pos >= token.size())
+        return std::nullopt;
+    int base = 10;
+    if (token.size() > pos + 2 && token[pos] == '0' &&
+        (token[pos + 1] == 'x' || token[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+    }
+    for (size_t i = pos; i < token.size(); ++i) {
+        char c = token[i];
+        bool ok = base == 16 ? std::isxdigit((unsigned char)c)
+                             : std::isdigit((unsigned char)c);
+        if (!ok)
+            return std::nullopt;
+    }
+    try {
+        int64_t v = std::stoll(token.substr(negative ? 1 : 0), nullptr, 0);
+        return negative ? -v : v;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+int64_t
+expectImm(int line, const std::string &token)
+{
+    auto v = parseImm(token);
+    if (!v)
+        throw AsmError(line, "expected immediate, got '" + token + "'");
+    return *v;
+}
+
+struct Fixup
+{
+    size_t instIndex;
+    std::string label;
+    int line;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Program prog(name);
+    std::vector<Fixup> fixups;
+
+    std::istringstream stream(source);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(stream, line)) {
+        ++lineNo;
+        auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        // Label definitions ("name:"), possibly followed by an
+        // instruction on the same line.
+        while (!tokens.empty() && tokens[0].back() == ':') {
+            std::string label = tokens[0].substr(0, tokens[0].size() - 1);
+            if (label.empty())
+                throw AsmError(lineNo, "empty label");
+            if (prog.hasLabel(label))
+                throw AsmError(lineNo, "duplicate label '" + label + "'");
+            prog.defineLabel(label);
+            tokens.erase(tokens.begin());
+        }
+        if (tokens.empty())
+            continue;
+
+        // Data directives.
+        if (tokens[0] == ".data64") {
+            if (tokens.size() != 3)
+                throw AsmError(lineNo, ".data64 needs <addr> <value>");
+            prog.addData64((Addr)expectImm(lineNo, tokens[1]),
+                           (uint64_t)expectImm(lineNo, tokens[2]));
+            continue;
+        }
+
+        auto it = mnemonicMap().find(tokens[0]);
+        if (it == mnemonicMap().end())
+            throw AsmError(lineNo, "unknown mnemonic '" + tokens[0] + "'");
+        Opcode op = it->second;
+        const OpInfo &info = opInfo(op);
+        std::vector<std::string> operands(tokens.begin() + 1, tokens.end());
+
+        auto need = [&](size_t n) {
+            if (operands.size() != n) {
+                throw AsmError(lineNo, std::string(info.mnemonic) +
+                               " expects " + std::to_string(n) +
+                               " operands, got " +
+                               std::to_string(operands.size()));
+            }
+        };
+
+        Inst inst;
+        inst.op = op;
+
+        if (op == Opcode::Nop || op == Opcode::Halt) {
+            need(0);
+        } else if (op == Opcode::Li) {
+            need(2);
+            inst.dst = expectReg(lineNo, operands[0], RegClass::Int);
+            inst.imm = expectImm(lineNo, operands[1]);
+        } else if (isLoad(op)) {
+            need(3);
+            inst.dst = expectReg(lineNo, operands[0], info.dstClass);
+            inst.src1 = expectReg(lineNo, operands[1], RegClass::Int);
+            inst.imm = expectImm(lineNo, operands[2]);
+        } else if (isStore(op)) {
+            need(3);
+            inst.src2 = expectReg(lineNo, operands[0], info.srcClass);
+            inst.src1 = expectReg(lineNo, operands[1], RegClass::Int);
+            inst.imm = expectImm(lineNo, operands[2]);
+        } else if (isCondBranch(op)) {
+            need(3);
+            inst.src1 = expectReg(lineNo, operands[0], RegClass::Int);
+            inst.src2 = expectReg(lineNo, operands[1], RegClass::Int);
+            fixups.push_back({prog.size(), operands[2], lineNo});
+        } else if (op == Opcode::J) {
+            need(1);
+            fixups.push_back({prog.size(), operands[0], lineNo});
+        } else if (op == Opcode::Jal) {
+            need(2);
+            inst.dst = expectReg(lineNo, operands[0], RegClass::Int);
+            fixups.push_back({prog.size(), operands[1], lineNo});
+        } else if (op == Opcode::Jr) {
+            need(1);
+            inst.src1 = expectReg(lineNo, operands[0], RegClass::Int);
+        } else if (op == Opcode::Fcvt || op == Opcode::Ficvt) {
+            need(2);
+            inst.dst = expectReg(lineNo, operands[0], info.dstClass);
+            inst.src1 = expectReg(lineNo, operands[1], info.srcClass);
+        } else if (op == Opcode::Fmov) {
+            need(2);
+            inst.dst = expectReg(lineNo, operands[0], RegClass::Fp);
+            inst.src1 = expectReg(lineNo, operands[1], RegClass::Fp);
+        } else if (info.hasImm) {
+            // Register-immediate ALU form.
+            need(3);
+            inst.dst = expectReg(lineNo, operands[0], info.dstClass);
+            inst.src1 = expectReg(lineNo, operands[1], info.srcClass);
+            inst.imm = expectImm(lineNo, operands[2]);
+        } else {
+            // Register-register-register form.
+            need(3);
+            inst.dst = expectReg(lineNo, operands[0], info.dstClass);
+            inst.src1 = expectReg(lineNo, operands[1], info.srcClass);
+            inst.src2 = expectReg(lineNo, operands[2], info.srcClass);
+        }
+
+        prog.append(inst);
+    }
+
+    for (const auto &fixup : fixups) {
+        if (!prog.hasLabel(fixup.label)) {
+            throw AsmError(fixup.line,
+                           "undefined label '" + fixup.label + "'");
+        }
+        prog.at(fixup.instIndex).imm = (int64_t)prog.labelIndex(fixup.label);
+    }
+    return prog;
+}
+
+} // namespace pubs::isa

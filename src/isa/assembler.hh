@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A two-pass text assembler for the micro-ISA.
+ *
+ * Syntax (one instruction per line, '#' or ';' comments):
+ *
+ *     loop:
+ *         addi r1, r1, 1
+ *         ld   r2, r3, 8        # r2 = mem[r3 + 8]
+ *         st   r2, r3, 16       # mem[r3 + 16] = r2
+ *         beq  r1, r2, loop
+ *         jal  r31, func
+ *         jr   r31
+ *         halt
+ *     .data64 0x2000 42         # install a 64-bit word before execution
+ *
+ * Errors are reported with line numbers via AsmError.
+ */
+
+#ifndef PUBS_ISA_ASSEMBLER_HH
+#define PUBS_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace pubs::isa
+{
+
+/** Raised on any syntax or semantic error in assembly text. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &message)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {}
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Assemble @p source into a Program named @p name. */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace pubs::isa
+
+#endif // PUBS_ISA_ASSEMBLER_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A Program is an ordered list of static instructions plus optional named
+ * labels and initial-data directives. The program is loaded at a fixed
+ * base PC; instruction i lives at basePc() + i * instBytes.
+ */
+
+#ifndef PUBS_ISA_PROGRAM_HH
+#define PUBS_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace pubs::isa
+{
+
+/** Initial memory contents installed before execution starts. */
+struct DataInit
+{
+    Addr addr;
+    std::vector<uint8_t> bytes;
+};
+
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    /** Code is loaded at this PC. */
+    static constexpr Pc basePc() { return 0x1000; }
+
+    /** Append an instruction; returns its index. */
+    size_t append(const Inst &inst);
+
+    /** Define @p label as the index of the next appended instruction. */
+    void defineLabel(const std::string &label);
+
+    /** Index of @p label; fatal if undefined. */
+    size_t labelIndex(const std::string &label) const;
+
+    bool hasLabel(const std::string &label) const;
+
+    /** Add an initial-data region. */
+    void addData(Addr addr, std::vector<uint8_t> bytes);
+
+    /** Convenience: install a little-endian 64-bit word at @p addr. */
+    void addData64(Addr addr, uint64_t value);
+
+    const Inst &at(size_t index) const;
+    Inst &at(size_t index);
+
+    size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    Pc pcOf(size_t index) const { return basePc() + index * instBytes; }
+
+    /** Instruction index of @p pc; fatal if out of range / misaligned. */
+    size_t indexOf(Pc pc) const;
+
+    bool
+    contains(Pc pc) const
+    {
+        return pc >= basePc() && pc < basePc() + size() * instBytes &&
+               (pc - basePc()) % instBytes == 0;
+    }
+
+    const std::vector<Inst> &insts() const { return insts_; }
+    const std::vector<DataInit> &dataInits() const { return data_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Full listing (one disassembled line per instruction, with labels). */
+    std::string listing() const;
+
+  private:
+    std::string name_;
+    std::vector<Inst> insts_;
+    std::map<std::string, size_t> labels_;
+    std::vector<DataInit> data_;
+};
+
+} // namespace pubs::isa
+
+#endif // PUBS_ISA_PROGRAM_HH

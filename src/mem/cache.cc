@@ -1,0 +1,205 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace pubs::mem
+{
+
+Cache::Cache(const CacheParams &params, MemLevel *next)
+    : params_(params), next_(next)
+{
+    fatal_if(!isPowerOf2(params.lineBytes), "line size must be 2^n");
+    fatal_if(params.ways == 0, "cache needs at least one way");
+    uint64_t lines = params.sizeBytes / params.lineBytes;
+    fatal_if(lines % params.ways != 0, "size/ways mismatch");
+    sets_ = (unsigned)(lines / params.ways);
+    fatal_if(!isPowerOf2(sets_), "cache sets must be 2^n");
+    fatal_if(params.mshrs == 0, "cache needs at least one MSHR");
+    lines_.resize(lines);
+    mshrs_.reserve(params.mshrs);
+}
+
+size_t
+Cache::setOf(Addr addr) const
+{
+    return (addr / params_.lineBytes) & (sets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.lineBytes) / sets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    size_t base = setOf(addr) * params_.ways;
+    uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victimLine(Addr addr)
+{
+    size_t base = setOf(addr) * params_.ways;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid)
+            return line;
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->dirty)
+        ++writebacks_;
+    return *victim;
+}
+
+Cycle
+Cache::missPath(Addr addr, Cycle now, bool isPrefetch)
+{
+    Addr lineAddr = lineAddrOf(addr);
+
+    // Retire completed MSHRs.
+    std::erase_if(mshrs_, [now](const Mshr &m) { return m.readyCycle <= now; });
+
+    // Merge with an outstanding miss to the same line.
+    for (const Mshr &m : mshrs_) {
+        if (m.lineAddr == lineAddr) {
+            ++mshrHits_;
+            return m.readyCycle;
+        }
+    }
+
+    // A full MSHR file delays the request until the earliest entry
+    // retires (the structural stall of a blocking miss).
+    Cycle start = now;
+    if (mshrs_.size() >= params_.mshrs) {
+        auto earliest = std::min_element(
+            mshrs_.begin(), mshrs_.end(),
+            [](const Mshr &a, const Mshr &b) {
+                return a.readyCycle < b.readyCycle;
+            });
+        start = earliest->readyCycle;
+        mshrs_.erase(earliest);
+    }
+
+    Cycle ready = next_->fill(lineAddr, start, isPrefetch);
+    mshrs_.push_back({lineAddr, ready});
+
+    // Install the line now; its data only becomes usable at `ready`
+    // (accesses that arrive earlier merge with the in-flight fill).
+    Line &line = victimLine(addr);
+    line.valid = true;
+    line.dirty = false;
+    line.wasPrefetched = isPrefetch;
+    line.tag = tagOf(addr);
+    line.lastUse = ++useClock_;
+    line.fillReady = ready;
+    return ready;
+}
+
+Cycle
+Cache::access(Addr addr, bool write, Cycle now, bool &hit)
+{
+    ++accesses_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = ++useClock_;
+        if (write)
+            line->dirty = true;
+        if (line->wasPrefetched) {
+            ++usefulPrefetches_;
+            line->wasPrefetched = false;
+        }
+        if (line->fillReady > now) {
+            // Fill still in flight: merge with it.
+            hit = false;
+            ++mshrHits_;
+            return line->fillReady + params_.hitLatency;
+        }
+        hit = true;
+        return now + params_.hitLatency;
+    }
+    hit = false;
+    ++misses_;
+    Cycle ready = missPath(addr, now, false);
+    if (write) {
+        if (Line *line = findLine(addr))
+            line->dirty = true;
+    }
+    return ready + params_.hitLatency;
+}
+
+Cycle
+Cache::fill(Addr addr, Cycle now, bool isPrefetch)
+{
+    // A request from the level above is a demand access at this level
+    // unless it is a prefetch.
+    if (!isPrefetch)
+        ++accesses_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = ++useClock_;
+        if (line->wasPrefetched && !isPrefetch) {
+            ++usefulPrefetches_;
+            line->wasPrefetched = false;
+        }
+        if (line->fillReady > now) {
+            if (!isPrefetch)
+                ++mshrHits_;
+            return line->fillReady + params_.hitLatency;
+        }
+        return now + params_.hitLatency;
+    }
+    if (!isPrefetch)
+        ++misses_;
+    return missPath(addr, now, isPrefetch) + params_.hitLatency;
+}
+
+void
+Cache::installPrefetch(Addr addr, Cycle now)
+{
+    if (findLine(addr))
+        return;
+    ++prefetchFills_;
+    missPath(addr, now, true);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+MainMemory::MainMemory(unsigned latency, unsigned bytesPerCycle,
+                       unsigned lineBytes)
+    : latency_(latency),
+      cyclesPerLine_((lineBytes + bytesPerCycle - 1) / bytesPerCycle)
+{
+    fatal_if(bytesPerCycle == 0, "memory bandwidth must be non-zero");
+}
+
+Cycle
+MainMemory::fill(Addr, Cycle now, bool)
+{
+    ++requests_;
+    Cycle start = std::max(now, channelFree_);
+    channelFree_ = start + cyclesPerLine_;
+    return start + latency_;
+}
+
+} // namespace pubs::mem

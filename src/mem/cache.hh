@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A generic set-associative, write-back/write-allocate, LRU cache with
+ * MSHR-based non-blocking misses. The model is latency-based (each access
+ * returns the cycle its data becomes available) rather than event-driven,
+ * which is sufficient for the load-latency and MLP behaviour the paper's
+ * evaluation depends on.
+ */
+
+#ifndef PUBS_MEM_CACHE_HH
+#define PUBS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pubs::mem
+{
+
+struct CacheParams
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 2;
+    unsigned mshrs = 16;
+};
+
+/** A level below a cache that can be asked for a line. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Request the line containing @p addr at time @p now.
+     * @param isPrefetch demand misses count in stats; prefetches do not.
+     * @return the cycle the line arrives.
+     */
+    virtual Cycle fill(Addr addr, Cycle now, bool isPrefetch) = 0;
+};
+
+class Cache : public MemLevel
+{
+  public:
+    Cache(const CacheParams &params, MemLevel *next);
+
+    /**
+     * Demand access (load/store/fetch) at time @p now.
+     * @param write marks the line dirty on hit/fill.
+     * @param hit out-parameter: did the access hit?
+     * @return cycle the data is available.
+     */
+    Cycle access(Addr addr, bool write, Cycle now, bool &hit);
+
+    /** MemLevel interface: a higher level requests this line. */
+    Cycle fill(Addr addr, Cycle now, bool isPrefetch) override;
+
+    /** Install a line without a demand request (prefetch landing here). */
+    void installPrefetch(Addr addr, Cycle now);
+
+    /** Does the cache currently hold the line containing @p addr? */
+    bool contains(Addr addr) const;
+
+    const CacheParams &params() const { return params_; }
+
+    uint64_t demandAccesses() const { return accesses_; }
+    uint64_t demandMisses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint64_t prefetchFills() const { return prefetchFills_; }
+    uint64_t usefulPrefetches() const { return usefulPrefetches_; }
+    uint64_t mshrHits() const { return mshrHits_; }
+
+    double
+    missRate() const
+    {
+        return accesses_ ? (double)misses_ / (double)accesses_ : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool wasPrefetched = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        /** Cycle the line's data arrives (fill in flight until then). */
+        Cycle fillReady = 0;
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        Cycle readyCycle = 0;
+    };
+
+    Addr lineAddrOf(Addr addr) const { return addr & ~(Addr)(params_.lineBytes - 1); }
+    size_t setOf(Addr addr) const;
+    uint64_t tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line &victimLine(Addr addr);
+    Cycle missPath(Addr addr, Cycle now, bool isPrefetch);
+
+    CacheParams params_;
+    MemLevel *next_;
+    unsigned sets_;
+    uint64_t useClock_ = 0;
+    std::vector<Line> lines_;
+    std::vector<Mshr> mshrs_;
+
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+    uint64_t prefetchFills_ = 0;
+    uint64_t usefulPrefetches_ = 0;
+    uint64_t mshrHits_ = 0;
+};
+
+/** Fixed-latency, bandwidth-limited main memory (Table I: 300 cycles,
+ *  8 B/cycle). */
+class MainMemory : public MemLevel
+{
+  public:
+    MainMemory(unsigned latency, unsigned bytesPerCycle, unsigned lineBytes);
+
+    Cycle fill(Addr addr, Cycle now, bool isPrefetch) override;
+
+    uint64_t requests() const { return requests_; }
+
+  private:
+    unsigned latency_;
+    unsigned cyclesPerLine_;
+    Cycle channelFree_ = 0;
+    uint64_t requests_ = 0;
+};
+
+} // namespace pubs::mem
+
+#endif // PUBS_MEM_CACHE_HH

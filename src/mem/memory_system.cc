@@ -1,0 +1,53 @@
+#include "mem/memory_system.hh"
+
+namespace pubs::mem
+{
+
+MemorySystem::MemorySystem(const MemoryParams &params) : params_(params)
+{
+    mem_ = std::make_unique<MainMemory>(params.memLatency,
+                                        params.memBytesPerCycle,
+                                        params.l2.lineBytes);
+    l2_ = std::make_unique<Cache>(params.l2, mem_.get());
+    l1i_ = std::make_unique<Cache>(params.l1i, l2_.get());
+    l1d_ = std::make_unique<Cache>(params.l1d, l2_.get());
+    if (params.prefetch) {
+        StreamPrefetcherParams pf = params.prefetcher;
+        pf.lineBytes = params.l2.lineBytes;
+        prefetcher_ = std::make_unique<StreamPrefetcher>(pf, l2_.get());
+    }
+}
+
+Cycle
+MemorySystem::fetchAccess(Pc pc, Cycle now)
+{
+    uint64_t missesBefore = l2_->demandMisses();
+    bool hit = false;
+    Cycle ready = l1i_->access(pc, false, now, hit);
+    if (!hit && params_.nextLineIPrefetch) {
+        // Simple sequential instruction prefetch into the L1I.
+        Addr nextLine = (pc | (Addr)(params_.l1i.lineBytes - 1)) + 1;
+        l1i_->installPrefetch(nextLine, now);
+    }
+    llcMisses_ += l2_->demandMisses() - missesBefore;
+    return ready;
+}
+
+DataAccess
+MemorySystem::dataAccess(Addr addr, bool write, Cycle now)
+{
+    uint64_t l2MissesBefore = l2_->demandMisses();
+
+    DataAccess result;
+    result.readyCycle = l1d_->access(addr, write, now, result.l1Hit);
+    result.llcMiss = l2_->demandMisses() != l2MissesBefore;
+    if (result.llcMiss)
+        ++llcMisses_;
+
+    if (!result.l1Hit && prefetcher_)
+        prefetcher_->observeMiss(addr, now);
+
+    return result;
+}
+
+} // namespace pubs::mem

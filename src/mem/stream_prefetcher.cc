@@ -1,0 +1,93 @@
+#include "mem/stream_prefetcher.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+
+namespace pubs::mem
+{
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherParams &params,
+                                   Cache *target)
+    : params_(params), target_(target), streams_(params.streams)
+{
+    fatal_if(params.streams == 0, "prefetcher needs at least one stream");
+    fatal_if(!target, "prefetcher needs a target cache");
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findStream(uint64_t line)
+{
+    // A stream matches if the new miss is within the tracking window of
+    // its last line, in either direction.
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        int64_t delta = (int64_t)line - (int64_t)s.lastLine;
+        if (delta != 0 && std::llabs(delta) <= 4)
+            return &s;
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream &
+StreamPrefetcher::allocateStream(uint64_t line)
+{
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    ++allocated_;
+    *victim = Stream{};
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->lastUse = ++useClock_;
+    return *victim;
+}
+
+void
+StreamPrefetcher::observeMiss(Addr addr, Cycle now)
+{
+    uint64_t line = addr / params_.lineBytes;
+    Stream *stream = findStream(line);
+    if (!stream) {
+        allocateStream(line);
+        return;
+    }
+
+    int64_t delta = (int64_t)line - (int64_t)stream->lastLine;
+    int direction = delta > 0 ? 1 : -1;
+    stream->lastUse = ++useClock_;
+
+    if (!stream->confirmed) {
+        stream->confirmed = true;
+        stream->direction = direction;
+    } else if (direction != stream->direction) {
+        // Direction flip: retrain.
+        stream->confirmed = false;
+        stream->direction = direction;
+        stream->lastLine = line;
+        return;
+    }
+    stream->lastLine = line;
+
+    // Issue `degree` prefetches `distance` lines ahead.
+    for (unsigned d = 0; d < params_.degree; ++d) {
+        int64_t targetLine =
+            (int64_t)line +
+            stream->direction * (int64_t)(params_.distanceLines + d);
+        if (targetLine < 0)
+            continue;
+        Addr prefetchAddr = (Addr)targetLine * params_.lineBytes;
+        target_->installPrefetch(prefetchAddr, now);
+        ++issued_;
+    }
+}
+
+} // namespace pubs::mem

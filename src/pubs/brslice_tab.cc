@@ -1,0 +1,58 @@
+#include "pubs/brslice_tab.hh"
+
+namespace pubs::pubs
+{
+
+namespace
+{
+
+KeyScheme
+brsliceScheme(const PubsParams &p)
+{
+    return {p.brsliceSets, p.tagless ? 0u : p.brsliceHashBits, p.fullTags,
+            PubsParams::pcBits};
+}
+
+KeyScheme
+confScheme(const PubsParams &p)
+{
+    return {p.confSets, p.tagless ? 0u : p.confHashBits, p.fullTags,
+            PubsParams::pcBits};
+}
+
+} // namespace
+
+BrsliceTab::BrsliceTab(const PubsParams &params)
+    : confScheme_(confScheme(params)),
+      table_(params.brsliceSets, params.tagless ? 1 : params.brsliceWays,
+             brsliceScheme(params))
+{
+}
+
+void
+BrsliceTab::link(const TableKey &inst, const TableKey &confPtr)
+{
+    bool allocated = false;
+    Pointer &entry = table_.lookupOrAllocate(inst, allocated);
+    entry.confKey = confPtr;
+}
+
+bool
+BrsliceTab::lookup(const TableKey &inst, TableKey &confPtrOut)
+{
+    if (Pointer *p = table_.lookup(inst)) {
+        confPtrOut = p->confKey;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+BrsliceTab::costBits() const
+{
+    unsigned perEntry = 1 + table_.scheme().tagBits() +
+                        confScheme_.indexBits() + confScheme_.tagBits();
+    return (uint64_t)table_.capacity() * perEntry;
+}
+
+} // namespace pubs::pubs

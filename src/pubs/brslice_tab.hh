@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The branch slice table (brslice_tab): set-associative, hashed-tag table
+ * keyed by the PC of a slice instruction; the payload is a pointer
+ * (d_c — the conf_tab key) to the confidence counter of the branch the
+ * instruction's result (transitively) feeds.
+ */
+
+#ifndef PUBS_PUBS_BRSLICE_TAB_HH
+#define PUBS_PUBS_BRSLICE_TAB_HH
+
+#include "pubs/params.hh"
+#include "pubs/table.hh"
+
+namespace pubs::pubs
+{
+
+class BrsliceTab
+{
+  public:
+    explicit BrsliceTab(const PubsParams &params);
+
+    const KeyScheme &scheme() const { return table_.scheme(); }
+
+    TableKey keyOf(Pc pc) const { return table_.scheme().keyOf(pc); }
+
+    /** Link the instruction identified by @p inst to branch pointer
+     *  @p confPtr (allocating an entry if needed). */
+    void link(const TableKey &inst, const TableKey &confPtr);
+
+    /**
+     * The conf_tab pointer for instruction @p inst, if this instruction
+     * is (predicted to be) part of some branch slice.
+     */
+    bool lookup(const TableKey &inst, TableKey &confPtrOut);
+
+    void clear() { table_.clear(); }
+
+    size_t validEntries() const { return table_.validEntries(); }
+
+    /** Per Fig. 6: each entry stores (tag t_b, pointer d_c) + valid. */
+    uint64_t costBits() const;
+
+  private:
+    /** Pointer into the conf_tab (d_c = i_c || t_c). */
+    struct Pointer
+    {
+        TableKey confKey{};
+    };
+
+    KeyScheme confScheme_;
+    HashedTagTable<Pointer> table_;
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_BRSLICE_TAB_HH

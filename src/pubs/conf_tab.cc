@@ -1,0 +1,76 @@
+#include "pubs/conf_tab.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::pubs
+{
+
+namespace
+{
+
+KeyScheme
+confScheme(const PubsParams &p)
+{
+    return {p.confSets, p.tagless ? 0u : p.confHashBits, p.fullTags,
+            PubsParams::pcBits};
+}
+
+} // namespace
+
+ConfTab::ConfTab(const PubsParams &params)
+    : counterBits_(params.confCounterBits),
+      counterMax_((1u << params.confCounterBits) - 1),
+      shape_(params.counterShape),
+      table_(params.confSets, params.tagless ? 1 : params.confWays,
+             confScheme(params))
+{
+    fatal_if(counterBits_ == 0 || counterBits_ > 16,
+             "confidence counter width %u out of range", counterBits_);
+}
+
+void
+ConfTab::update(const TableKey &key, bool correctPrediction)
+{
+    bool allocated = false;
+    ConfEntry &entry = table_.lookupOrAllocate(key, allocated);
+    if (allocated) {
+        entry.counter = correctPrediction ? counterMax_ : 0;
+        return;
+    }
+    if (correctPrediction) {
+        if (entry.counter < counterMax_)
+            ++entry.counter;
+    } else if (shape_ == CounterShape::Resetting) {
+        entry.counter = 0;
+    } else if (entry.counter > 0) {
+        --entry.counter;
+    }
+}
+
+bool
+ConfTab::unconfident(const TableKey &key)
+{
+    ConfEntry *entry = table_.lookup(key);
+    if (!entry)
+        return false; // no information: treated as confident
+    return entry->counter != counterMax_;
+}
+
+bool
+ConfTab::counterValue(const TableKey &key, uint32_t &out)
+{
+    if (ConfEntry *entry = table_.lookup(key)) {
+        out = entry->counter;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+ConfTab::costBits() const
+{
+    unsigned perEntry = 1 + table_.scheme().tagBits() + counterBits_;
+    return (uint64_t)table_.capacity() * perEntry;
+}
+
+} // namespace pubs::pubs

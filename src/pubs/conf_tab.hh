@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The confidence estimation table (conf_tab): set-associative, hashed-tag
+ * table keyed by branch PC, holding one JRS saturating resetting counter
+ * per entry (Section III-A1).
+ */
+
+#ifndef PUBS_PUBS_CONF_TAB_HH
+#define PUBS_PUBS_CONF_TAB_HH
+
+#include "pubs/params.hh"
+#include "pubs/table.hh"
+
+namespace pubs::pubs
+{
+
+class ConfTab
+{
+  public:
+    explicit ConfTab(const PubsParams &params);
+
+    TableKey keyOf(Pc branchPc) const { return table_.scheme().keyOf(branchPc); }
+
+    /**
+     * Train the counter of the branch identified by @p key with the
+     * prediction outcome. Allocates on first sight: the counter is
+     * initialised to the maximum on a correct prediction, to 0 otherwise
+     * (Section III-A1); afterwards correct increments (saturating) and
+     * incorrect resets to 0.
+     */
+    void update(const TableKey &key, bool correctPrediction);
+
+    /**
+     * Confidence of the branch (or slice pointer) @p key.
+     * @return true if an entry exists and its counter is NOT saturated —
+     *         i.e. the branch is *unconfident*. Missing entries count as
+     *         confident (per Section III-A3).
+     */
+    bool unconfident(const TableKey &key);
+
+    /** Raw counter value, if present (tests / stats). */
+    bool counterValue(const TableKey &key, uint32_t &out);
+
+    void clear() { table_.clear(); }
+
+    size_t validEntries() const { return table_.validEntries(); }
+
+    unsigned counterBits() const { return counterBits_; }
+    uint32_t counterMax() const { return counterMax_; }
+    CounterShape shape() const { return shape_; }
+
+    /** Per Fig. 6: each entry stores (tag t_c, counter) + valid. */
+    uint64_t costBits() const;
+
+  private:
+    struct ConfEntry
+    {
+        uint32_t counter = 0;
+    };
+
+    unsigned counterBits_;
+    uint32_t counterMax_;
+    CounterShape shape_;
+    HashedTagTable<ConfEntry> table_;
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_CONF_TAB_HH

@@ -1,0 +1,52 @@
+#include "pubs/cost_model.hh"
+
+#include <sstream>
+
+#include "pubs/brslice_tab.hh"
+#include "pubs/conf_tab.hh"
+#include "pubs/def_tab.hh"
+
+namespace pubs::pubs
+{
+
+CostBreakdown
+computeCost(const PubsParams &params)
+{
+    BrsliceTab brslice(params);
+    ConfTab conf(params);
+    DefTab def(brslice.scheme());
+
+    CostBreakdown cost;
+    cost.defTabBits = def.costBits();
+    cost.brsliceTabBits = brslice.costBits();
+    cost.confTabBits = conf.costBits();
+    return cost;
+}
+
+std::string
+formatCostTable(const PubsParams &params)
+{
+    CostBreakdown cost = computeCost(params);
+    char line[128];
+    std::ostringstream out;
+    out << "TABLE III: PUBS hardware cost\n";
+    out << "  table         entries  cost (KB)\n";
+    std::snprintf(line, sizeof(line), "  def_tab       %7d  %9.3f\n",
+                  numLogicalRegs, cost.defTabKB());
+    out << line;
+    std::snprintf(line, sizeof(line), "  brslice_tab   %7u  %9.3f\n",
+                  params.brsliceSets *
+                      (params.tagless ? 1 : params.brsliceWays),
+                  cost.brsliceTabKB());
+    out << line;
+    std::snprintf(line, sizeof(line), "  conf_tab      %7u  %9.3f\n",
+                  params.confSets * (params.tagless ? 1 : params.confWays),
+                  cost.confTabKB());
+    out << line;
+    std::snprintf(line, sizeof(line), "  total                  %9.3f\n",
+                  cost.totalKB());
+    out << line;
+    return out.str();
+}
+
+} // namespace pubs::pubs

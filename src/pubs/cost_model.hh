@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hardware cost accounting for the PUBS tables (Table III). The paper
+ * reports 4.0 KB total for the default configuration; this model derives
+ * the per-table bit counts from the configured geometry so sensitivity
+ * studies can report their real costs.
+ */
+
+#ifndef PUBS_PUBS_COST_MODEL_HH
+#define PUBS_PUBS_COST_MODEL_HH
+
+#include <string>
+
+#include "pubs/params.hh"
+
+namespace pubs::pubs
+{
+
+struct CostBreakdown
+{
+    uint64_t defTabBits = 0;
+    uint64_t brsliceTabBits = 0;
+    uint64_t confTabBits = 0;
+
+    uint64_t totalBits() const
+    {
+        return defTabBits + brsliceTabBits + confTabBits;
+    }
+
+    double defTabKB() const { return (double)defTabBits / 8192.0; }
+    double brsliceTabKB() const { return (double)brsliceTabBits / 8192.0; }
+    double confTabKB() const { return (double)confTabBits / 8192.0; }
+    double totalKB() const { return (double)totalBits() / 8192.0; }
+};
+
+/** Compute the Table III breakdown for @p params. */
+CostBreakdown computeCost(const PubsParams &params);
+
+/** Render the breakdown as the paper's Table III. */
+std::string formatCostTable(const PubsParams &params);
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_COST_MODEL_HH

@@ -1,0 +1,44 @@
+#include "pubs/def_tab.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::pubs
+{
+
+DefTab::DefTab(KeyScheme brsliceScheme) : brsliceScheme_(brsliceScheme) {}
+
+void
+DefTab::define(int unifiedReg, const TableKey &producer)
+{
+    panic_if(unifiedReg < 0 || unifiedReg >= numLogicalRegs,
+             "def_tab register %d out of range", unifiedReg);
+    rows_[unifiedReg] = {true, producer};
+}
+
+bool
+DefTab::producerOf(int unifiedReg, TableKey &out) const
+{
+    panic_if(unifiedReg < 0 || unifiedReg >= numLogicalRegs,
+             "def_tab register %d out of range", unifiedReg);
+    const Row &row = rows_[unifiedReg];
+    if (!row.valid)
+        return false;
+    out = row.key;
+    return true;
+}
+
+void
+DefTab::clear()
+{
+    rows_.fill(Row{});
+}
+
+uint64_t
+DefTab::costBits() const
+{
+    unsigned perRow =
+        1 + brsliceScheme_.indexBits() + brsliceScheme_.tagBits();
+    return (uint64_t)numLogicalRegs * perRow;
+}
+
+} // namespace pubs::pubs

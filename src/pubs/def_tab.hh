@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The define table (def_tab): one row per logical register (64 rows),
+ * holding the compressed identity (d_b — the brslice_tab key) of the most
+ * recent instruction that writes the register. Used at decode to walk the
+ * dataflow backwards when constructing branch slices.
+ */
+
+#ifndef PUBS_PUBS_DEF_TAB_HH
+#define PUBS_PUBS_DEF_TAB_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "pubs/table.hh"
+
+namespace pubs::pubs
+{
+
+class DefTab
+{
+  public:
+    /** @param brsliceScheme key scheme of the brslice_tab d_b refers to. */
+    explicit DefTab(KeyScheme brsliceScheme);
+
+    /** Record that the instruction with key @p producer defines @p reg. */
+    void define(int unifiedReg, const TableKey &producer);
+
+    /**
+     * The key of the most recent producer of @p reg.
+     * @return false if the register has no recorded producer.
+     */
+    bool producerOf(int unifiedReg, TableKey &out) const;
+
+    void clear();
+
+    /** Storage cost in bits: 64 x (valid + index + tag). */
+    uint64_t costBits() const;
+
+  private:
+    struct Row
+    {
+        bool valid = false;
+        TableKey key{};
+    };
+
+    KeyScheme brsliceScheme_;
+    std::array<Row, numLogicalRegs> rows_{};
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_DEF_TAB_HH

@@ -1,0 +1,52 @@
+#include "pubs/mode_switch.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::pubs
+{
+
+ModeSwitch::ModeSwitch(const PubsParams &params)
+    : useSwitch_(params.modeSwitch),
+      intervalLength_(params.modeInterval),
+      threshold_(params.modeMpkiThreshold)
+{
+    fatal_if(intervalLength_ == 0, "mode-switch interval must be non-zero");
+}
+
+void
+ModeSwitch::noteCommit()
+{
+    if (!useSwitch_)
+        return;
+    if (++commits_ >= intervalLength_)
+        rollInterval();
+}
+
+void
+ModeSwitch::noteLlcMiss()
+{
+    if (useSwitch_)
+        ++misses_;
+}
+
+void
+ModeSwitch::rollInterval()
+{
+    double mpki = (double)misses_ * 1000.0 / (double)commits_;
+    enabled_ = mpki < threshold_;
+    ++intervals_;
+    if (enabled_)
+        ++enabledIntervals_;
+    commits_ = 0;
+    misses_ = 0;
+}
+
+double
+ModeSwitch::enabledFraction()  const
+{
+    if (intervals_ == 0)
+        return 1.0;
+    return (double)enabledIntervals_ / (double)intervals_;
+}
+
+} // namespace pubs::pubs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Mode switching (Section III-B3): observe LLC misses per kilo committed
+ * instructions over fixed intervals; PUBS is enabled for the next interval
+ * iff the observed MPKI is below a threshold. In disabled periods the IQ
+ * is used uniformly (the pipeline then picks a free list at random,
+ * weighted by partition size).
+ */
+
+#ifndef PUBS_PUBS_MODE_SWITCH_HH
+#define PUBS_PUBS_MODE_SWITCH_HH
+
+#include <cstdint>
+
+#include "pubs/params.hh"
+
+namespace pubs::pubs
+{
+
+class ModeSwitch
+{
+  public:
+    explicit ModeSwitch(const PubsParams &params);
+
+    /** Call once per committed instruction. */
+    void noteCommit();
+
+    /** Call once per LLC miss. */
+    void noteLlcMiss();
+
+    /** Is PUBS currently enabled? Always true when mode switching is
+     *  configured off. */
+    bool pubsEnabled() const { return enabled_; }
+
+    uint64_t intervals() const { return intervals_; }
+    uint64_t enabledIntervals() const { return enabledIntervals_; }
+
+    /** Fraction of completed intervals with PUBS enabled (1.0 before the
+     *  first interval completes). */
+    double enabledFraction() const;
+
+  private:
+    void rollInterval();
+
+    bool useSwitch_;
+    uint64_t intervalLength_;
+    double threshold_;
+    bool enabled_ = true;
+    uint64_t commits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t intervals_ = 0;
+    uint64_t enabledIntervals_ = 0;
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_MODE_SWITCH_HH

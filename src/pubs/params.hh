@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PUBS configuration (the paper's Table II). Defaults reflect the paper's
+ * chosen operating point: 6 priority entries with the stall dispatch
+ * policy, 6-bit resetting confidence counters, 4-way set-associative
+ * brslice_tab / conf_tab with XOR-folded tags of q = 8 / 4 bits, and
+ * LLC-MPKI-driven mode switching.
+ */
+
+#ifndef PUBS_PUBS_PARAMS_HH
+#define PUBS_PUBS_PARAMS_HH
+
+#include <cstdint>
+
+namespace pubs::pubs
+{
+
+/** Shape of the confidence counters in the conf_tab. */
+enum class CounterShape
+{
+    Resetting, ///< JRS resetting counter (the paper's choice)
+    UpDown,    ///< saturating up/down counter (ablation)
+};
+
+struct PubsParams
+{
+    /** Number of reserved entries at the head of the IQ (Fig. 10: 6). */
+    unsigned priorityEntries = 6;
+
+    /**
+     * Stall dispatch when an unconfident-slice instruction finds no free
+     * priority entry (true, the paper's default) vs. fall back to a
+     * normal entry (false).
+     */
+    bool stallPolicy = true;
+
+    /** Confidence counter width in bits (Fig. 11: 6). */
+    unsigned confCounterBits = 6;
+
+    /** Counter behaviour on a misprediction: reset (paper) or decrement
+     *  (ablation). */
+    CounterShape counterShape = CounterShape::Resetting;
+
+    /** conf_tab geometry. */
+    unsigned confSets = 256;
+    unsigned confWays = 4;
+
+    /** brslice_tab geometry. */
+    unsigned brsliceSets = 256;
+    unsigned brsliceWays = 4;
+
+    /** Hashed-tag widths q (Section IV: 8 for brslice_tab, 4 for
+     *  conf_tab). */
+    unsigned brsliceHashBits = 8;
+    unsigned confHashBits = 4;
+
+    /**
+     * False = the "blind" model of Fig. 11: every branch is estimated
+     * unconfident and the conf_tab is omitted.
+     */
+    bool useConfTab = true;
+
+    /** Enable the LLC-MPKI mode switch (Section III-B3). */
+    bool modeSwitch = true;
+
+    /** Committed instructions per mode-switch observation interval. */
+    uint64_t modeInterval = 100000;
+
+    /** PUBS enabled iff interval LLC MPKI < this threshold. */
+    double modeMpkiThreshold = 1.0;
+
+    /** Ablation: untagged direct-mapped tables (hash bits ignored). */
+    bool tagless = false;
+
+    /** Ablation: full (un-hashed) tags instead of XOR-folded ones. */
+    bool fullTags = false;
+
+    /** PC bits available for tagging (the paper's example uses 62). */
+    static constexpr unsigned pcBits = 62;
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_PARAMS_HH

@@ -1,0 +1,96 @@
+#include "pubs/slice_unit.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::pubs
+{
+
+SliceUnit::SliceUnit(const PubsParams &params)
+    : params_(params),
+      brsliceTab_(params),
+      confTab_(params),
+      defTab_(brsliceTab_.scheme())
+{
+}
+
+void
+SliceUnit::linkProducers(const trace::DynInst &inst, const TableKey &confPtr)
+{
+    isa::Inst staticInst{inst.op, inst.dst, inst.src1, inst.src2, 0};
+    const RegId srcs[2] = {inst.src1, inst.src2};
+    for (int i = 0; i < 2; ++i) {
+        if (srcs[i] == invalidReg)
+            continue;
+        isa::RegClass cls = isa::srcRegClass(staticInst, i);
+        if (cls == isa::RegClass::None)
+            continue;
+        int unified = isa::unifiedReg(cls, srcs[i]);
+        TableKey producer;
+        if (defTab_.producerOf(unified, producer))
+            brsliceTab_.link(producer, confPtr);
+    }
+}
+
+SliceDecision
+SliceUnit::decode(const trace::DynInst &inst)
+{
+    SliceDecision decision;
+
+    if (inst.isCondBranch()) {
+        ++dynamicBranches_;
+        TableKey confKey = confTab_.keyOf(inst.pc);
+        decision.inBranchSlice = true;
+        decision.unconfident =
+            params_.useConfTab ? confTab_.unconfident(confKey) : true;
+        if (decision.unconfident)
+            ++unconfidentBranches_;
+
+        // Step 1 of Section III-A2: point the branch's direct producers
+        // at this branch's confidence counter.
+        linkProducers(inst, confKey);
+
+        ++sliceInsts_;
+        if (decision.unconfident)
+            ++unconfidentSliceInsts_;
+        return decision;
+    }
+
+    // Non-branch (or unconditional control transfer): consult the
+    // brslice_tab; if this instruction previously fed a branch slice,
+    // inherit that branch's pointer and keep walking backwards.
+    TableKey myKey = brsliceTab_.keyOf(inst.pc);
+    TableKey confPtr;
+    if (brsliceTab_.lookup(myKey, confPtr)) {
+        decision.inBranchSlice = true;
+        decision.unconfident =
+            params_.useConfTab ? confTab_.unconfident(confPtr) : true;
+        // Steps 2/3 of Section III-A2: propagate to this instruction's
+        // own producers.
+        linkProducers(inst, confPtr);
+
+        ++sliceInsts_;
+        if (decision.unconfident)
+            ++unconfidentSliceInsts_;
+    }
+
+    // Record this instruction as the most recent producer of its
+    // destination register.
+    if (inst.dst != invalidReg) {
+        isa::Inst staticInst{inst.op, inst.dst, inst.src1, inst.src2, 0};
+        isa::RegClass cls = isa::dstRegClass(staticInst);
+        if (cls != isa::RegClass::None)
+            defTab_.define(isa::unifiedReg(cls, inst.dst), myKey);
+    }
+
+    return decision;
+}
+
+void
+SliceUnit::branchResolved(Pc pc, bool correctPrediction)
+{
+    if (!params_.useConfTab)
+        return;
+    confTab_.update(confTab_.keyOf(pc), correctPrediction);
+}
+
+} // namespace pubs::pubs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The generic set-associative, LRU, hashed-tag table underlying the
+ * brslice_tab and conf_tab (Section IV / Fig. 6).
+ *
+ * A PC is decomposed as d = i || t: i indexes the set (log2(sets) bits)
+ * and t is the tag, either the full remaining PC bits or an XOR-fold of
+ * them down to q bits (Fig. 7). Folded tags can alias; that is the
+ * intentional accuracy/cost trade the paper evaluates.
+ */
+
+#ifndef PUBS_PUBS_TABLE_HH
+#define PUBS_PUBS_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pubs::pubs
+{
+
+/** The compressed identity of a PC relative to one table's geometry. */
+struct TableKey
+{
+    uint32_t index = 0; ///< set index i
+    uint32_t tag = 0;   ///< (possibly hashed) tag t
+
+    bool operator==(const TableKey &) const = default;
+};
+
+/** How a table derives keys from PCs. */
+struct KeyScheme
+{
+    unsigned sets;
+    unsigned hashBits;   ///< q; 0 means untagged (tagless ablation)
+    bool fullTags;       ///< keep the whole tag instead of folding
+    unsigned pcBits;     ///< significant PC bits
+
+    /** Bits the index consumes. */
+    unsigned indexBits() const { return floorLog2(sets); }
+
+    /** Bits one stored tag occupies (for cost accounting). */
+    unsigned
+    tagBits() const
+    {
+        if (hashBits == 0)
+            return 0;
+        if (fullTags)
+            return pcBits - indexBits();
+        return hashBits;
+    }
+
+    TableKey
+    keyOf(Pc pc) const
+    {
+        uint64_t word = pc / instBytes;
+        TableKey key;
+        key.index = (uint32_t)(word & (sets - 1));
+        uint64_t tagPart = (word >> indexBits()) & mask(pcBits - indexBits());
+        if (hashBits == 0)
+            key.tag = 0;
+        else if (fullTags)
+            key.tag = (uint32_t)tagPart;
+        else
+            key.tag = (uint32_t)xorFold(tagPart, hashBits);
+        return key;
+    }
+};
+
+/**
+ * Set-associative LRU table storing one Payload per entry.
+ */
+template <typename Payload>
+class HashedTagTable
+{
+  public:
+    HashedTagTable(unsigned sets, unsigned ways, KeyScheme scheme)
+        : sets_(sets),
+          ways_(ways),
+          scheme_(scheme),
+          entries_((size_t)sets * ways)
+    {
+        fatal_if(!isPowerOf2(sets), "table sets must be a power of two");
+        fatal_if(ways == 0, "table needs at least one way");
+        fatal_if(scheme.sets != sets, "key scheme / table mismatch");
+    }
+
+    const KeyScheme &scheme() const { return scheme_; }
+
+    /** Find the payload for @p key, or nullptr. */
+    Payload *
+    lookup(const TableKey &key)
+    {
+        size_t base = (size_t)key.index * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[base + w];
+            if (e.valid && e.tag == key.tag) {
+                e.lastUse = ++useClock_;
+                return &e.payload;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Find or allocate (LRU victim) the entry for @p key.
+     * @param allocated set true if a new entry was allocated.
+     */
+    Payload &
+    lookupOrAllocate(const TableKey &key, bool &allocated)
+    {
+        if (Payload *hit = lookup(key)) {
+            allocated = false;
+            return *hit;
+        }
+        allocated = true;
+        size_t base = (size_t)key.index * ways_;
+        Entry *victim = &entries_[base];
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = entries_[base + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->tag = key.tag;
+        victim->lastUse = ++useClock_;
+        victim->payload = Payload();
+        return victim->payload;
+    }
+
+    /** Invalidate everything. */
+    void
+    clear()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    size_t capacity() const { return entries_.size(); }
+
+    size_t
+    validEntries() const
+    {
+        size_t n = 0;
+        for (const auto &e : entries_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+        Payload payload{};
+    };
+
+    unsigned sets_;
+    unsigned ways_;
+    KeyScheme scheme_;
+    uint64_t useClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace pubs::pubs
+
+#endif // PUBS_PUBS_TABLE_HH

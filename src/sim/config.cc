@@ -1,0 +1,41 @@
+#include "sim/config.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::sim
+{
+
+const char *
+machineName(Machine machine)
+{
+    switch (machine) {
+      case Machine::Base: return "base";
+      case Machine::Pubs: return "pubs";
+      case Machine::Age: return "age";
+      case Machine::PubsAge: return "pubs+age";
+    }
+    panic("unknown machine %d", (int)machine);
+}
+
+cpu::CoreParams
+makeConfig(Machine machine, cpu::SizeClass size)
+{
+    cpu::CoreParams params = cpu::CoreParams::scaled(size);
+    switch (machine) {
+      case Machine::Base:
+        break;
+      case Machine::Pubs:
+        params.usePubs = true;
+        break;
+      case Machine::Age:
+        params.ageMatrix = true;
+        break;
+      case Machine::PubsAge:
+        params.usePubs = true;
+        params.ageMatrix = true;
+        break;
+    }
+    return params;
+}
+
+} // namespace pubs::sim

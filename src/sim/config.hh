@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Named machine configurations used throughout the evaluation:
+ * base (random-queue IQ), PUBS, AGE (random queue + age matrix) and
+ * PUBS+AGE, each at the four Table IV size classes.
+ */
+
+#ifndef PUBS_SIM_CONFIG_HH
+#define PUBS_SIM_CONFIG_HH
+
+#include "cpu/params.hh"
+
+namespace pubs::sim
+{
+
+/** The four machine models compared in Section V. */
+enum class Machine
+{
+    Base,    ///< random queue, no PUBS, no age matrix
+    Pubs,    ///< PUBS (Section III) on the random queue
+    Age,     ///< random queue + age matrix (Section V-G)
+    PubsAge, ///< both
+};
+
+const char *machineName(Machine machine);
+
+/** Build the CoreParams for @p machine at @p size. */
+cpu::CoreParams makeConfig(Machine machine,
+                           cpu::SizeClass size = cpu::SizeClass::Medium);
+
+} // namespace pubs::sim
+
+#endif // PUBS_SIM_CONFIG_HH

@@ -1,0 +1,64 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace pubs::sim
+{
+
+Simulator::Simulator(const cpu::CoreParams &params,
+                     const isa::Program &program)
+{
+    auto emulator = std::make_unique<emu::Emulator>(program);
+    owned_ = std::move(emulator);
+    pipeline_ = std::make_unique<cpu::Pipeline>(params, *owned_);
+}
+
+Simulator::Simulator(const cpu::CoreParams &params,
+                     std::unique_ptr<trace::InstSource> source)
+    : owned_(std::move(source))
+{
+    fatal_if(!owned_, "simulator needs an instruction source");
+    pipeline_ = std::make_unique<cpu::Pipeline>(params, *owned_);
+}
+
+Simulator::~Simulator() = default;
+
+RunResult
+Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
+{
+    if (warmupInsts > 0) {
+        pipeline_->run(warmupInsts);
+        pipeline_->resetStats();
+    }
+    pipeline_->run(measureInsts);
+
+    const cpu::PipelineStats &s = pipeline_->stats();
+    RunResult result;
+    result.instructions = s.committed;
+    result.cycles = s.cycles;
+    result.ipc = s.ipc();
+    result.branchMpki = s.branchMpki();
+    result.llcMpki = s.llcMpki();
+    result.avgMisspecPenalty = s.avgMisspecPenalty();
+    result.avgIqWait =
+        s.issued ? (double)s.iqWaitSum / (double)s.issued : 0.0;
+    result.priorityStallCycles = s.priorityStallCycles;
+    if (const pubs::SliceUnit *unit = pipeline_->sliceUnit())
+        result.unconfidentBranchRate = unit->unconfidentBranchRate();
+    if (const pubs::ModeSwitch *ms = pipeline_->modeSwitch())
+        result.pubsEnabledFraction = ms->enabledFraction();
+    result.pipeline = s;
+    return result;
+}
+
+RunResult
+simulate(const cpu::CoreParams &params, const isa::Program &program,
+         uint64_t warmupInsts, uint64_t measureInsts)
+{
+    Simulator simulator(params, program);
+    RunResult result = simulator.run(warmupInsts, measureInsts);
+    result.workload = program.name();
+    return result;
+}
+
+} // namespace pubs::sim

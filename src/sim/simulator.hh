@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Top-level run controller: wires a Program (through the functional
+ * emulator) or a trace file into the timing pipeline, runs warmup +
+ * measurement, and returns the headline metrics the figures use.
+ */
+
+#ifndef PUBS_SIM_SIMULATOR_HH
+#define PUBS_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/pipeline.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+
+namespace pubs::sim
+{
+
+/** Headline metrics of one simulation. */
+struct RunResult
+{
+    std::string workload;
+    std::string machine;
+
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    double branchMpki = 0.0;
+    double llcMpki = 0.0;
+    double avgMisspecPenalty = 0.0;
+    double avgIqWait = 0.0;
+    double unconfidentBranchRate = 0.0;
+    double pubsEnabledFraction = 1.0;
+    uint64_t priorityStallCycles = 0;
+
+    /** Full pipeline counters for detailed analysis. */
+    cpu::PipelineStats pipeline{};
+
+    /** Speedup of this run's IPC over @p baseline (same cycle time). */
+    double
+    speedupOver(const RunResult &other) const
+    {
+        return other.ipc > 0.0 ? ipc / other.ipc : 0.0;
+    }
+};
+
+class Simulator
+{
+  public:
+    /** Simulate @p program on a core configured by @p params. */
+    Simulator(const cpu::CoreParams &params, const isa::Program &program);
+
+    /** Simulate a pre-recorded instruction stream. */
+    Simulator(const cpu::CoreParams &params,
+              std::unique_ptr<trace::InstSource> source);
+
+    ~Simulator();
+
+    /**
+     * Run @p warmupInsts to warm predictors/caches/tables (stats are then
+     * reset), then @p measureInsts under measurement.
+     */
+    RunResult run(uint64_t warmupInsts, uint64_t measureInsts);
+
+    cpu::Pipeline &pipeline() { return *pipeline_; }
+
+  private:
+    std::unique_ptr<trace::InstSource> owned_;
+    std::unique_ptr<cpu::Pipeline> pipeline_;
+};
+
+/** One-call convenience used by the benches. */
+RunResult simulate(const cpu::CoreParams &params,
+                   const isa::Program &program, uint64_t warmupInsts,
+                   uint64_t measureInsts);
+
+} // namespace pubs::sim
+
+#endif // PUBS_SIM_SIMULATOR_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The dynamic-instruction record that flows from the functional emulator
+ * (or a trace file) into the timing model. It carries exactly what timing
+ * needs: static identity, logical operands, the resolved memory address,
+ * and the actual control-flow outcome.
+ */
+
+#ifndef PUBS_TRACE_DYNINST_HH
+#define PUBS_TRACE_DYNINST_HH
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace pubs::isa
+{
+class Program;
+}
+
+namespace pubs::trace
+{
+
+struct DynInst
+{
+    SeqNum seq = 0;
+    Pc pc = 0;
+    Pc nextPc = 0;          ///< actual next PC (resolves branches)
+    isa::Opcode op = isa::Opcode::Nop;
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+    Addr effAddr = 0;       ///< effective address of memory ops
+    uint8_t memSize = 0;    ///< access size in bytes (0 for non-memory)
+    bool taken = false;     ///< conditional branches: actual direction
+
+    isa::OpClass cls() const { return isa::opClass(op); }
+    bool isBranch() const { return isa::isBranch(op); }
+    bool isCondBranch() const { return isa::isCondBranch(op); }
+    bool isLoad() const { return isa::isLoad(op); }
+    bool isStore() const { return isa::isStore(op); }
+    bool isMem() const { return isa::isMem(op); }
+
+    /** Fall-through PC. */
+    Pc fallthroughPc() const { return pc + instBytes; }
+};
+
+/** Anything that produces a dynamic instruction stream. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return false when the stream is exhausted (@p out untouched).
+     */
+    virtual bool next(DynInst &out) = 0;
+
+    /**
+     * The static program this stream was produced from, if available.
+     * The timing model uses it to synthesise wrong-path instructions
+     * after a misprediction; sources without one (e.g. trace files)
+     * degrade to redirect-stall modelling.
+     */
+    virtual const isa::Program *program() const { return nullptr; }
+};
+
+} // namespace pubs::trace
+
+#endif // PUBS_TRACE_DYNINST_HH

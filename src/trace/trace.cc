@@ -1,0 +1,142 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pubs::trace
+{
+
+namespace
+{
+
+// On-disk record layout (little-endian, packed by hand for portability).
+constexpr size_t recordBytes = 40;
+
+void
+pack64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = (v >> (8 * i)) & 0xff;
+}
+
+uint64_t
+unpack64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= (uint64_t)in[i] << (8 * i);
+    return v;
+}
+
+void
+pack16(uint8_t *out, uint16_t v)
+{
+    out[0] = v & 0xff;
+    out[1] = (v >> 8) & 0xff;
+}
+
+uint16_t
+unpack16(const uint8_t *in)
+{
+    return (uint16_t)(in[0] | (in[1] << 8));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open trace file '%s' for writing",
+             path.c_str());
+    // Header: magic + count placeholder.
+    std::fwrite(traceMagic, 1, sizeof(traceMagic), file_);
+    uint8_t zero[8] = {};
+    std::fwrite(zero, 1, sizeof(zero), file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::write(const DynInst &inst)
+{
+    panic_if(!file_, "write after close");
+    uint8_t rec[recordBytes] = {};
+    pack64(rec + 0, inst.pc);
+    pack64(rec + 8, inst.nextPc);
+    pack64(rec + 16, inst.effAddr);
+    rec[24] = (uint8_t)inst.op;
+    pack16(rec + 25, (uint16_t)inst.dst);
+    pack16(rec + 27, (uint16_t)inst.src1);
+    pack16(rec + 29, (uint16_t)inst.src2);
+    rec[31] = inst.memSize;
+    rec[32] = inst.taken ? 1 : 0;
+    // Bytes 33..39 reserved (zero).
+    size_t n = std::fwrite(rec, 1, recordBytes, file_);
+    fatal_if(n != recordBytes, "short write to trace file");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    panic_if(!file_, "double close");
+    // Patch the record count into the header.
+    std::fseek(file_, sizeof(traceMagic), SEEK_SET);
+    uint8_t countBytes[8];
+    pack64(countBytes, count_);
+    std::fwrite(countBytes, 1, sizeof(countBytes), file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    char magic[sizeof(traceMagic)];
+    uint8_t countBytes[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        fatal("'%s' is not a PUBS trace file", path.c_str());
+    }
+    fatal_if(std::fread(countBytes, 1, 8, file_) != 8,
+             "truncated trace header in '%s'", path.c_str());
+    total_ = unpack64(countBytes);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(DynInst &out)
+{
+    if (read_ >= total_)
+        return false;
+    uint8_t rec[recordBytes];
+    size_t n = std::fread(rec, 1, recordBytes, file_);
+    fatal_if(n != recordBytes, "truncated trace record");
+    out.seq = read_;
+    out.pc = unpack64(rec + 0);
+    out.nextPc = unpack64(rec + 8);
+    out.effAddr = unpack64(rec + 16);
+    out.op = (isa::Opcode)rec[24];
+    fatal_if(rec[24] >= (uint8_t)isa::Opcode::NumOpcodes,
+             "corrupt opcode %u in trace", rec[24]);
+    out.dst = (RegId)unpack16(rec + 25);
+    out.src1 = (RegId)unpack16(rec + 27);
+    out.src2 = (RegId)unpack16(rec + 29);
+    out.memSize = rec[31];
+    out.taken = rec[32] != 0;
+    ++read_;
+    return true;
+}
+
+} // namespace pubs::trace

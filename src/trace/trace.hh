@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Binary trace file format so externally captured (open) traces can be
+ * replayed through the timing model, substituting for the paper's SPEC2006
+ * runs. Format: 16-byte header (magic, version, record count), then one
+ * packed 40-byte record per dynamic instruction.
+ */
+
+#ifndef PUBS_TRACE_TRACE_HH
+#define PUBS_TRACE_TRACE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/dyninst.hh"
+
+namespace pubs::trace
+{
+
+/** Magic bytes at the start of every trace file. */
+constexpr char traceMagic[8] = {'P', 'U', 'B', 'S', 'T', 'R', 'C', '1'};
+
+/** Streams DynInst records to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(const DynInst &inst);
+
+    /** Finalise the header (record count) and close. */
+    void close();
+
+    uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** Replays a trace file as an InstSource. */
+class TraceReader : public InstSource
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(DynInst &out) override;
+
+    uint64_t recordCount() const { return total_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t total_ = 0;
+    uint64_t read_ = 0;
+};
+
+/** Buffers an in-memory sequence of records as an InstSource (tests). */
+class VectorSource : public InstSource
+{
+  public:
+    explicit VectorSource(std::vector<DynInst> insts)
+        : insts_(std::move(insts))
+    {}
+
+    bool
+    next(DynInst &out) override
+    {
+        if (pos_ >= insts_.size())
+            return false;
+        out = insts_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<DynInst> insts_;
+    size_t pos_ = 0;
+};
+
+} // namespace pubs::trace
+
+#endif // PUBS_TRACE_TRACE_HH

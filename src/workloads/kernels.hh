@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parameterised program kernels used to synthesise the workload suite.
+ * Each kernel builds an infinite-loop micro-ISA program whose branch
+ * behaviour and memory behaviour are controlled by its parameters:
+ *
+ *  - takenBias: probability a data-dependent branch is taken. 0.5 is
+ *    unpredictable (≈50% mispredicts); 0.9 is mostly-taken but still
+ *    unconfident under a resetting counter; ≈1.0 is easy.
+ *  - working-set size: controls the L1/L2/DRAM residency of the data
+ *    and thus the LLC MPKI (memory intensity).
+ *  - slice depth / filler ops: shape the branch slices and the competing
+ *    computation slices that contend for issue slots.
+ *
+ * All data is generated from the seed, so runs are exactly reproducible.
+ */
+
+#ifndef PUBS_WORKLOADS_KERNELS_HH
+#define PUBS_WORKLOADS_KERNELS_HH
+
+#include "isa/program.hh"
+
+namespace pubs::wl
+{
+
+/** Array walk with data-dependent branches (sjeng/gobmk/astar-like). */
+struct BranchyParams
+{
+    uint64_t seed = 1;
+    unsigned elems = 1 << 13;    ///< 8-byte elements (1<<13 = 64 KB)
+    unsigned hardBranches = 2;   ///< data-dependent branches per iteration
+    unsigned sliceDepth = 2;     ///< dependent ALU ops from load to branch
+    double takenBias = 0.5;
+    unsigned intFiller = 6;      ///< independent int ops per iteration
+    unsigned fpFiller = 4;       ///< independent fp ops per iteration
+    bool withStore = false;      ///< add one scratch store per iteration
+    /**
+     * Replicate the loop body this many times with distinct PCs: large
+     * static code footprints stress the PC-indexed brslice_tab /
+     * conf_tab / BTB / L1I the way big-code programs (gcc, xalancbmk)
+     * do. 1 = the plain loop.
+     */
+    unsigned unroll = 1;
+    /**
+     * Close the loop with an always-taken *conditional* branch instead
+     * of an unconditional jump. Its slice (the whole index chain) is
+     * perfectly predicted, so with the conf_tab it stays out of the
+     * priority entries — but the "blind" model floods them with it
+     * (the effect behind Fig. 11's blind-vs-PUBS gap).
+     */
+    bool condLoopBranch = false;
+};
+
+isa::Program branchyProgram(const std::string &name,
+                            const BranchyParams &params);
+
+/** Multi-chain pointer chase over a random ring (mcf/omnetpp-like). */
+struct PointerChaseParams
+{
+    uint64_t seed = 1;
+    unsigned nodes = 1 << 18;    ///< 64 B nodes (1<<18 = 16 MB)
+    unsigned chains = 4;         ///< independent chases (MLP)
+    double takenBias = 0.5;      ///< branch on node payload
+    unsigned intFiller = 2;
+    unsigned fpFiller = 0;
+};
+
+isa::Program pointerChaseProgram(const std::string &name,
+                                 const PointerChaseParams &params);
+
+/** Streaming FP kernel, prefetcher-friendly (libquantum/lbm-like). */
+struct StreamParams
+{
+    uint64_t seed = 1;
+    unsigned elems = 1 << 19;    ///< doubles per array (1<<19 = 4 MB each)
+    unsigned fpOps = 3;          ///< fp ops per element
+    bool withHardBranch = false; ///< add one data-dependent branch
+    double takenBias = 0.5;
+    unsigned gatherElems = 0;    ///< irregular gather array (0 = off)
+    unsigned gatherEvery = 1;    ///< gather on every Nth iteration (2^n)
+    /** If non-zero, gathers only run while bit @p gatherPhaseBit of the
+     *  iteration counter is clear: the workload alternates memory-heavy
+     *  and compute phases (soplex-like), exercising the mode switch. */
+    unsigned gatherPhaseBit = 0;
+};
+
+isa::Program streamProgram(const std::string &name,
+                           const StreamParams &params);
+
+/** Register-resident compute loop with easy control (hmmer/namd-like). */
+struct ComputeParams
+{
+    uint64_t seed = 1;
+    unsigned intChains = 4;
+    unsigned fpChains = 4;
+    unsigned innerCount = 16;    ///< inner counted-loop trip count
+    double rareBranchBias = 0.97;///< bias of an occasional data branch
+    unsigned elems = 1 << 10;    ///< small resident array for the branch
+};
+
+isa::Program computeProgram(const std::string &name,
+                            const ComputeParams &params);
+
+/** Table-driven state machine (gcc/perlbench/xalancbmk-like). */
+struct StateMachineParams
+{
+    uint64_t seed = 1;
+    unsigned states = 64;        ///< power of two
+    unsigned inputSymbols = 16;  ///< power of two
+    unsigned inputElems = 1 << 14; ///< input stream length (wraps)
+    unsigned hardBranches = 2;   ///< branches on the state value
+    /** Fraction of states below the first branch's split threshold:
+     *  smaller = more biased = easier to predict. */
+    double splitFraction = 0.5;
+    unsigned intFiller = 4;
+    unsigned fpFiller = 2;
+};
+
+isa::Program stateMachineProgram(const std::string &name,
+                                 const StateMachineParams &params);
+
+} // namespace pubs::wl
+
+#endif // PUBS_WORKLOADS_KERNELS_HH

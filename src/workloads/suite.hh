@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The synthetic benchmark suite standing in for SPEC CPU2006 (the paper
+ * evaluates all of SPEC2006 except wrf). Each entry is calibrated to land
+ * in the same region of the (branch MPKI, LLC MPKI) plane as its
+ * namesake: D-BP programs have branch MPKI > 3.0, memory-intensive
+ * programs have LLC MPKI > 1.0 (the paper's thresholds).
+ */
+
+#ifndef PUBS_WORKLOADS_SUITE_HH
+#define PUBS_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace pubs::wl
+{
+
+struct Workload
+{
+    std::string name;
+    /** Expected to be a difficult-branch-prediction (D-BP) program. */
+    bool expectHardBp = false;
+    /** Expected to be memory intensive (LLC MPKI > 1). */
+    bool expectMemIntensive = false;
+    isa::Program program;
+};
+
+/** Names of every workload in the suite (D-BP entries first). */
+std::vector<std::string> suiteNames();
+
+/** Build one workload by name; fatal on unknown names. */
+Workload makeWorkload(const std::string &name, uint64_t seed = 1);
+
+/** Build the full suite. */
+std::vector<Workload> makeSuite(uint64_t seed = 1);
+
+} // namespace pubs::wl
+
+#endif // PUBS_WORKLOADS_SUITE_HH

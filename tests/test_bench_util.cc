@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the benchmark-harness utilities (table formatting, CSV
+ * emission, percentage formatting, environment-driven budgets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bench_util.hh"
+
+namespace pubs::bench
+{
+namespace
+{
+
+TEST(BenchUtil, PctFormatsRatios)
+{
+    EXPECT_EQ(pct(1.078), "+7.8%");
+    EXPECT_EQ(pct(0.95), "-5.0%");
+    EXPECT_EQ(pct(1.0), "+0.0%");
+}
+
+TEST(BenchUtil, NumFormatsDigits)
+{
+    EXPECT_EQ(num(3.14159, 2), "3.14");
+    EXPECT_EQ(num(2.0, 0), "2");
+}
+
+TEST(BenchUtil, TextTableAligns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long_name", "2"});
+    std::string text = table.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("long_name"), std::string::npos);
+    // Every data line must appear after the separator line.
+    EXPECT_LT(text.find("----"), text.find("long_name"));
+}
+
+TEST(BenchUtil, TextTablePadsShortRows)
+{
+    TextTable table({"a", "b", "c"});
+    table.addRow({"only"});
+    EXPECT_EQ(table.rows()[0].size(), 3u);
+}
+
+TEST(BenchUtil, CsvEmission)
+{
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "pubs_csv_test")
+            .string();
+    std::filesystem::create_directories(dir);
+    setenv("PUBS_BENCH_CSV", dir.c_str(), 1);
+
+    TextTable table({"x", "y"});
+    table.addRow({"1", "2"});
+    EXPECT_TRUE(maybeWriteCsv("unit_test", table));
+
+    std::ifstream in(dir + "/unit_test.csv");
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+
+    unsetenv("PUBS_BENCH_CSV");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchUtil, CsvDisabledWithoutEnv)
+{
+    unsetenv("PUBS_BENCH_CSV");
+    TextTable table({"x"});
+    EXPECT_FALSE(maybeWriteCsv("unit_test", table));
+}
+
+TEST(BenchUtil, BudgetsReadEnvironment)
+{
+    setenv("PUBS_BENCH_INSTS", "12345", 1);
+    setenv("PUBS_BENCH_WARMUP", "678", 1);
+    EXPECT_EQ(measureInsts(), 12345u);
+    EXPECT_EQ(warmupInsts(), 678u);
+    unsetenv("PUBS_BENCH_INSTS");
+    unsetenv("PUBS_BENCH_WARMUP");
+    EXPECT_EQ(measureInsts(), 1000000u);
+    EXPECT_EQ(warmupInsts(), 200000u);
+}
+
+TEST(BenchUtil, GeoMeanRatio)
+{
+    EXPECT_NEAR(geoMeanRatio({1.1, 1.1, 1.1}), 1.1, 1e-12);
+}
+
+} // namespace
+} // namespace pubs::bench

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the out-of-order bookkeeping structures: ROB, LSQ (with
+ * store-to-load forwarding), register rename (with squash rollback), and
+ * the function-unit pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+#include "cpu/lsq.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+
+namespace pubs::cpu
+{
+namespace
+{
+
+TEST(RobTest, FifoOrder)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    rob.push(1);
+    rob.push(2);
+    rob.push(3);
+    EXPECT_EQ(rob.head(), 1u);
+    EXPECT_EQ(rob.tail(), 3u);
+    rob.popHead();
+    EXPECT_EQ(rob.head(), 2u);
+    EXPECT_EQ(rob.occupancy(), 2u);
+}
+
+TEST(RobTest, WrapsAround)
+{
+    Rob rob(2);
+    rob.push(1);
+    rob.push(2);
+    EXPECT_TRUE(rob.full());
+    rob.popHead();
+    rob.push(3);
+    EXPECT_EQ(rob.head(), 2u);
+    EXPECT_EQ(rob.tail(), 3u);
+}
+
+TEST(RobTest, PopTailForSquash)
+{
+    Rob rob(4);
+    rob.push(1);
+    rob.push(2);
+    rob.push(3);
+    rob.popTail();
+    EXPECT_EQ(rob.tail(), 2u);
+    rob.popTail();
+    EXPECT_EQ(rob.tail(), 1u);
+    EXPECT_EQ(rob.head(), 1u);
+}
+
+TEST(LsqTest, CapacityTracking)
+{
+    Lsq lsq(2);
+    lsq.push(1, false, 0x100, 8);
+    EXPECT_FALSE(lsq.full());
+    lsq.push(2, true, 0x200, 8);
+    EXPECT_TRUE(lsq.full());
+    lsq.remove(1);
+    EXPECT_EQ(lsq.occupancy(), 1u);
+}
+
+TEST(LsqTest, LoadWithNoOlderStoreIsFree)
+{
+    Lsq lsq(8);
+    lsq.push(1, false, 0x100, 8);
+    auto dep = lsq.olderStoreDependence(1, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::None);
+}
+
+TEST(LsqTest, LoadWaitsForPendingOverlappingStore)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x100, 8);  // store, not yet executed
+    lsq.push(2, false, 0x100, 8); // load, same address
+    auto dep = lsq.olderStoreDependence(2, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::Wait);
+}
+
+TEST(LsqTest, ExactMatchForwardsAfterStoreExecutes)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x100, 8);
+    lsq.push(2, false, 0x100, 8);
+    lsq.markDone(1, 50);
+    auto dep = lsq.olderStoreDependence(2, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::Forward);
+    EXPECT_EQ(dep.readyCycle, 50u + Lsq::forwardLatency);
+}
+
+TEST(LsqTest, NonOverlappingStoreIgnored)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x200, 8);
+    lsq.push(2, false, 0x100, 8);
+    auto dep = lsq.olderStoreDependence(2, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::None);
+}
+
+TEST(LsqTest, PartialOverlapCounts)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x104, 4); // bytes 0x104..0x107
+    lsq.push(2, false, 0x100, 8); // bytes 0x100..0x107: overlap
+    auto dep = lsq.olderStoreDependence(2, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::Wait);
+}
+
+TEST(LsqTest, YoungestMatchingStoreWins)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x100, 8);
+    lsq.push(2, true, 0x100, 8);
+    lsq.push(3, false, 0x100, 8);
+    lsq.markDone(1, 10);
+    lsq.markDone(2, 90);
+    auto dep = lsq.olderStoreDependence(3, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::Forward);
+    EXPECT_EQ(dep.readyCycle, 90u + Lsq::forwardLatency);
+}
+
+TEST(LsqTest, YoungerStoreDoesNotBlockLoad)
+{
+    Lsq lsq(8);
+    lsq.push(1, false, 0x100, 8); // load first (older)
+    lsq.push(2, true, 0x100, 8);  // store younger
+    auto dep = lsq.olderStoreDependence(1, 0x100, 8);
+    EXPECT_EQ(dep.kind, Lsq::Dep::None);
+}
+
+TEST(LsqTest, RemoveYoungestForSquash)
+{
+    Lsq lsq(8);
+    lsq.push(1, true, 0x100, 8);
+    lsq.push(2, false, 0x200, 8);
+    lsq.removeYoungest(2);
+    EXPECT_EQ(lsq.occupancy(), 1u);
+}
+
+TEST(RenameTest, InitialMappingIsIdentity)
+{
+    RenameUnit rename(128, 128);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Int, 5), 5);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Fp, 7), 7);
+    EXPECT_EQ(rename.freeRegs(isa::RegClass::Int),
+              128u - (unsigned)numIntRegs);
+}
+
+TEST(RenameTest, RenameAllocatesAndRemaps)
+{
+    RenameUnit rename(40, 40);
+    PhysRegId prev;
+    PhysRegId fresh = rename.renameDst(isa::RegClass::Int, 3, prev);
+    EXPECT_EQ(prev, 3);
+    EXPECT_NE(fresh, 3);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Int, 3), fresh);
+    EXPECT_EQ(rename.freeRegs(isa::RegClass::Int), 7u);
+}
+
+TEST(RenameTest, CommitFreesPreviousMapping)
+{
+    RenameUnit rename(40, 40);
+    PhysRegId prev;
+    rename.renameDst(isa::RegClass::Int, 3, prev);
+    size_t before = rename.freeRegs(isa::RegClass::Int);
+    rename.freeReg(isa::RegClass::Int, prev);
+    EXPECT_EQ(rename.freeRegs(isa::RegClass::Int), before + 1);
+}
+
+TEST(RenameTest, RollbackRestoresMapInReverseOrder)
+{
+    RenameUnit rename(40, 40);
+    PhysRegId prev1, prev2;
+    PhysRegId p1 = rename.renameDst(isa::RegClass::Int, 3, prev1);
+    PhysRegId p2 = rename.renameDst(isa::RegClass::Int, 3, prev2);
+    EXPECT_EQ(prev2, p1);
+    // Squash youngest-first.
+    rename.rollback(isa::RegClass::Int, 3, p2, prev2);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Int, 3), p1);
+    rename.rollback(isa::RegClass::Int, 3, p1, prev1);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Int, 3), 3);
+    EXPECT_EQ(rename.freeRegs(isa::RegClass::Int), 8u);
+}
+
+TEST(RenameTest, IntAndFpFilesAreIndependent)
+{
+    RenameUnit rename(40, 48);
+    PhysRegId prev;
+    rename.renameDst(isa::RegClass::Int, 3, prev);
+    EXPECT_EQ(rename.mapOf(isa::RegClass::Fp, 3), 3);
+    EXPECT_EQ(rename.freeRegs(isa::RegClass::Fp), 16u);
+}
+
+TEST(FuPoolTest, MappingMatchesTableI)
+{
+    EXPECT_EQ(fuTypeOf(isa::OpClass::IntAlu), FuType::IntAlu);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::Branch), FuType::IntAlu);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::IntMul), FuType::IntMulDiv);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::IntDiv), FuType::IntMulDiv);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::Load), FuType::LdSt);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::Store), FuType::LdSt);
+    EXPECT_EQ(fuTypeOf(isa::OpClass::FpDiv), FuType::Fpu);
+}
+
+TEST(FuPoolTest, PerCycleThroughputLimit)
+{
+    FuPool pool(2, 1, 2, 2);
+    EXPECT_TRUE(pool.acquire(FuType::IntAlu, 10, 1));
+    EXPECT_TRUE(pool.acquire(FuType::IntAlu, 10, 1));
+    EXPECT_FALSE(pool.acquire(FuType::IntAlu, 10, 1)); // both busy
+    EXPECT_TRUE(pool.acquire(FuType::IntAlu, 11, 1));  // next cycle
+}
+
+TEST(FuPoolTest, UnpipelinedOpsBlockTheUnit)
+{
+    FuPool pool(2, 1, 2, 2);
+    EXPECT_TRUE(pool.acquire(FuType::IntMulDiv, 10, 20)); // divide
+    EXPECT_FALSE(pool.available(FuType::IntMulDiv, 15));
+    EXPECT_FALSE(pool.acquire(FuType::IntMulDiv, 29, 1));
+    EXPECT_TRUE(pool.acquire(FuType::IntMulDiv, 30, 1));
+}
+
+TEST(FuPoolTest, GroupsAreIndependent)
+{
+    FuPool pool(1, 1, 1, 1);
+    EXPECT_TRUE(pool.acquire(FuType::IntAlu, 0, 1));
+    EXPECT_TRUE(pool.acquire(FuType::Fpu, 0, 1));
+    EXPECT_TRUE(pool.acquire(FuType::LdSt, 0, 1));
+    EXPECT_FALSE(pool.acquire(FuType::IntAlu, 0, 1));
+}
+
+} // namespace
+} // namespace pubs::cpu

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Functional-emulator tests: instruction semantics, sparse memory,
+ * control flow, and end-to-end mini programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+namespace pubs::emu
+{
+namespace
+{
+
+using isa::Opcode;
+using isa::ProgramBuilder;
+using trace::DynInst;
+
+/** Run @p source to halt (bounded) and return the emulator. */
+std::unique_ptr<Emulator>
+runAsm(const std::string &source, uint64_t maxSteps = 100000)
+{
+    static std::vector<std::unique_ptr<isa::Program>> keepAlive;
+    keepAlive.push_back(
+        std::make_unique<isa::Program>(isa::assemble(source)));
+    auto emu = std::make_unique<Emulator>(*keepAlive.back());
+    DynInst di;
+    uint64_t steps = 0;
+    while (emu->step(di)) {
+        if (++steps > maxSteps)
+            ADD_FAILURE() << "program did not halt";
+        if (steps > maxSteps)
+            break;
+    }
+    return emu;
+}
+
+TEST(SparseMemory, ByteAndWordAccess)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0x1234), 0); // untouched memory reads zero
+    mem.writeByte(0x1234, 0xab);
+    EXPECT_EQ(mem.readByte(0x1234), 0xab);
+    mem.write64(0x2000, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x2000), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x2000, 4), 0x55667788u);
+}
+
+TEST(SparseMemory, PageCrossing)
+{
+    SparseMemory mem;
+    Addr addr = SparseMemory::pageBytes - 3;
+    mem.write64(addr, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read64(addr), 0xdeadbeefcafebabeull);
+    EXPECT_GE(mem.pagesAllocated(), 2u);
+}
+
+TEST(SparseMemory, Doubles)
+{
+    SparseMemory mem;
+    mem.writeF64(0x3000, 3.14159);
+    EXPECT_DOUBLE_EQ(mem.readF64(0x3000), 3.14159);
+}
+
+TEST(Emulator, ArithmeticSemantics)
+{
+    auto emu = runAsm(R"(
+        li r1, 12
+        li r2, 5
+        add r3, r1, r2
+        sub r4, r1, r2
+        mul r5, r1, r2
+        div r6, r1, r2
+        rem r7, r1, r2
+        and r8, r1, r2
+        or  r9, r1, r2
+        xor r10, r1, r2
+        slt r11, r2, r1
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(3), 17);
+    EXPECT_EQ(emu->intReg(4), 7);
+    EXPECT_EQ(emu->intReg(5), 60);
+    EXPECT_EQ(emu->intReg(6), 2);
+    EXPECT_EQ(emu->intReg(7), 2);
+    EXPECT_EQ(emu->intReg(8), 4);
+    EXPECT_EQ(emu->intReg(9), 13);
+    EXPECT_EQ(emu->intReg(10), 9);
+    EXPECT_EQ(emu->intReg(11), 1);
+}
+
+TEST(Emulator, ImmediateAndShiftSemantics)
+{
+    auto emu = runAsm(R"(
+        li r1, -8
+        addi r2, r1, 3
+        slli r3, r1, 2
+        srai r4, r1, 1
+        li r5, 8
+        srli r6, r5, 2
+        slti r7, r1, 0
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(2), -5);
+    EXPECT_EQ(emu->intReg(3), -32);
+    EXPECT_EQ(emu->intReg(4), -4);
+    EXPECT_EQ(emu->intReg(6), 2);
+    EXPECT_EQ(emu->intReg(7), 1);
+}
+
+TEST(Emulator, DivideByZeroIsDefined)
+{
+    auto emu = runAsm(R"(
+        li r1, 42
+        li r2, 0
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(3), -1); // RISC-V-style semantics
+    EXPECT_EQ(emu->intReg(4), 42);
+}
+
+TEST(Emulator, RegisterZeroIsHardwired)
+{
+    auto emu = runAsm(R"(
+        li r0, 99
+        addi r1, r0, 1
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(0), 0);
+    EXPECT_EQ(emu->intReg(1), 1);
+}
+
+TEST(Emulator, MemorySemantics)
+{
+    auto emu = runAsm(R"(
+        li r1, 0x2000
+        li r2, -7
+        st r2, r1, 0
+        ld r3, r1, 0
+        sw r2, r1, 8
+        lw r4, r1, 8
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(3), -7);
+    EXPECT_EQ(emu->intReg(4), -7); // lw sign-extends
+}
+
+TEST(Emulator, FpSemantics)
+{
+    auto emu = runAsm(R"(
+        li r1, 3
+        li r2, 4
+        fcvt f1, r1
+        fcvt f2, r2
+        fadd f3, f1, f2
+        fmul f4, f1, f2
+        fdiv f5, f2, f1
+        fclt r3, f1, f2
+        ficvt r4, f4
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(emu->fpReg(3), 7.0);
+    EXPECT_DOUBLE_EQ(emu->fpReg(4), 12.0);
+    EXPECT_NEAR(emu->fpReg(5), 4.0 / 3.0, 1e-12);
+    EXPECT_EQ(emu->intReg(3), 1);
+    EXPECT_EQ(emu->intReg(4), 12);
+}
+
+TEST(Emulator, BranchDirections)
+{
+    auto emu = runAsm(R"(
+        li r1, 1
+        li r2, 2
+        blt r2, r1, bad
+        bge r1, r2, bad
+        beq r1, r2, bad
+        bne r1, r1, bad
+        li r10, 1
+        halt
+    bad:
+        li r10, 2
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(10), 1);
+}
+
+TEST(Emulator, UnsignedBranches)
+{
+    auto emu = runAsm(R"(
+        li r1, -1        # as unsigned: max
+        li r2, 1
+        bltu r1, r2, bad
+        bgeu r1, r2, ok
+    bad:
+        li r10, 2
+        halt
+    ok:
+        li r10, 1
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(10), 1);
+}
+
+TEST(Emulator, CallAndReturn)
+{
+    auto emu = runAsm(R"(
+        li r1, 5
+        jal r31, double
+        jal r31, double
+        halt
+    double:
+        add r1, r1, r1
+        jr r31
+    )");
+    EXPECT_EQ(emu->intReg(1), 20);
+}
+
+TEST(Emulator, LoopComputesFibonacci)
+{
+    auto emu = runAsm(R"(
+        li r1, 0     # fib(0)
+        li r2, 1     # fib(1)
+        li r3, 10    # count
+    loop:
+        add r4, r1, r2
+        add r1, r2, r0
+        add r2, r4, r0
+        addi r3, r3, -1
+        bne r3, r0, loop
+        halt
+    )");
+    EXPECT_EQ(emu->intReg(2), 89); // fib(11)
+}
+
+TEST(Emulator, DynInstRecordsOutcomes)
+{
+    isa::Program prog = isa::assemble(R"(
+        li r1, 1
+        beq r1, r0, skip
+        ld r2, r1, 0x1fff
+    skip:
+        halt
+    )");
+    Emulator emu(prog);
+    DynInst di;
+    ASSERT_TRUE(emu.step(di)); // li
+    EXPECT_EQ(di.op, Opcode::Li);
+    EXPECT_EQ(di.nextPc, di.pc + instBytes);
+    ASSERT_TRUE(emu.step(di)); // beq (not taken)
+    EXPECT_TRUE(di.isCondBranch());
+    EXPECT_FALSE(di.taken);
+    ASSERT_TRUE(emu.step(di)); // ld
+    EXPECT_EQ(di.effAddr, 0x2000u);
+    EXPECT_EQ(di.memSize, 8);
+    ASSERT_TRUE(emu.step(di)); // halt
+    EXPECT_FALSE(emu.step(di));
+    EXPECT_TRUE(emu.halted());
+}
+
+TEST(Emulator, DataInitsInstalledOnReset)
+{
+    ProgramBuilder b("t");
+    b.li(1, 0x4000).ld(2, 1, 0).halt();
+    b.data64(0x4000, 777);
+    isa::Program prog = b.build();
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_EQ(emu.intReg(2), 777);
+
+    emu.reset();
+    EXPECT_EQ(emu.instsRetired(), 0u);
+    while (emu.step(di)) {}
+    EXPECT_EQ(emu.intReg(2), 777);
+}
+
+TEST(Emulator, DeterministicAcrossRuns)
+{
+    isa::Program prog = isa::assemble(R"(
+        li r1, 0
+        li r2, 0x3000
+    loop:
+        addi r1, r1, 1
+        st r1, r2, 0
+        ld r3, r2, 0
+        blt r1, r4, loop
+        halt
+    )");
+    // r4 == 0, so the loop body runs once; just confirm two emulators
+    // agree step by step.
+    Emulator a(prog), bEmu(prog);
+    DynInst da, db;
+    while (true) {
+        bool ra = a.step(da);
+        bool rb = bEmu.step(db);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        EXPECT_EQ(da.pc, db.pc);
+        EXPECT_EQ(da.nextPc, db.nextPc);
+        EXPECT_EQ(da.effAddr, db.effAddr);
+    }
+}
+
+TEST(Emulator, ExposesStaticProgram)
+{
+    isa::Program prog = isa::assemble("nop\nhalt\n");
+    Emulator emu(prog);
+    trace::InstSource &source = emu;
+    EXPECT_EQ(source.program(), &prog);
+}
+
+} // namespace
+} // namespace pubs::emu

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Issue-queue organisation tests: free lists, the partitioned random
+ * queue, the shifting queue's age ordering, the circular queue's hole
+ * pathology, the age matrix, and the delay model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "iq/age_matrix.hh"
+#include "iq/circular_queue.hh"
+#include "iq/delay_model.hh"
+#include "iq/free_list.hh"
+#include "iq/random_queue.hh"
+#include "iq/shifting_queue.hh"
+
+namespace pubs::iq
+{
+namespace
+{
+
+TEST(FreeListTest, PopPushRoundTrip)
+{
+    FreeList list(4, 3); // {4,5,6}
+    EXPECT_EQ(list.size(), 3u);
+    std::set<uint32_t> seen;
+    while (!list.empty())
+        seen.insert(list.pop());
+    EXPECT_EQ(seen, (std::set<uint32_t>{4, 5, 6}));
+    list.push(5);
+    EXPECT_EQ(list.pop(), 5u);
+}
+
+TEST(FreeListTest, PopRandomCoversAllEntries)
+{
+    Rng rng(3);
+    FreeList list(0, 8);
+    std::set<uint32_t> seen;
+    while (!list.empty())
+        seen.insert(list.popRandom(rng));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(FreeListTest, PopRandomIsUniformish)
+{
+    // The first pop should hit each of 8 entries roughly uniformly.
+    std::vector<int> histogram(8, 0);
+    for (uint64_t seed = 0; seed < 4000; ++seed) {
+        Rng rng(seed);
+        FreeList list(0, 8);
+        ++histogram[list.popRandom(rng)];
+    }
+    for (int count : histogram)
+        EXPECT_NEAR(count, 500, 150);
+}
+
+TEST(RandomQueueTest, PartitionCapacities)
+{
+    RandomQueue q(16, 4);
+    EXPECT_EQ(q.capacity(), 16u);
+    EXPECT_EQ(q.priorityEntries(), 4u);
+    EXPECT_EQ(q.freePriority(), 4u);
+    EXPECT_EQ(q.freeNormal(), 12u);
+    for (uint32_t i = 0; i < 4; ++i)
+        q.dispatch(i, i, true);
+    EXPECT_FALSE(q.canDispatch(true));
+    EXPECT_TRUE(q.canDispatch(false));
+    for (uint32_t i = 4; i < 16; ++i)
+        q.dispatch(i, i, false);
+    EXPECT_FALSE(q.canDispatch(false));
+    EXPECT_EQ(q.occupancy(), 16u);
+}
+
+TEST(RandomQueueTest, PriorityEntriesOccupyTheHead)
+{
+    RandomQueue q(16, 4);
+    q.dispatch(77, 0, true);
+    const auto &slots = q.prioritySlots();
+    // The instruction must sit in one of the first 4 (head) slots.
+    bool found = false;
+    for (uint32_t s = 0; s < 4; ++s)
+        found |= slots[s].valid && slots[s].clientId == 77;
+    EXPECT_TRUE(found);
+}
+
+TEST(RandomQueueTest, RemoveReturnsEntryToCorrectPartition)
+{
+    RandomQueue q(8, 2);
+    q.dispatch(1, 0, true);
+    q.dispatch(2, 1, false);
+    q.remove(1);
+    q.remove(2);
+    EXPECT_EQ(q.freePriority(), 2u);
+    EXPECT_EQ(q.freeNormal(), 6u);
+    EXPECT_EQ(q.occupancy(), 0u);
+}
+
+TEST(RandomQueueTest, UniformDispatchFillsWholeQueue)
+{
+    RandomQueue q(16, 4);
+    Rng rng(9);
+    for (uint32_t i = 0; i < 16; ++i)
+        q.dispatchUniform(i, i, rng);
+    EXPECT_EQ(q.occupancy(), 16u);
+}
+
+TEST(RandomQueueTest, UniformDispatchWeightsByPartitionRatio)
+{
+    // With 4/16 priority entries, roughly a quarter of first dispatches
+    // should land in the priority partition.
+    int priorityHits = 0;
+    for (uint64_t seed = 0; seed < 2000; ++seed) {
+        RandomQueue q(16, 4, seed);
+        Rng rng(seed * 31 + 7);
+        q.dispatchUniform(0, 0, rng);
+        priorityHits += q.freePriority() == 3;
+    }
+    EXPECT_NEAR(priorityHits, 500, 150);
+}
+
+TEST(RandomQueueTest, PlacementIsRandomisedAcrossSeeds)
+{
+    std::set<uint32_t> positions;
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        RandomQueue q(64, 0, seed);
+        q.dispatch(1, 0, false);
+        const auto &slots = q.prioritySlots();
+        for (uint32_t s = 0; s < slots.size(); ++s)
+            if (slots[s].valid)
+                positions.insert(s);
+    }
+    // A random queue should scatter the first dispatch widely.
+    EXPECT_GT(positions.size(), 20u);
+}
+
+TEST(ShiftingQueueTest, MaintainsAgeOrderAndCompacts)
+{
+    ShiftingQueue q(8);
+    for (uint32_t i = 0; i < 5; ++i)
+        q.dispatch(100 + i, i, false);
+    q.remove(102); // middle entry: younger ones shift down
+    const auto &slots = q.prioritySlots();
+    EXPECT_EQ(q.occupancy(), 4u);
+    EXPECT_EQ(slots[0].clientId, 100u);
+    EXPECT_EQ(slots[1].clientId, 101u);
+    EXPECT_EQ(slots[2].clientId, 103u);
+    EXPECT_EQ(slots[3].clientId, 104u);
+    // Priority order equals age order: seq values ascend.
+    for (size_t s = 1; s < q.occupancy(); ++s)
+        EXPECT_LT(slots[s - 1].seq, slots[s].seq);
+}
+
+TEST(CircularQueueTest, InteriorHolesWasteCapacity)
+{
+    CircularQueue q(4);
+    for (uint32_t i = 0; i < 4; ++i)
+        q.dispatch(i, i, false);
+    EXPECT_FALSE(q.canDispatch(false));
+    q.remove(1); // interior hole: capacity NOT reclaimed
+    EXPECT_EQ(q.occupancy(), 3u);
+    EXPECT_EQ(q.holes(), 1u);
+    EXPECT_FALSE(q.canDispatch(false));
+    q.remove(0); // head: reclaims itself AND the adjacent hole
+    EXPECT_EQ(q.holes(), 0u);
+    EXPECT_TRUE(q.canDispatch(false));
+    q.dispatch(10, 10, false);
+    q.dispatch(11, 11, false);
+    EXPECT_EQ(q.occupancy(), 4u);
+}
+
+TEST(CircularQueueTest, WraparoundReversesPositionalPriority)
+{
+    CircularQueue q(4);
+    for (uint32_t i = 0; i < 4; ++i)
+        q.dispatch(i, i, false);
+    q.remove(0);
+    q.remove(1);
+    q.dispatch(4, 4, false); // lands at physical slot 0
+    const auto &slots = q.prioritySlots();
+    // The youngest instruction (seq 4) now has the best position —
+    // exactly the pathology Section III-B1 describes.
+    EXPECT_TRUE(slots[0].valid);
+    EXPECT_EQ(slots[0].seq, 4u);
+    EXPECT_EQ(slots[2].seq, 2u);
+}
+
+TEST(AgeMatrixTest, TracksRelativeAge)
+{
+    AgeMatrix age(8);
+    age.dispatch(3);
+    age.dispatch(5);
+    age.dispatch(1);
+    EXPECT_TRUE(age.older(3, 5));
+    EXPECT_TRUE(age.older(3, 1));
+    EXPECT_TRUE(age.older(5, 1));
+    EXPECT_FALSE(age.older(1, 3));
+}
+
+TEST(AgeMatrixTest, OldestReadySelectsByAgeNotPosition)
+{
+    AgeMatrix age(8);
+    age.dispatch(6); // oldest lives at a high slot index
+    age.dispatch(2);
+    age.dispatch(0);
+    std::vector<uint64_t> ready(1, 0);
+    ready[0] |= 1u << 6;
+    ready[0] |= 1u << 0;
+    EXPECT_EQ(age.oldestReady(ready), 6);
+}
+
+TEST(AgeMatrixTest, SkipsNotReadyOlder)
+{
+    AgeMatrix age(8);
+    age.dispatch(6);
+    age.dispatch(2);
+    std::vector<uint64_t> ready(1, 0);
+    ready[0] |= 1u << 2; // only the younger one requests issue
+    EXPECT_EQ(age.oldestReady(ready), 2);
+}
+
+TEST(AgeMatrixTest, EmptyReadyYieldsNone)
+{
+    AgeMatrix age(8);
+    age.dispatch(1);
+    std::vector<uint64_t> ready(1, 0);
+    EXPECT_EQ(age.oldestReady(ready), -1);
+}
+
+TEST(AgeMatrixTest, RemoveClearsRelations)
+{
+    AgeMatrix age(8);
+    age.dispatch(1);
+    age.dispatch(2);
+    age.remove(1);
+    age.dispatch(1); // re-dispatched: now the youngest
+    EXPECT_TRUE(age.older(2, 1));
+    EXPECT_FALSE(age.older(1, 2));
+}
+
+/** Property: against a reference (min-seq) model under random traffic. */
+TEST(AgeMatrixTest, MatchesReferenceUnderRandomTraffic)
+{
+    Rng rng(17);
+    const unsigned size = 64;
+    AgeMatrix age(size);
+    std::vector<bool> valid(size, false);
+    std::vector<uint64_t> seqOf(size, 0);
+    uint64_t nextSeq = 1;
+
+    for (int step = 0; step < 5000; ++step) {
+        unsigned slot = (unsigned)rng.below(size);
+        if (!valid[slot]) {
+            age.dispatch(slot);
+            valid[slot] = true;
+            seqOf[slot] = nextSeq++;
+        } else if (rng.chance(0.5)) {
+            age.remove(slot);
+            valid[slot] = false;
+        }
+        // Random ready subset of valid slots.
+        std::vector<uint64_t> ready(1, 0);
+        uint64_t oldestSeq = ~0ull;
+        int oldestSlot = -1;
+        for (unsigned s = 0; s < size; ++s) {
+            if (valid[s] && rng.chance(0.4)) {
+                ready[0] |= (uint64_t)1 << s;
+                if (seqOf[s] < oldestSeq) {
+                    oldestSeq = seqOf[s];
+                    oldestSlot = (int)s;
+                }
+            }
+        }
+        ASSERT_EQ(age.oldestReady(ready), oldestSlot) << "step " << step;
+    }
+}
+
+TEST(AgeMatrixTest, CostScalesQuadratically)
+{
+    EXPECT_EQ(AgeMatrix(64).costBits(), 64u * 64u);
+    EXPECT_EQ(AgeMatrix(128).costBits(), 128u * 128u);
+}
+
+TEST(DelayModelTest, PaperNumbers)
+{
+    DelayModel model;
+    EXPECT_DOUBLE_EQ(model.cycleTime(false), 1.0);
+    EXPECT_DOUBLE_EQ(model.cycleTime(true), 1.13);
+    // Fig. 15(b): IPC gains below 13% lose to the clock penalty.
+    EXPECT_LT(model.performance(1.10, true), model.performance(1.0, false));
+    EXPECT_GT(model.performance(1.20, true), model.performance(1.0, false));
+}
+
+TEST(IqKindTest, Names)
+{
+    EXPECT_STREQ(iqKindName(IqKind::Random), "random");
+    EXPECT_STREQ(iqKindName(IqKind::Shifting), "shifting");
+    EXPECT_STREQ(iqKindName(IqKind::Circular), "circular");
+}
+
+} // namespace
+} // namespace pubs::iq

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the micro-ISA: opcode metadata, operand classification,
+ * the program container, the fluent builder, and the text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace pubs::isa
+{
+namespace
+{
+
+TEST(Isa, OpInfoTableIsComplete)
+{
+    for (size_t i = 0; i < (size_t)Opcode::NumOpcodes; ++i) {
+        auto op = (Opcode)i;
+        const OpInfo &info = opInfo(op);
+        EXPECT_NE(info.mnemonic, nullptr);
+        EXPECT_GT(info.latency, 0u) << info.mnemonic;
+        EXPECT_LT((size_t)info.cls, (size_t)OpClass::NumClasses);
+    }
+}
+
+TEST(Isa, MnemonicsAreUnique)
+{
+    std::set<std::string> seen;
+    for (size_t i = 0; i < (size_t)Opcode::NumOpcodes; ++i)
+        EXPECT_TRUE(seen.insert(mnemonic((Opcode)i)).second)
+            << mnemonic((Opcode)i);
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isBranch(Opcode::Beq));
+    EXPECT_TRUE(isBranch(Opcode::Jr));
+    EXPECT_FALSE(isBranch(Opcode::Add));
+    EXPECT_TRUE(isCondBranch(Opcode::Bgeu));
+    EXPECT_FALSE(isCondBranch(Opcode::J));
+    EXPECT_TRUE(isLoad(Opcode::Fld));
+    EXPECT_TRUE(isStore(Opcode::Sw));
+    EXPECT_TRUE(isMem(Opcode::Ld));
+    EXPECT_FALSE(isMem(Opcode::Fadd));
+}
+
+TEST(Isa, LatenciesMatchTableI)
+{
+    EXPECT_EQ(opInfo(Opcode::Add).latency, 1u);
+    EXPECT_EQ(opInfo(Opcode::Mul).latency, 3u);
+    EXPECT_TRUE(opInfo(Opcode::Div).unpipelined);
+    EXPECT_TRUE(opInfo(Opcode::Fdiv).unpipelined);
+    EXPECT_FALSE(opInfo(Opcode::Fmul).unpipelined);
+}
+
+TEST(Isa, SrcRegClassForMemoryOps)
+{
+    // fst stores an FP value through an integer base register.
+    Inst fst{Opcode::Fst, invalidReg, 3, 5, 16};
+    EXPECT_EQ(srcRegClass(fst, 0), RegClass::Int);
+    EXPECT_EQ(srcRegClass(fst, 1), RegClass::Fp);
+
+    Inst fld{Opcode::Fld, 2, 3, invalidReg, 0};
+    EXPECT_EQ(srcRegClass(fld, 0), RegClass::Int);
+    EXPECT_EQ(dstRegClass(fld), RegClass::Fp);
+
+    Inst add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_EQ(srcRegClass(add, 0), RegClass::Int);
+    EXPECT_EQ(srcRegClass(add, 1), RegClass::Int);
+}
+
+TEST(Isa, UnifiedRegSpace)
+{
+    EXPECT_EQ(unifiedReg(RegClass::Int, 0), 0);
+    EXPECT_EQ(unifiedReg(RegClass::Int, 31), 31);
+    EXPECT_EQ(unifiedReg(RegClass::Fp, 0), 32);
+    EXPECT_EQ(unifiedReg(RegClass::Fp, 31), 63);
+}
+
+TEST(Isa, Disassemble)
+{
+    Inst add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_EQ(disassemble(add), "add r1, r2, r3");
+    Inst ld{Opcode::Ld, 4, 5, invalidReg, 16};
+    EXPECT_EQ(disassemble(ld), "ld r4, r5, 16");
+    Inst fadd{Opcode::Fadd, 1, 2, 3, 0};
+    EXPECT_EQ(disassemble(fadd), "fadd f1, f2, f3");
+}
+
+TEST(Program, PcMapping)
+{
+    Program prog("t");
+    prog.append({Opcode::Nop, invalidReg, invalidReg, invalidReg, 0});
+    prog.append({Opcode::Halt, invalidReg, invalidReg, invalidReg, 0});
+    EXPECT_EQ(prog.pcOf(0), Program::basePc());
+    EXPECT_EQ(prog.pcOf(1), Program::basePc() + instBytes);
+    EXPECT_EQ(prog.indexOf(prog.pcOf(1)), 1u);
+    EXPECT_TRUE(prog.contains(prog.pcOf(0)));
+    EXPECT_FALSE(prog.contains(prog.pcOf(0) + 1)); // misaligned
+    EXPECT_FALSE(prog.contains(prog.pcOf(1) + instBytes)); // past end
+}
+
+TEST(Program, Labels)
+{
+    Program prog("t");
+    prog.defineLabel("start");
+    prog.append({Opcode::Nop, invalidReg, invalidReg, invalidReg, 0});
+    prog.defineLabel("end");
+    EXPECT_TRUE(prog.hasLabel("start"));
+    EXPECT_EQ(prog.labelIndex("start"), 0u);
+    EXPECT_EQ(prog.labelIndex("end"), 1u);
+    EXPECT_FALSE(prog.hasLabel("nope"));
+}
+
+TEST(Program, DataInits)
+{
+    Program prog("t");
+    prog.addData64(0x2000, 0x1122334455667788ull);
+    ASSERT_EQ(prog.dataInits().size(), 1u);
+    EXPECT_EQ(prog.dataInits()[0].addr, 0x2000u);
+    EXPECT_EQ(prog.dataInits()[0].bytes[0], 0x88); // little endian
+    EXPECT_EQ(prog.dataInits()[0].bytes[7], 0x11);
+}
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("t");
+    b.label("top");
+    b.addi(1, 1, 1);
+    b.beq(1, 2, "done");   // forward reference
+    b.jump("top");         // backward reference
+    b.label("done");
+    b.halt();
+    Program prog = b.build();
+    EXPECT_EQ(prog.at(1).imm, 3); // "done"
+    EXPECT_EQ(prog.at(2).imm, 0); // "top"
+}
+
+TEST(Builder, ListingContainsLabels)
+{
+    ProgramBuilder b("t");
+    b.label("loop").addi(1, 1, 1).jump("loop");
+    Program prog = b.build();
+    std::string listing = prog.listing();
+    EXPECT_NE(listing.find("loop:"), std::string::npos);
+    EXPECT_NE(listing.find("addi r1, r1, 1"), std::string::npos);
+}
+
+TEST(Builder, StoreOperandShape)
+{
+    ProgramBuilder b("t");
+    b.st(7, 2, 24).fst(3, 4, 8);
+    Program prog = b.build();
+    // store value is src2, base is src1.
+    EXPECT_EQ(prog.at(0).src2, 7);
+    EXPECT_EQ(prog.at(0).src1, 2);
+    EXPECT_EQ(prog.at(0).imm, 24);
+    EXPECT_EQ(prog.at(1).src2, 3);
+}
+
+TEST(Assembler, RoundTripBasicProgram)
+{
+    const char *src = R"(
+        # compute 5 + 7
+        li   r1, 5
+        li   r2, 7
+        add  r3, r1, r2
+        halt
+    )";
+    Program prog = assemble(src);
+    ASSERT_EQ(prog.size(), 4u);
+    EXPECT_EQ(prog.at(0).op, Opcode::Li);
+    EXPECT_EQ(prog.at(2).op, Opcode::Add);
+    EXPECT_EQ(prog.at(2).dst, 3);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const char *src = R"(
+        li r1, 0
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    )";
+    Program prog = assemble(src);
+    EXPECT_EQ(prog.at(2).imm, 1); // loop label index
+}
+
+TEST(Assembler, MemoryAndFpForms)
+{
+    const char *src = R"(
+        ld   r2, r1, 8
+        st   r2, r1, 16
+        fld  f1, r1, 0
+        fst  f1, r1, 8
+        fadd f2, f1, f1
+        fcvt f3, r2
+        jal  r31, fn
+    fn: jr   r31
+        .data64 0x2000 42
+    )";
+    Program prog = assemble(src);
+    EXPECT_EQ(prog.size(), 8u);
+    EXPECT_EQ(prog.at(0).op, Opcode::Ld);
+    EXPECT_EQ(prog.at(1).src2, 2);
+    EXPECT_EQ(prog.at(5).op, Opcode::Fcvt);
+    ASSERT_EQ(prog.dataInits().size(), 1u);
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    Program prog = assemble("li r1, 0x10\nli r2, -5\nhalt\n");
+    EXPECT_EQ(prog.at(0).imm, 16);
+    EXPECT_EQ(prog.at(1).imm, -5);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1, r2\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Assembler, RejectsUndefinedLabel)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel)
+{
+    EXPECT_THROW(assemble("a:\nnop\na:\nnop\n"), AsmError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble("halt r1\n"), AsmError);
+}
+
+TEST(Assembler, RejectsWrongRegisterClass)
+{
+    EXPECT_THROW(assemble("add r1, f2, r3\n"), AsmError);
+    EXPECT_THROW(assemble("fadd r1, f2, f3\n"), AsmError);
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), AsmError);
+}
+
+} // namespace
+} // namespace pubs::isa

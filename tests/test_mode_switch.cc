@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Mode-switch tests (Section III-B3): interval accounting and the LLC
+ * MPKI threshold behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pubs/mode_switch.hh"
+
+namespace pubs::pubs
+{
+namespace
+{
+
+PubsParams
+params(uint64_t interval, double threshold)
+{
+    PubsParams p;
+    p.modeInterval = interval;
+    p.modeMpkiThreshold = threshold;
+    return p;
+}
+
+void
+runInterval(ModeSwitch &ms, uint64_t commits, uint64_t misses)
+{
+    // Spread misses across the interval's commits.
+    for (uint64_t i = 0; i < commits; ++i) {
+        if (misses > 0 && i % (commits / misses ? commits / misses : 1) == 0
+            && misses-- > 0) {
+            ms.noteLlcMiss();
+        }
+        ms.noteCommit();
+    }
+}
+
+TEST(ModeSwitch, StartsEnabled)
+{
+    ModeSwitch ms(params(1000, 1.0));
+    EXPECT_TRUE(ms.pubsEnabled());
+    EXPECT_DOUBLE_EQ(ms.enabledFraction(), 1.0);
+}
+
+TEST(ModeSwitch, DisablesOnHighMpki)
+{
+    ModeSwitch ms(params(1000, 1.0));
+    // 10 misses per 1000 insts = 10 MPKI > 1.0.
+    for (int i = 0; i < 10; ++i)
+        ms.noteLlcMiss();
+    for (int i = 0; i < 1000; ++i)
+        ms.noteCommit();
+    EXPECT_FALSE(ms.pubsEnabled());
+    EXPECT_EQ(ms.intervals(), 1u);
+    EXPECT_EQ(ms.enabledIntervals(), 0u);
+}
+
+TEST(ModeSwitch, StaysEnabledOnLowMpki)
+{
+    ModeSwitch ms(params(1000, 1.0));
+    // 0 misses.
+    for (int i = 0; i < 1000; ++i)
+        ms.noteCommit();
+    EXPECT_TRUE(ms.pubsEnabled());
+    EXPECT_EQ(ms.enabledIntervals(), 1u);
+}
+
+TEST(ModeSwitch, ThresholdIsExclusive)
+{
+    ModeSwitch ms(params(1000, 1.0));
+    // Exactly 1 MPKI is NOT below the threshold: disabled.
+    ms.noteLlcMiss();
+    for (int i = 0; i < 1000; ++i)
+        ms.noteCommit();
+    EXPECT_FALSE(ms.pubsEnabled());
+}
+
+TEST(ModeSwitch, ReEnablesWhenPressureDrops)
+{
+    ModeSwitch ms(params(100, 1.0));
+    runInterval(ms, 100, 50); // memory-bound interval
+    EXPECT_FALSE(ms.pubsEnabled());
+    runInterval(ms, 100, 0); // compute interval
+    EXPECT_TRUE(ms.pubsEnabled());
+    EXPECT_EQ(ms.intervals(), 2u);
+    EXPECT_EQ(ms.enabledIntervals(), 1u);
+    EXPECT_DOUBLE_EQ(ms.enabledFraction(), 0.5);
+}
+
+TEST(ModeSwitch, DisabledConfigurationAlwaysOn)
+{
+    PubsParams p = params(100, 1.0);
+    p.modeSwitch = false;
+    ModeSwitch ms(p);
+    for (int i = 0; i < 1000; ++i) {
+        ms.noteLlcMiss();
+        ms.noteCommit();
+    }
+    EXPECT_TRUE(ms.pubsEnabled());
+    EXPECT_EQ(ms.intervals(), 0u); // no observation when switched off
+}
+
+TEST(ModeSwitch, MissesResetBetweenIntervals)
+{
+    ModeSwitch ms(params(1000, 1.0));
+    runInterval(ms, 1000, 100);
+    EXPECT_FALSE(ms.pubsEnabled());
+    // Next interval is clean: the old misses must not carry over.
+    runInterval(ms, 1000, 0);
+    EXPECT_TRUE(ms.pubsEnabled());
+}
+
+} // namespace
+} // namespace pubs::pubs

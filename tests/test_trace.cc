@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace-format tests: writer/reader round trips, header validation, and
+ * replay equivalence against the emulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "trace/trace.hh"
+
+namespace pubs::trace
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+DynInst
+sample(SeqNum seq)
+{
+    DynInst di;
+    di.seq = seq;
+    di.pc = 0x1000 + seq * 4;
+    di.nextPc = di.pc + 4;
+    di.op = isa::Opcode::Ld;
+    di.dst = 3;
+    di.src1 = 5;
+    di.src2 = invalidReg;
+    di.effAddr = 0xdead0000 + seq;
+    di.memSize = 8;
+    di.taken = (seq & 1) != 0;
+    return di;
+}
+
+TEST(Trace, RoundTrip)
+{
+    std::string path = tempPath("pubs_trace_rt.trc");
+    {
+        TraceWriter writer(path);
+        for (SeqNum i = 0; i < 100; ++i)
+            writer.write(sample(i));
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), 100u);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 100u);
+    DynInst di;
+    for (SeqNum i = 0; i < 100; ++i) {
+        ASSERT_TRUE(reader.next(di));
+        DynInst want = sample(i);
+        EXPECT_EQ(di.pc, want.pc);
+        EXPECT_EQ(di.nextPc, want.nextPc);
+        EXPECT_EQ(di.op, want.op);
+        EXPECT_EQ(di.dst, want.dst);
+        EXPECT_EQ(di.src1, want.src1);
+        EXPECT_EQ(di.src2, want.src2);
+        EXPECT_EQ(di.effAddr, want.effAddr);
+        EXPECT_EQ(di.memSize, want.memSize);
+        EXPECT_EQ(di.taken, want.taken);
+    }
+    EXPECT_FALSE(reader.next(di));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, NegativeRegistersSurvive)
+{
+    std::string path = tempPath("pubs_trace_neg.trc");
+    {
+        TraceWriter writer(path);
+        DynInst di = sample(0);
+        di.dst = invalidReg;
+        di.src1 = invalidReg;
+        writer.write(di);
+        writer.close();
+    }
+    TraceReader reader(path);
+    DynInst di;
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_EQ(di.dst, invalidReg);
+    EXPECT_EQ(di.src1, invalidReg);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTrace)
+{
+    std::string path = tempPath("pubs_trace_empty.trc");
+    {
+        TraceWriter writer(path);
+        writer.close();
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    DynInst di;
+    EXPECT_FALSE(reader.next(di));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CapturedEmulationReplaysIdentically)
+{
+    isa::Program prog = isa::assemble(R"(
+        li r1, 0
+        li r2, 20
+    loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    )");
+    std::string path = tempPath("pubs_trace_emul.trc");
+    {
+        emu::Emulator emu(prog);
+        TraceWriter writer(path);
+        DynInst di;
+        while (emu.step(di))
+            writer.write(di);
+        writer.close();
+    }
+    emu::Emulator emu(prog);
+    TraceReader reader(path);
+    EXPECT_EQ(reader.program(), nullptr); // traces carry no static code
+    DynInst fromEmu, fromTrace;
+    while (emu.step(fromEmu)) {
+        ASSERT_TRUE(reader.next(fromTrace));
+        EXPECT_EQ(fromEmu.pc, fromTrace.pc);
+        EXPECT_EQ(fromEmu.nextPc, fromTrace.nextPc);
+        EXPECT_EQ((int)fromEmu.op, (int)fromTrace.op);
+        EXPECT_EQ(fromEmu.taken, fromTrace.taken);
+    }
+    EXPECT_FALSE(reader.next(fromTrace));
+    std::remove(path.c_str());
+}
+
+TEST(VectorSourceTest, DrainsInOrder)
+{
+    std::vector<DynInst> insts = {sample(0), sample(1), sample(2)};
+    VectorSource source(insts);
+    DynInst di;
+    for (SeqNum i = 0; i < 3; ++i) {
+        ASSERT_TRUE(source.next(di));
+        EXPECT_EQ(di.seq, i);
+    }
+    EXPECT_FALSE(source.next(di));
+}
+
+} // namespace
+} // namespace pubs::trace
