@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pubs.dir/bench_ablation_pubs.cc.o"
+  "CMakeFiles/bench_ablation_pubs.dir/bench_ablation_pubs.cc.o.d"
+  "bench_ablation_pubs"
+  "bench_ablation_pubs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

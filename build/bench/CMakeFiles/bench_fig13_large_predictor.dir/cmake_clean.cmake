@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_large_predictor.dir/bench_fig13_large_predictor.cc.o"
+  "CMakeFiles/bench_fig13_large_predictor.dir/bench_fig13_large_predictor.cc.o.d"
+  "bench_fig13_large_predictor"
+  "bench_fig13_large_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_large_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

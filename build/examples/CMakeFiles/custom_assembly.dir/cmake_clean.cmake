@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_assembly.dir/custom_assembly.cc.o"
+  "CMakeFiles/custom_assembly.dir/custom_assembly.cc.o.d"
+  "custom_assembly"
+  "custom_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_iq.dir/explore_iq.cc.o"
+  "CMakeFiles/explore_iq.dir/explore_iq.cc.o.d"
+  "explore_iq"
+  "explore_iq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_mode_switch.dir/memory_mode_switch.cc.o"
+  "CMakeFiles/memory_mode_switch.dir/memory_mode_switch.cc.o.d"
+  "memory_mode_switch"
+  "memory_mode_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_mode_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubs_sim_cli.dir/pubs_sim_cli.cc.o"
+  "CMakeFiles/pubs_sim_cli.dir/pubs_sim_cli.cc.o.d"
+  "pubs_sim_cli"
+  "pubs_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubs_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

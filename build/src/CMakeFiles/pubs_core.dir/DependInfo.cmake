@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimode.cc" "src/CMakeFiles/pubs_core.dir/branch/bimode.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/bimode.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/pubs_core.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/confidence.cc" "src/CMakeFiles/pubs_core.dir/branch/confidence.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/confidence.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/pubs_core.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/perceptron.cc" "src/CMakeFiles/pubs_core.dir/branch/perceptron.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/perceptron.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/pubs_core.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/pubs_core.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/ras.cc.o.d"
+  "/root/repo/src/branch/tournament.cc" "src/CMakeFiles/pubs_core.dir/branch/tournament.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/branch/tournament.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/pubs_core.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/pubs_core.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/fu_pool.cc" "src/CMakeFiles/pubs_core.dir/cpu/fu_pool.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/fu_pool.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/pubs_core.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/params.cc" "src/CMakeFiles/pubs_core.dir/cpu/params.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/params.cc.o.d"
+  "/root/repo/src/cpu/pipeline.cc" "src/CMakeFiles/pubs_core.dir/cpu/pipeline.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/pipeline.cc.o.d"
+  "/root/repo/src/cpu/rename.cc" "src/CMakeFiles/pubs_core.dir/cpu/rename.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/rename.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/pubs_core.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/cpu/rob.cc.o.d"
+  "/root/repo/src/emu/emulator.cc" "src/CMakeFiles/pubs_core.dir/emu/emulator.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/emu/emulator.cc.o.d"
+  "/root/repo/src/iq/age_matrix.cc" "src/CMakeFiles/pubs_core.dir/iq/age_matrix.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/age_matrix.cc.o.d"
+  "/root/repo/src/iq/circular_queue.cc" "src/CMakeFiles/pubs_core.dir/iq/circular_queue.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/circular_queue.cc.o.d"
+  "/root/repo/src/iq/delay_model.cc" "src/CMakeFiles/pubs_core.dir/iq/delay_model.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/delay_model.cc.o.d"
+  "/root/repo/src/iq/free_list.cc" "src/CMakeFiles/pubs_core.dir/iq/free_list.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/free_list.cc.o.d"
+  "/root/repo/src/iq/random_queue.cc" "src/CMakeFiles/pubs_core.dir/iq/random_queue.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/random_queue.cc.o.d"
+  "/root/repo/src/iq/shifting_queue.cc" "src/CMakeFiles/pubs_core.dir/iq/shifting_queue.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/iq/shifting_queue.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/pubs_core.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/pubs_core.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/pubs_core.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/pubs_core.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/pubs_core.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/pubs_core.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/stream_prefetcher.cc" "src/CMakeFiles/pubs_core.dir/mem/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/mem/stream_prefetcher.cc.o.d"
+  "/root/repo/src/pubs/brslice_tab.cc" "src/CMakeFiles/pubs_core.dir/pubs/brslice_tab.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/brslice_tab.cc.o.d"
+  "/root/repo/src/pubs/conf_tab.cc" "src/CMakeFiles/pubs_core.dir/pubs/conf_tab.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/conf_tab.cc.o.d"
+  "/root/repo/src/pubs/cost_model.cc" "src/CMakeFiles/pubs_core.dir/pubs/cost_model.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/cost_model.cc.o.d"
+  "/root/repo/src/pubs/def_tab.cc" "src/CMakeFiles/pubs_core.dir/pubs/def_tab.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/def_tab.cc.o.d"
+  "/root/repo/src/pubs/mode_switch.cc" "src/CMakeFiles/pubs_core.dir/pubs/mode_switch.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/mode_switch.cc.o.d"
+  "/root/repo/src/pubs/slice_unit.cc" "src/CMakeFiles/pubs_core.dir/pubs/slice_unit.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/pubs/slice_unit.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/pubs_core.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/pubs_core.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pubs_core.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/pubs_core.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/pubs_core.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/pubs_core.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

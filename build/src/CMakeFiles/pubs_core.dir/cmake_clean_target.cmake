@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpubs_core.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_util.cc" "tests/CMakeFiles/pubs_tests.dir/test_bench_util.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_bench_util.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/pubs_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pubs_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cpu_structs.cc" "tests/CMakeFiles/pubs_tests.dir/test_cpu_structs.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_cpu_structs.cc.o.d"
+  "/root/repo/tests/test_emulator.cc" "tests/CMakeFiles/pubs_tests.dir/test_emulator.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_emulator.cc.o.d"
+  "/root/repo/tests/test_iq.cc" "tests/CMakeFiles/pubs_tests.dir/test_iq.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_iq.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/pubs_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/pubs_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_mode_switch.cc" "tests/CMakeFiles/pubs_tests.dir/test_mode_switch.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_mode_switch.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/pubs_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pubs_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_pubs_tables.cc" "tests/CMakeFiles/pubs_tests.dir/test_pubs_tables.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_pubs_tables.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/pubs_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_slice_unit.cc" "tests/CMakeFiles/pubs_tests.dir/test_slice_unit.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_slice_unit.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/pubs_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/pubs_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/pubs_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/pubs_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pubs_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
