@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -140,12 +141,30 @@ runSuite(const std::vector<wl::Workload> &suite,
             std::fprintf(stderr, "  running %-18s ...", workload.name.c_str());
             std::fflush(stderr);
         }
-        sim::RunResult r = runWorkload(workload, params);
-        if (verbose) {
-            std::fprintf(stderr, " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f\n",
-                         r.ipc, r.branchMpki, r.llcMpki);
+        try {
+            sim::RunResult r = runWorkload(workload, params);
+            if (verbose) {
+                std::fprintf(stderr, " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f\n",
+                             r.ipc, r.branchMpki, r.llcMpki);
+            }
+            run.results.push_back(std::move(r));
+            run.errors.emplace_back();
+        } catch (const SimError &error) {
+            // Skip-and-continue: one broken run must not end the sweep.
+            if (verbose)
+                std::fprintf(stderr, " FAILED\n");
+            std::fprintf(stderr, "  %s error in %s: %s\n",
+                         SimError::kindName(error.kind()),
+                         workload.name.c_str(), error.what());
+            sim::RunResult placeholder;
+            placeholder.workload = workload.name;
+            run.results.push_back(std::move(placeholder));
+            run.errors.emplace_back(error.what());
         }
-        run.results.push_back(std::move(r));
+    }
+    if (size_t n = run.failed()) {
+        warn("%zu of %zu workloads failed and were skipped", n,
+             suite.size());
     }
     return run;
 }

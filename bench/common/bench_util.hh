@@ -70,9 +70,33 @@ sim::RunResult runWorkload(const wl::Workload &workload,
 struct SuiteRun
 {
     std::vector<sim::RunResult> results; ///< index-aligned with suite
+
+    /**
+     * Workloads whose simulation threw a SimError (index-aligned with
+     * the suite: empty string = ran clean). A failed entry keeps a
+     * default-constructed RunResult so downstream ratio math can skip
+     * it without renumbering.
+     */
+    std::vector<std::string> errors;
+
+    size_t
+    failed() const
+    {
+        size_t n = 0;
+        for (const std::string &error : errors)
+            n += error.empty() ? 0 : 1;
+        return n;
+    }
+
+    bool ok(size_t index) const { return errors[index].empty(); }
 };
 
-/** Run every workload in @p suite on @p params. */
+/**
+ * Run every workload in @p suite on @p params. A workload that throws
+ * SimError (bad configuration, trace corruption, checker divergence) is
+ * reported and skipped; the sweep continues with the remaining
+ * workloads.
+ */
 SuiteRun runSuite(const std::vector<wl::Workload> &suite,
                   const cpu::CoreParams &params, bool verbose = true);
 

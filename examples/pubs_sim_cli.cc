@@ -15,15 +15,23 @@
  *       --non-stall                  non-stall dispatch policy
  *       --distributed-iq             Section III-C2 distributed IQ
  *       --iq <random|shifting|circular>
+ *       --check <off|warn|throw|abort>  checker + audit policy
+ *       --check lockstep             verify every suite workload with the
+ *                                    lockstep checker and the structural
+ *                                    auditor; PASS/FAIL per workload
+ *       --audit-interval <n>         cycles between structural audits
  *       --list                       list suite workloads and exit
  *
- * Prints the full pipeline stat group.
+ * Prints the full pipeline stat group. Recoverable failures (bad
+ * configuration, corrupt trace, checker divergence under --check throw)
+ * print "error: ..." and exit 1 instead of aborting.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "emu/emulator.hh"
 #include "sim/config.hh"
@@ -44,7 +52,9 @@ usage(const char *argv0)
                  "          [--insts N] [--warmup N] [--seed N]\n"
                  "          [--priority-entries N] [--conf-bits N]\n"
                  "          [--no-mode-switch] [--non-stall]\n"
-                 "          [--distributed-iq] [--iq KIND] [--list]\n",
+                 "          [--distributed-iq] [--iq KIND] [--list]\n"
+                 "          [--check off|warn|throw|abort|lockstep]\n"
+                 "          [--audit-interval N]\n",
                  argv0);
     std::exit(2);
 }
@@ -96,10 +106,49 @@ endsWith(const std::string &s, const std::string &suffix)
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/**
+ * Run every suite workload with the lockstep checker and the structural
+ * auditor set to throw. @return the number of failing workloads.
+ */
+int
+runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
+            uint64_t seed)
+{
+    params.checkPolicy = CheckPolicy::Throw;
+    params.auditPolicy = CheckPolicy::Throw;
+
+    std::printf("%-18s %-6s %12s %12s\n", "workload", "result",
+                "checked", "audits");
+    int failures = 0;
+    for (const auto &name : wl::suiteNames()) {
+        try {
+            wl::Workload w = wl::makeWorkload(name, seed);
+            sim::Simulator simulator(
+                params, std::make_unique<emu::Emulator>(w.program));
+            simulator.run(warmup, insts);
+            const cpu::PipelineStats &s = simulator.pipeline().stats();
+            std::printf("%-18s %-6s %12llu %12llu\n", name.c_str(),
+                        "PASS", (unsigned long long)s.checkerCommits,
+                        (unsigned long long)s.auditsRun);
+        } catch (const SimError &error) {
+            ++failures;
+            std::printf("%-18s %-6s\n", name.c_str(), "FAIL");
+            std::fprintf(stderr, "%s error in %s:\n%s\n",
+                         SimError::kindName(error.kind()), name.c_str(),
+                         error.what());
+        }
+        std::fflush(stdout);
+    }
+    std::printf("lockstep verification: %s (%d failing workload%s)\n",
+                failures ? "FAIL" : "PASS", failures,
+                failures == 1 ? "" : "s");
+    return failures;
+}
+
 } // namespace
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string workload = "sjeng_like";
     sim::Machine machine = sim::Machine::Pubs;
@@ -118,6 +167,9 @@ main(int argc, char **argv)
     bool setIqKind = false;
     iq::IqKind iqKind = iq::IqKind::Random;
     uint64_t seed = 1;
+    std::string checkArg;
+    bool setAuditInterval = false;
+    unsigned auditInterval = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -153,6 +205,11 @@ main(int argc, char **argv)
         } else if (arg == "--iq") {
             setIqKind = true;
             iqKind = parseIqKind(next());
+        } else if (arg == "--check") {
+            checkArg = next();
+        } else if (arg == "--audit-interval") {
+            setAuditInterval = true;
+            auditInterval = (unsigned)std::stoul(next());
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -176,6 +233,20 @@ main(int argc, char **argv)
         params.distributedIq = true;
     if (setIqKind)
         params.iqKind = iqKind;
+    if (setAuditInterval)
+        params.auditInterval = auditInterval;
+
+    if (checkArg == "lockstep")
+        return runLockstep(params, warmup, insts, seed) ? 1 : 0;
+    if (!checkArg.empty()) {
+        CheckPolicy policy;
+        if (!parseCheckPolicy(checkArg, policy)) {
+            fatal("unknown check policy '%s' (want off, warn, throw, "
+                  "abort, or lockstep)", checkArg.c_str());
+        }
+        params.checkPolicy = policy;
+        params.auditPolicy = policy;
+    }
 
     std::printf("machine: %s (%s)\n%s\n", sim::machineName(machine),
                 cpu::sizeClassName(size), params.describe().c_str());
@@ -197,4 +268,15 @@ main(int argc, char **argv)
     simulator.pipeline().fillStats(group);
     std::printf("%s", group.format().c_str());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const SimError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
 }

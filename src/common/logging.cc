@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include "common/error.hh"
 
 namespace pubs
 {
@@ -37,13 +40,24 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    // Render "file:line: message" into a string and throw it; callers
+    // that let it escape main() still see the message via terminate().
+    char head[256];
+    std::snprintf(head, sizeof(head), "%s:%d: ", file, line);
+
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    va_list measure;
+    va_copy(measure, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+    std::vector<char> body(needed > 0 ? (size_t)needed + 1 : 1, '\0');
+    if (needed > 0)
+        std::vsnprintf(body.data(), body.size(), fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::exit(1);
+
+    throw SimError(SimError::Kind::Fatal,
+                   std::string(head) + body.data());
 }
 
 void

@@ -2,9 +2,12 @@
  * @file
  * Error and status reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic()  — an internal invariant was violated (a simulator bug); aborts.
- * fatal()  — the user asked for something impossible (bad configuration);
- *            exits with an error code.
+ * panic()  — an internal invariant was violated (a simulator bug); the
+ *            simulated state cannot be trusted, so the process aborts.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            corrupt input). Throws pubs::SimError so batch drivers can
+ *            report the failing run, skip it, and continue; an uncaught
+ *            fatal still terminates the process with the message.
  * warn()   — something is modelled approximately; simulation continues.
  * inform() — plain status output.
  */
@@ -13,6 +16,7 @@
 #define PUBS_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace pubs
@@ -21,6 +25,7 @@ namespace pubs
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
+/** Throws pubs::SimError (Kind::Fatal). */
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
@@ -50,6 +55,30 @@ uint64_t warnCount();
     do {                                                                     \
         if (cond)                                                            \
             fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+/** warn() if the condition holds. */
+#define warn_if(cond, ...)                                                   \
+    do {                                                                     \
+        if (cond)                                                            \
+            warn(__VA_ARGS__);                                               \
+    } while (0)
+
+/** warn() only the first time this site is reached. */
+#define warn_once(...)                                                       \
+    do {                                                                     \
+        static bool warned_once_ = false;                                    \
+        if (!warned_once_) {                                                 \
+            warned_once_ = true;                                             \
+            warn(__VA_ARGS__);                                               \
+        }                                                                    \
+    } while (0)
+
+/** warn_once() if the condition holds. */
+#define warn_if_once(cond, ...)                                              \
+    do {                                                                     \
+        if (cond)                                                            \
+            warn_once(__VA_ARGS__);                                          \
     } while (0)
 
 #endif // PUBS_COMMON_LOGGING_HH

@@ -1,0 +1,408 @@
+#include "cpu/audit.hh"
+
+#include <sstream>
+
+#include "cpu/pipeline.hh"
+#include "cpu/rename.hh"
+#include "iq/age_matrix.hh"
+#include "iq/issue_queue.hh"
+#include "iq/random_queue.hh"
+
+namespace pubs::cpu
+{
+
+std::string
+AuditReport::format(const std::string &context) const
+{
+    std::ostringstream out;
+    out << "structural audit (" << context << "): " << violations.size()
+        << " invariant violation" << (violations.size() == 1 ? "" : "s")
+        << "\n";
+    for (const std::string &violation : violations)
+        out << "  - " << violation << "\n";
+    return out.str();
+}
+
+void
+Auditor::checkRenameBijection(const RenameUnit &rename, isa::RegClass cls,
+                              const std::vector<PhysRegId> &pendingFree,
+                              AuditReport &report)
+{
+    ++report.checksRun;
+    const char *className = cls == isa::RegClass::Fp ? "fp" : "int";
+    unsigned total = rename.totalRegs(cls);
+    std::vector<int> refs(total, 0);
+    std::vector<std::string> where(total);
+
+    auto note = [&](PhysRegId reg, const std::string &holder) {
+        if (reg < 0 || (unsigned)reg >= total) {
+            report.add(std::string(className) + " phys reg " +
+                       std::to_string(reg) + " held by " + holder +
+                       " is outside [0, " + std::to_string(total) + ")");
+            return;
+        }
+        if (++refs[reg] == 1) {
+            where[reg] = holder;
+        } else {
+            report.add(std::string(className) + " phys reg " +
+                       std::to_string(reg) + " double-held: " +
+                       where[reg] + " and " + holder +
+                       " (double allocation or double free)");
+        }
+    };
+
+    for (unsigned arch = 0; arch < rename.archRegs(cls); ++arch) {
+        note(rename.mapOf(cls, (RegId)arch),
+             "rename map r" + std::to_string(arch));
+    }
+    for (PhysRegId reg : rename.freeListContents(cls))
+        note(reg, "free list");
+    for (PhysRegId reg : pendingFree)
+        note(reg, "in-flight pending free");
+
+    for (unsigned reg = 0; reg < total; ++reg) {
+        if (refs[reg] == 0) {
+            report.add(std::string(className) + " phys reg " +
+                       std::to_string(reg) +
+                       " leaked: neither mapped, free, nor pending "
+                       "free");
+        }
+    }
+}
+
+void
+Auditor::checkIqPartition(const iq::IssueQueue &queue, AuditReport &report)
+{
+    ++report.checksRun;
+    const std::vector<iq::IqSlot> &slots = queue.prioritySlots();
+
+    size_t validSlots = 0;
+    for (const iq::IqSlot &slot : slots)
+        validSlots += slot.valid ? 1 : 0;
+    if (validSlots != queue.occupancy()) {
+        report.add(std::string(queue.kindName()) + " IQ occupancy " +
+                   std::to_string(queue.occupancy()) + " != " +
+                   std::to_string(validSlots) + " valid slots");
+    }
+
+    const auto *random = dynamic_cast<const iq::RandomQueue *>(&queue);
+    if (!random)
+        return;
+
+    // PUBS priority-partition occupancy bounds (Section III-B2): the
+    // reserved entries are exactly slots [0, priorityEntries); their
+    // free-list accounting must agree with slot occupancy.
+    unsigned priorityEntries = random->priorityEntries();
+    size_t occupiedPriority = 0;
+    for (unsigned s = 0; s < priorityEntries && s < slots.size(); ++s)
+        occupiedPriority += slots[s].valid ? 1 : 0;
+    size_t occupiedNormal = validSlots - occupiedPriority;
+
+    if (occupiedPriority + random->freePriority() != priorityEntries) {
+        report.add("priority partition accounting broken: " +
+                   std::to_string(occupiedPriority) + " occupied + " +
+                   std::to_string(random->freePriority()) +
+                   " free != " + std::to_string(priorityEntries) +
+                   " reserved entries");
+    }
+    size_t normalEntries = slots.size() - priorityEntries;
+    if (occupiedNormal + random->freeNormal() != normalEntries) {
+        report.add("normal partition accounting broken: " +
+                   std::to_string(occupiedNormal) + " occupied + " +
+                   std::to_string(random->freeNormal()) + " free != " +
+                   std::to_string(normalEntries) + " normal entries");
+    }
+
+    auto checkFreeList = [&](const iq::FreeList &list, const char *name,
+                             uint32_t lo, uint32_t hi) {
+        std::vector<char> seen(slots.size(), 0);
+        for (uint32_t index : list.contents()) {
+            if (index < lo || index >= hi) {
+                report.add(std::string(name) + " free index " +
+                           std::to_string(index) + " outside its "
+                           "partition [" + std::to_string(lo) + ", " +
+                           std::to_string(hi) + ")");
+                continue;
+            }
+            if (seen[index]) {
+                report.add(std::string(name) + " free index " +
+                           std::to_string(index) +
+                           " listed twice (double free)");
+            }
+            seen[index] = 1;
+            if (slots[index].valid) {
+                report.add(std::string(name) + " free index " +
+                           std::to_string(index) +
+                           " still holds a valid instruction");
+            }
+        }
+    };
+    checkFreeList(random->priorityFreeList(), "priority", 0,
+                  priorityEntries);
+    checkFreeList(random->normalFreeList(), "normal", priorityEntries,
+                  (uint32_t)slots.size());
+}
+
+void
+Auditor::checkAgeMatrix(const iq::AgeMatrix &matrix,
+                        const iq::IssueQueue &queue, AuditReport &report)
+{
+    ++report.checksRun;
+    const std::vector<iq::IqSlot> &slots = queue.prioritySlots();
+    if (matrix.size() != slots.size()) {
+        report.add("age matrix size " + std::to_string(matrix.size()) +
+                   " != IQ capacity " + std::to_string(slots.size()));
+        return;
+    }
+
+    std::vector<unsigned> occupied;
+    for (unsigned s = 0; s < slots.size(); ++s) {
+        if (matrix.valid(s) != slots[s].valid) {
+            report.add("age matrix valid bit of slot " +
+                       std::to_string(s) + " is " +
+                       (matrix.valid(s) ? "set" : "clear") +
+                       " but the slot is " +
+                       (slots[s].valid ? "occupied" : "free"));
+        }
+        if (slots[s].valid)
+            occupied.push_back(s);
+    }
+
+    // The relation must agree with ground-truth dispatch age and be a
+    // strict total order: exactly one of older(a,b) / older(b,a) for
+    // distinct occupied slots.
+    for (size_t i = 0; i < occupied.size(); ++i) {
+        for (size_t j = i + 1; j < occupied.size(); ++j) {
+            unsigned a = occupied[i], b = occupied[j];
+            bool ab = matrix.older(a, b);
+            bool ba = matrix.older(b, a);
+            if (ab == ba) {
+                report.add("age matrix not a strict total order: slots " +
+                           std::to_string(a) + " and " +
+                           std::to_string(b) +
+                           (ab ? " are each older than the other"
+                               : " are unordered"));
+            }
+            bool wantAb = slots[a].seq < slots[b].seq;
+            if (ab != wantAb || ba == wantAb) {
+                report.add("age matrix disagrees with dispatch order: "
+                           "slot " + std::to_string(a) + " (seq " +
+                           std::to_string(slots[a].seq) + ") vs slot " +
+                           std::to_string(b) + " (seq " +
+                           std::to_string(slots[b].seq) + ")");
+            }
+        }
+    }
+
+    // Acyclicity via Kahn's algorithm over edges older(a) -> b.
+    std::vector<unsigned> indegree(slots.size(), 0);
+    for (unsigned a : occupied)
+        for (unsigned b : occupied)
+            if (a != b && matrix.older(a, b))
+                ++indegree[b];
+    std::vector<unsigned> frontier;
+    for (unsigned s : occupied)
+        if (indegree[s] == 0)
+            frontier.push_back(s);
+    size_t removed = 0;
+    while (!frontier.empty()) {
+        unsigned a = frontier.back();
+        frontier.pop_back();
+        ++removed;
+        for (unsigned b : occupied) {
+            if (b != a && matrix.older(a, b) && --indegree[b] == 0)
+                frontier.push_back(b);
+        }
+    }
+    if (removed != occupied.size()) {
+        report.add("age matrix contains a cycle among " +
+                   std::to_string(occupied.size() - removed) +
+                   " occupied slots (no unique oldest instruction)");
+    }
+}
+
+AuditReport
+Auditor::audit(const Pipeline &pipe)
+{
+    AuditReport report;
+
+    // --- in-flight ring accounting ---
+    ++report.checksRun;
+    const auto &ring = pipe.ring_;
+    std::vector<char> onFreeList(ring.size(), 0);
+    for (uint32_t id : pipe.freeIds_) {
+        if (id >= ring.size()) {
+            report.add("free id " + std::to_string(id) +
+                       " outside the in-flight ring");
+            continue;
+        }
+        if (onFreeList[id])
+            report.add("in-flight id " + std::to_string(id) +
+                       " on the free list twice");
+        onFreeList[id] = 1;
+        if (ring[id].valid)
+            report.add("in-flight id " + std::to_string(id) +
+                       " is both free and valid");
+    }
+    size_t validCount = 0;
+    for (const auto &inst : ring)
+        validCount += inst.valid ? 1 : 0;
+    if (validCount + pipe.freeIds_.size() != ring.size()) {
+        report.add("in-flight ring leak: " + std::to_string(validCount) +
+                   " valid + " + std::to_string(pipe.freeIds_.size()) +
+                   " free != " + std::to_string(ring.size()) +
+                   " total slots");
+    }
+
+    // --- every valid instruction is in the front end xor the ROB ---
+    ++report.checksRun;
+    std::vector<char> located(ring.size(), 0);
+    for (uint32_t id : pipe.frontendQueue_) {
+        if (id >= ring.size() || !ring[id].valid) {
+            report.add("front-end queue holds dead id " +
+                       std::to_string(id));
+            continue;
+        }
+        if (ring[id].dispatched)
+            report.add("front-end queue id " + std::to_string(id) +
+                       " already dispatched");
+        if (located[id])
+            report.add("id " + std::to_string(id) +
+                       " queued in the front end twice");
+        located[id] = 1;
+    }
+    size_t robCount = 0;
+    pipe.rob_.forEach([&](uint32_t id) {
+        ++robCount;
+        if (id >= ring.size() || !ring[id].valid) {
+            report.add("ROB holds dead id " + std::to_string(id));
+            return;
+        }
+        if (!ring[id].dispatched)
+            report.add("ROB id " + std::to_string(id) +
+                       " was never dispatched");
+        if (located[id])
+            report.add("id " + std::to_string(id) +
+                       " in both front end and ROB (or in the ROB "
+                       "twice)");
+        located[id] = 1;
+    });
+    if (robCount != pipe.rob_.occupancy()) {
+        report.add("ROB iteration count " + std::to_string(robCount) +
+                   " != occupancy " +
+                   std::to_string(pipe.rob_.occupancy()));
+    }
+    for (uint32_t id = 0; id < ring.size(); ++id) {
+        if (ring[id].valid && !located[id]) {
+            report.add("orphaned in-flight id " + std::to_string(id) +
+                       ": valid but in neither front end nor ROB");
+        }
+    }
+
+    // --- IQ cross-consistency ---
+    ++report.checksRun;
+    size_t inIqFlagged = 0;
+    for (const auto &inst : ring)
+        inIqFlagged += (inst.valid && inst.inIq) ? 1 : 0;
+    size_t iqResident = 0;
+    for (size_t q = 0; q < pipe.iqs_.size(); ++q) {
+        const iq::IssueQueue &queue = *pipe.iqs_[q];
+        for (const iq::IqSlot &slot : queue.prioritySlots()) {
+            if (!slot.valid)
+                continue;
+            ++iqResident;
+            uint32_t id = slot.clientId;
+            if (id >= ring.size() || !ring[id].valid) {
+                report.add("IQ " + std::to_string(q) +
+                           " slot holds dead id " + std::to_string(id));
+                continue;
+            }
+            const auto &inst = ring[id];
+            if (!inst.inIq)
+                report.add("IQ " + std::to_string(q) + " holds id " +
+                           std::to_string(id) +
+                           " whose inIq flag is clear");
+            if (inst.iqIndex != q)
+                report.add("id " + std::to_string(id) +
+                           " sits in IQ " + std::to_string(q) +
+                           " but is flagged for IQ " +
+                           std::to_string(inst.iqIndex));
+            if (!inst.dispatched || inst.issued)
+                report.add("IQ " + std::to_string(q) + " id " +
+                           std::to_string(id) +
+                           " in an impossible stage (dispatched=" +
+                           std::to_string(inst.dispatched) +
+                           " issued=" + std::to_string(inst.issued) +
+                           ")");
+            if (slot.seq != inst.di.seq)
+                report.add("IQ " + std::to_string(q) + " id " +
+                           std::to_string(id) + " slot seq " +
+                           std::to_string(slot.seq) +
+                           " != instruction seq " +
+                           std::to_string(inst.di.seq));
+        }
+        checkIqPartition(queue, report);
+    }
+    if (inIqFlagged != iqResident) {
+        report.add(std::to_string(inIqFlagged) +
+                   " instructions flagged inIq but " +
+                   std::to_string(iqResident) + " resident in queues");
+    }
+
+    // --- LSQ cross-consistency ---
+    ++report.checksRun;
+    std::vector<uint32_t> lsqIds = pipe.lsq_.residentIds();
+    if (lsqIds.size() != pipe.lsq_.occupancy()) {
+        report.add("LSQ resident count " +
+                   std::to_string(lsqIds.size()) + " != occupancy " +
+                   std::to_string(pipe.lsq_.occupancy()));
+    }
+    size_t inLsqFlagged = 0;
+    for (const auto &inst : ring)
+        inLsqFlagged += (inst.valid && inst.inLsq) ? 1 : 0;
+    if (inLsqFlagged != lsqIds.size()) {
+        report.add(std::to_string(inLsqFlagged) +
+                   " instructions flagged inLsq but " +
+                   std::to_string(lsqIds.size()) + " resident in LSQ");
+    }
+    SeqNum lastSeq = 0;
+    bool haveLast = false;
+    for (uint32_t id : lsqIds) {
+        if (id >= ring.size() || !ring[id].valid) {
+            report.add("LSQ holds dead id " + std::to_string(id));
+            continue;
+        }
+        const auto &inst = ring[id];
+        if (!inst.inLsq)
+            report.add("LSQ holds id " + std::to_string(id) +
+                       " whose inLsq flag is clear");
+        if (!inst.di.isMem())
+            report.add("LSQ holds non-memory id " + std::to_string(id));
+        if (haveLast && inst.di.seq <= lastSeq)
+            report.add("LSQ not in program order at id " +
+                       std::to_string(id));
+        lastSeq = inst.di.seq;
+        haveLast = true;
+    }
+
+    // --- free-list / rename-map bijection ---
+    for (isa::RegClass cls : {isa::RegClass::Int, isa::RegClass::Fp}) {
+        std::vector<PhysRegId> pendingFree;
+        pipe.rob_.forEach([&](uint32_t id) {
+            if (id >= ring.size() || !ring[id].valid)
+                return;
+            const auto &inst = ring[id];
+            if (inst.physDst != invalidPhysReg && inst.dstCls == cls)
+                pendingFree.push_back(inst.prevPhysDst);
+        });
+        checkRenameBijection(pipe.rename_, cls, pendingFree, report);
+    }
+
+    // --- age matrix ---
+    if (pipe.ageMatrix_)
+        checkAgeMatrix(*pipe.ageMatrix_, *pipe.iqs_[0], report);
+
+    return report;
+}
+
+} // namespace pubs::cpu

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structural invariant auditor for the out-of-order pipeline. Run every
+ * K cycles and after every squash, it cross-checks the bookkeeping that
+ * the timing results silently depend on:
+ *
+ *  - free-list / rename-map bijection: every physical register is in
+ *    exactly one of {rename map, free list, pending-free of an
+ *    in-flight instruction} — a double allocation or leak here corrupts
+ *    dataflow timing without crashing;
+ *  - ROB-IQ-LSQ cross-consistency: every queue entry points at a live
+ *    in-flight instruction whose flags agree with where it sits;
+ *  - PUBS priority-partition occupancy bounds: reserved-entry
+ *    accounting must match slot occupancy, or the mechanism under
+ *    measurement is not the mechanism described;
+ *  - age-matrix acyclicity: the "older than" relation must be a strict
+ *    total order over occupied slots.
+ *
+ * Violations are collected into an AuditReport; the pipeline applies
+ * the configured CheckPolicy (warn / throw AuditError / abort). The
+ * individual checks are also callable standalone so tests can seed
+ * corruption into a lone RenameUnit or IssueQueue and assert detection.
+ */
+
+#ifndef PUBS_CPU_AUDIT_HH
+#define PUBS_CPU_AUDIT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace pubs::iq
+{
+class IssueQueue;
+class AgeMatrix;
+} // namespace pubs::iq
+
+namespace pubs::cpu
+{
+
+class Pipeline;
+class RenameUnit;
+
+/** The outcome of one audit pass. */
+struct AuditReport
+{
+    std::vector<std::string> violations;
+    uint64_t checksRun = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    void
+    add(const std::string &violation)
+    {
+        violations.push_back(violation);
+    }
+
+    /** Multi-line summary, prefixed with @p context (e.g. "cycle 1234"). */
+    std::string format(const std::string &context) const;
+};
+
+class Auditor
+{
+  public:
+    /** Full structural audit of a live pipeline. */
+    static AuditReport audit(const Pipeline &pipe);
+
+    /**
+     * Free-list / rename-map bijection for one register class.
+     * @param pendingFree previous mappings held by in-flight
+     *        instructions, to be freed at their commit.
+     */
+    static void checkRenameBijection(const RenameUnit &rename,
+                                     isa::RegClass cls,
+                                     const std::vector<PhysRegId> &pendingFree,
+                                     AuditReport &report);
+
+    /** Partition accounting of one issue queue (slots vs free lists). */
+    static void checkIqPartition(const iq::IssueQueue &queue,
+                                 AuditReport &report);
+
+    /**
+     * The age matrix's "older" relation must be a strict total order
+     * (antisymmetric, total, acyclic) over the occupied slots of
+     * @p queue, and its valid bits must match slot occupancy.
+     */
+    static void checkAgeMatrix(const iq::AgeMatrix &matrix,
+                               const iq::IssueQueue &queue,
+                               AuditReport &report);
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_AUDIT_HH

@@ -82,4 +82,14 @@ Lsq::olderStoreDependence(uint32_t loadId, Addr addr, unsigned size) const
     return dep;
 }
 
+std::vector<uint32_t>
+Lsq::residentIds() const
+{
+    std::vector<uint32_t> ids;
+    ids.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        ids.push_back(entry.id);
+    return ids;
+}
+
 } // namespace pubs::cpu

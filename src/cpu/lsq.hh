@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -62,6 +63,9 @@ class Lsq
 
     /** Store-to-load forwarding bypass latency in cycles. */
     static constexpr unsigned forwardLatency = 1;
+
+    /** Ids of all resident ops, oldest first (structural auditor). */
+    std::vector<uint32_t> residentIds() const;
 
   private:
     struct Entry

@@ -1,8 +1,12 @@
 #include "cpu/params.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/types.hh"
+#include "cpu/fu_pool.hh"
 
 namespace pubs::cpu
 {
@@ -62,6 +66,157 @@ CoreParams::scaled(SizeClass size)
         break;
     }
     return p;
+}
+
+std::vector<std::string>
+CoreParams::validationErrors() const
+{
+    std::vector<std::string> errors;
+    auto bad = [&errors](const std::string &message) {
+        errors.push_back(message);
+    };
+
+    if (fetchWidth == 0 || decodeWidth == 0 || issueWidth == 0 ||
+        commitWidth == 0) {
+        bad("pipeline widths must all be non-zero (fetch=" +
+            std::to_string(fetchWidth) + " decode=" +
+            std::to_string(decodeWidth) + " issue=" +
+            std::to_string(issueWidth) + " commit=" +
+            std::to_string(commitWidth) + ")");
+    }
+    if (robEntries == 0)
+        bad("robEntries must be non-zero");
+    if (iqEntries == 0)
+        bad("iqEntries must be non-zero");
+    if (lsqEntries == 0)
+        bad("lsqEntries must be non-zero");
+    if (frontendDepth == 0)
+        bad("frontendDepth must be at least 1 (fetch-to-dispatch takes "
+            "a cycle)");
+    if (intPhysRegs <= (unsigned)numIntRegs) {
+        bad("intPhysRegs=" + std::to_string(intPhysRegs) +
+            " leaves no rename headroom; need more than " +
+            std::to_string(numIntRegs) + " (the architectural registers)");
+    }
+    if (fpPhysRegs <= (unsigned)numFpRegs) {
+        bad("fpPhysRegs=" + std::to_string(fpPhysRegs) +
+            " leaves no rename headroom; need more than " +
+            std::to_string(numFpRegs) + " (the architectural registers)");
+    }
+    if (numIntAlu == 0 || numLdSt == 0) {
+        bad("at least one integer ALU and one Ld/St unit are required "
+            "(every workload uses both)");
+    }
+
+    if (ageMatrix && iqKind != iq::IqKind::Random) {
+        bad("ageMatrix=true needs iqKind=random: the age matrix models "
+            "select priority on the random queue only");
+    }
+    if (usePubs && iqKind != iq::IqKind::Random) {
+        bad("usePubs=true needs iqKind=random: PUBS partitions the "
+            "random queue (use --iq random or disable PUBS)");
+    }
+    if (usePubs && pubs.priorityEntries >= iqEntries) {
+        bad("pubs.priorityEntries=" +
+            std::to_string(pubs.priorityEntries) +
+            " must leave normal entries in a " +
+            std::to_string(iqEntries) +
+            "-entry IQ; lower priorityEntries or grow iqEntries");
+    }
+    if (idealPrioritySelect && !usePubs) {
+        bad("idealPrioritySelect=true needs usePubs=true: the ideal "
+            "select still classifies via the PUBS slice unit");
+    }
+    if (usePubs) {
+        if (pubs.confCounterBits == 0 || pubs.confCounterBits > 16) {
+            bad("pubs.confCounterBits=" +
+                std::to_string(pubs.confCounterBits) +
+                " is outside the sensible 1..16 range");
+        }
+        if (pubs.confSets == 0 || pubs.confWays == 0 ||
+            pubs.brsliceSets == 0 || pubs.brsliceWays == 0) {
+            bad("PUBS table geometry must be non-zero "
+                "(confSets/confWays/brsliceSets/brsliceWays)");
+        }
+        if (pubs.modeSwitch && pubs.modeInterval == 0) {
+            bad("pubs.modeInterval must be non-zero when the mode "
+                "switch is enabled");
+        }
+    }
+
+    if (distributedIq) {
+        if (iqKind != iq::IqKind::Random)
+            bad("distributedIq=true needs iqKind=random sub-queues");
+        if (ageMatrix)
+            bad("distributedIq=true cannot be combined with the age "
+                "matrix (not modelled); disable one of them");
+        unsigned perQueue = iqEntries / (unsigned)FuType::NumTypes;
+        if (perQueue < 2) {
+            bad("distributedIq needs iqEntries >= " +
+                std::to_string(2 * (unsigned)FuType::NumTypes) +
+                " so each of the " +
+                std::to_string((unsigned)FuType::NumTypes) +
+                " sub-queues gets at least 2 entries (have " +
+                std::to_string(iqEntries) + ")");
+        } else if (usePubs && pubs.priorityEntries > 0 &&
+                   std::max(1u, pubs.priorityEntries / 2) >= perQueue) {
+            bad("distributed priority partition too large: "
+                "priorityEntries/2=" +
+                std::to_string(std::max(1u, pubs.priorityEntries / 2)) +
+                " must be below the " + std::to_string(perQueue) +
+                "-entry sub-queues; lower pubs.priorityEntries");
+        }
+    }
+
+    if (btbSets == 0 || btbWays == 0)
+        bad("BTB geometry must be non-zero (btbSets, btbWays)");
+    if (!isPowerOf2(btbSets)) {
+        bad("btbSets=" + std::to_string(btbSets) +
+            " must be a power of two (indexed by PC bits)");
+    }
+
+    auto checkCache = [&bad](const mem::CacheParams &c) {
+        if (c.sizeBytes == 0 || c.ways == 0 || c.lineBytes == 0) {
+            bad(c.name + " cache geometry must be non-zero "
+                "(sizeBytes, ways, lineBytes)");
+            return;
+        }
+        if (!isPowerOf2(c.lineBytes))
+            bad(c.name + " lineBytes=" + std::to_string(c.lineBytes) +
+                " must be a power of two");
+        if (c.sizeBytes % ((uint64_t)c.ways * c.lineBytes) != 0) {
+            bad(c.name + " sizeBytes=" + std::to_string(c.sizeBytes) +
+                " must be a multiple of ways*lineBytes (" +
+                std::to_string(c.ways) + "*" +
+                std::to_string(c.lineBytes) + ")");
+        }
+    };
+    checkCache(memory.l1i);
+    checkCache(memory.l1d);
+    checkCache(memory.l2);
+    if (memory.memBytesPerCycle == 0)
+        bad("memory.memBytesPerCycle must be non-zero");
+
+    if (auditPolicy != CheckPolicy::Off && auditInterval == 0) {
+        bad("auditInterval must be non-zero when the structural audit "
+            "is enabled");
+    }
+
+    return errors;
+}
+
+void
+CoreParams::validate() const
+{
+    std::vector<std::string> errors = validationErrors();
+    if (errors.empty())
+        return;
+    std::string message = "invalid core configuration (" +
+                          std::to_string(errors.size()) + " problem" +
+                          (errors.size() == 1 ? "" : "s") + "):";
+    for (const std::string &error : errors)
+        message += "\n  - " + error;
+    throw ConfigError(message);
 }
 
 std::string

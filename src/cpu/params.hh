@@ -9,8 +9,10 @@
 #define PUBS_CPU_PARAMS_HH
 
 #include <string>
+#include <vector>
 
 #include "branch/predictor.hh"
+#include "common/error.hh"
 #include "iq/issue_queue.hh"
 #include "mem/memory_system.hh"
 #include "pubs/params.hh"
@@ -94,8 +96,38 @@ struct CoreParams
     /** Seed for all model-internal randomness. */
     uint64_t seed = 1;
 
+    // --- verification (see sim/checker.hh and cpu/audit.hh) ---
+    /**
+     * Lockstep commit checker: an independent functional emulator
+     * cross-validates PC / next-PC / destination value / effective
+     * address at every commit. Needs a program-backed source; trace
+     * replays warn once and run unchecked. Overridable via PUBS_CHECK.
+     */
+    CheckPolicy checkPolicy = CheckPolicy::Off;
+    /**
+     * Structural invariant audit (free-list bijection, ROB-IQ-LSQ
+     * cross-consistency, PUBS partition bounds, age-matrix acyclicity),
+     * run every auditInterval cycles and after every squash.
+     * Overridable via PUBS_CHECK.
+     */
+    CheckPolicy auditPolicy = CheckPolicy::Off;
+    /** Cycles between periodic structural audits. */
+    unsigned auditInterval = 1024;
+
     /** The Table IV configuration for @p size (other params default). */
     static CoreParams scaled(SizeClass size);
+
+    /**
+     * Reject impossible configurations with one actionable message per
+     * problem. Throws pubs::ConfigError listing every violation; a
+     * clean configuration returns normally. The Pipeline constructor
+     * calls this, but sweep drivers can call it early to skip a bad
+     * configuration before building anything.
+     */
+    void validate() const;
+
+    /** All validation problems, empty when the configuration is sound. */
+    std::vector<std::string> validationErrors() const;
 
     /** Render Table I / Table II style configuration text. */
     std::string describe() const;

@@ -1,13 +1,17 @@
 #include "cpu/pipeline.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/bits.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "cpu/audit.hh"
 #include "isa/program.hh"
 #include "iq/circular_queue.hh"
 #include "iq/random_queue.hh"
 #include "iq/shifting_queue.hh"
+#include "sim/checker.hh"
 
 namespace pubs::cpu
 {
@@ -25,13 +29,9 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
               params.numFpu),
       rng_(params.seed)
 {
-    fatal_if(params.fetchWidth == 0 || params.issueWidth == 0 ||
-                 params.commitWidth == 0,
-             "pipeline widths must be non-zero");
-    fatal_if(params.ageMatrix && params.iqKind != iq::IqKind::Random,
-             "the age matrix applies to the random queue only");
-    fatal_if(params.usePubs && params.iqKind != iq::IqKind::Random,
-             "PUBS partitions the random queue");
+    // Every structural constraint lives in CoreParams::validate(), which
+    // throws a ConfigError listing all problems at once.
+    params.validate();
 
     mem_ = std::make_unique<mem::MemorySystem>(params.memory);
     predictor_ = branch::makePredictor(params.predictor);
@@ -40,19 +40,10 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
 
     unsigned priorityEntries =
         params.usePubs ? params.pubs.priorityEntries : 0;
-    fatal_if(priorityEntries >= params.iqEntries,
-             "priority entries must leave room for normal entries");
-    fatal_if(params.idealPrioritySelect && !params.usePubs,
-             "ideal priority select needs the PUBS slice unit");
     if (params.distributedIq) {
-        fatal_if(params.iqKind != iq::IqKind::Random,
-                 "the distributed IQ uses random sub-queues");
-        fatal_if(params.ageMatrix,
-                 "age matrix + distributed IQ is not modelled");
         // Section III-C2: one sub-queue per FU group, each with its own
         // priority partition.
         unsigned perQueue = params.iqEntries / (unsigned)FuType::NumTypes;
-        fatal_if(perQueue < 2, "distributed IQ sub-queues too small");
         for (unsigned q = 0; q < (unsigned)FuType::NumTypes; ++q) {
             // Branch slices live almost entirely on the iALU and Ld/St
             // queues (compares, address arithmetic, feeding loads), so
@@ -66,8 +57,6 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
                 perQueuePriority =
                     sliceHeavy ? std::max(1u, priorityEntries / 2) : 1;
             }
-            fatal_if(perQueuePriority >= perQueue,
-                     "distributed priority partition too large");
             iqs_.push_back(std::make_unique<iq::RandomQueue>(
                 perQueue, perQueuePriority, params.seed + 0x51c3 + q));
         }
@@ -104,6 +93,19 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
         freeIds_.push_back((uint32_t)(i - 1));
     readyMask_.assign((params.iqEntries + 63) / 64, 0);
     staticProgram_ = source.program();
+
+    // PUBS_CHECK in the environment overrides both configured policies.
+    checkPolicy_ = checkPolicyFromEnv(params.checkPolicy);
+    auditPolicy_ = checkPolicyFromEnv(params.auditPolicy);
+    if (checkPolicy_ != CheckPolicy::Off) {
+        if (staticProgram_) {
+            checker_ = std::make_unique<sim::CommitChecker>(*staticProgram_);
+        } else {
+            warn_once("lockstep checking requested, but the instruction "
+                      "source carries no static program (trace replay); "
+                      "commits will run unchecked");
+        }
+    }
 }
 
 Pipeline::~Pipeline() = default;
@@ -177,6 +179,25 @@ Pipeline::cycle()
     for (const auto &queue : iqs_)
         occupancy += queue->occupancy();
     stats_.iqOccupancy.sample(occupancy);
+
+    if (auditPolicy_ != CheckPolicy::Off && params_.auditInterval != 0 &&
+        now_ % params_.auditInterval == 0) {
+        runAudit("periodic");
+    }
+}
+
+void
+Pipeline::runAudit(const char *context)
+{
+    AuditReport report = Auditor::audit(*this);
+    ++stats_.auditsRun;
+    if (report.ok())
+        return;
+    stats_.auditViolations += report.violations.size();
+    std::string when = std::string(context) + ", cycle " +
+                       std::to_string(now_);
+    reportViolation(auditPolicy_, SimError::Kind::Audit,
+                    report.format(when) + debugSnapshot());
 }
 
 void
@@ -203,6 +224,10 @@ Pipeline::processSquashes()
         fetchBlockedOnBranch_ = false;
         fetchSuspendedUntil_ = std::max(
             fetchSuspendedUntil_, now_ + params_.recoveryPenalty);
+        // Squash recovery rewrites the rename map, free lists, and every
+        // queue at once — audit the aftermath, where bugs concentrate.
+        if (auditPolicy_ != CheckPolicy::Off)
+            runAudit("post-squash");
     }
 }
 
@@ -275,6 +300,15 @@ Pipeline::doCommit()
         if (modeSwitch_)
             modeSwitch_->noteCommit();
         panic_if(inst.wrongPath, "committing a wrong-path instruction");
+        if (checker_) {
+            ++stats_.checkerCommits;
+            std::string diag = checker_->check(inst.di, now_);
+            if (!diag.empty()) {
+                ++stats_.checkerDivergences;
+                reportViolation(checkPolicy_, SimError::Kind::Check,
+                                diag + debugSnapshot());
+            }
+        }
         if (inst.di.op == Opcode::Halt)
             haltCommitted_ = true;
 
@@ -865,6 +899,39 @@ Pipeline::makeWrongPathInst(trace::DynInst &out)
     return true;
 }
 
+std::string
+Pipeline::debugSnapshot() const
+{
+    std::ostringstream out;
+    out << "pipeline state (cycle " << now_ << "):\n"
+        << "  committed " << stats_.committed << ", fetched "
+        << stats_.fetched << " (" << stats_.wrongPathFetched
+        << " wrong-path)\n"
+        << "  ROB " << rob_.occupancy() << "/" << rob_.capacity()
+        << ", LSQ " << lsq_.occupancy() << "/" << params_.lsqEntries
+        << ", front end " << frontendQueue_.size() << "/"
+        << frontendCapacity_ << "\n";
+    out << "  IQ";
+    for (size_t q = 0; q < iqs_.size(); ++q) {
+        out << (q ? " |" : "") << " " << iqs_[q]->occupancy() << "/"
+            << iqs_[q]->capacity();
+        if (unsigned pe = iqs_[q]->priorityEntries())
+            out << " (" << pe << " priority)";
+    }
+    out << "\n  rename free " << rename_.freeRegs(isa::RegClass::Int)
+        << " int, " << rename_.freeRegs(isa::RegClass::Fp) << " fp\n"
+        << "  fetch "
+        << (fetchBlockedOnBranch_
+                ? "blocked on branch"
+                : now_ < fetchSuspendedUntil_ ? "suspended" : "running")
+        << (wrongPathActive_ ? ", on the wrong path" : "");
+    if (havePending_) {
+        out << ", next pc 0x" << std::hex << pending_.pc << std::dec;
+    }
+    out << "\n";
+    return out.str();
+}
+
 void
 Pipeline::fillStats(StatGroup &group) const
 {
@@ -912,6 +979,16 @@ Pipeline::fillStats(StatGroup &group) const
     if (modeSwitch_) {
         group.add("pubs_enabled_fraction", modeSwitch_->enabledFraction(),
                   "fraction of mode-switch intervals with PUBS on");
+    }
+    if (checker_) {
+        group.add("checker_commits", (double)s.checkerCommits,
+                  "commits cross-validated by the lockstep checker");
+        group.add("checker_divergences", (double)s.checkerDivergences);
+    }
+    if (auditPolicy_ != CheckPolicy::Off) {
+        group.add("audits_run", (double)s.auditsRun,
+                  "structural invariant audit passes");
+        group.add("audit_violations", (double)s.auditViolations);
     }
 }
 

@@ -42,6 +42,11 @@
 #include "pubs/slice_unit.hh"
 #include "trace/dyninst.hh"
 
+namespace pubs::sim
+{
+class CommitChecker;
+} // namespace pubs::sim
+
 namespace pubs::cpu
 {
 
@@ -81,6 +86,13 @@ struct PipelineStats
 
     /** Sum of IQ waiting cycles of issued instructions. */
     uint64_t iqWaitSum = 0;
+
+    // Lockstep checker / structural audit results (cpu/audit.hh,
+    // sim/checker.hh); all zero when the checks are off.
+    uint64_t checkerCommits = 0;
+    uint64_t checkerDivergences = 0;
+    uint64_t auditsRun = 0;
+    uint64_t auditViolations = 0;
 
     /** Distribution of misspeculation penalties (cycle buckets). */
     Histogram misspecPenalty{192};
@@ -150,7 +162,18 @@ class Pipeline
     /** Summarise into a stat group for reporting. */
     void fillStats(StatGroup &group) const;
 
+    /** The lockstep checker, if one is attached (null otherwise). */
+    const sim::CommitChecker *checker() const { return checker_.get(); }
+
+    /**
+     * Human-readable snapshot of the machine state (ROB/IQ/LSQ
+     * occupancy, rename headroom, fetch state) appended to checker and
+     * audit diagnostics.
+     */
+    std::string debugSnapshot() const;
+
   private:
+    friend class Auditor;
     struct Inflight
     {
         trace::DynInst di{};
@@ -198,6 +221,7 @@ class Pipeline
     };
 
     void cycle();
+    void runAudit(const char *context);
     void doCommit();
     void applyConfEvents();
     void processSquashes();
@@ -239,6 +263,9 @@ class Pipeline
     std::unique_ptr<iq::AgeMatrix> ageMatrix_;
     std::unique_ptr<pubs::SliceUnit> sliceUnit_;
     std::unique_ptr<pubs::ModeSwitch> modeSwitch_;
+    std::unique_ptr<sim::CommitChecker> checker_;
+    CheckPolicy checkPolicy_ = CheckPolicy::Off;
+    CheckPolicy auditPolicy_ = CheckPolicy::Off;
     RenameUnit rename_;
     Rob rob_;
     Lsq lsq_;

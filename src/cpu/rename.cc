@@ -91,4 +91,16 @@ RenameUnit::totalRegs(isa::RegClass cls) const
     return fileOf(cls).total;
 }
 
+const std::vector<PhysRegId> &
+RenameUnit::freeListContents(isa::RegClass cls) const
+{
+    return fileOf(cls).freeList;
+}
+
+unsigned
+RenameUnit::archRegs(isa::RegClass cls) const
+{
+    return cls == isa::RegClass::Fp ? numFpRegs : numIntRegs;
+}
+
 } // namespace pubs::cpu

@@ -48,6 +48,12 @@ class RenameUnit
 
     unsigned totalRegs(isa::RegClass cls) const;
 
+    /** Free-list contents, for the structural auditor (cpu/audit.hh). */
+    const std::vector<PhysRegId> &freeListContents(isa::RegClass cls) const;
+
+    /** Architectural registers mapped in @p cls (map table rows). */
+    unsigned archRegs(isa::RegClass cls) const;
+
   private:
     struct File
     {

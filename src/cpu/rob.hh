@@ -69,6 +69,15 @@ class Rob
         --count_;
     }
 
+    /** Visit every entry in program order (for the structural auditor). */
+    template <typename F>
+    void
+    forEach(F &&visit) const
+    {
+        for (size_t i = 0; i < count_; ++i)
+            visit(ring_[(head_ + i) % ring_.size()]);
+    }
+
   private:
     std::vector<uint32_t> ring_;
     size_t head_ = 0;

@@ -337,6 +337,19 @@ Emulator::step(trace::DynInst &out)
         panic("unimplemented opcode %d", (int)inst.op);
     }
 
+    // Record the architectural result for the lockstep commit checker.
+    if (inst.dst != invalidReg) {
+        isa::RegClass dstCls = isa::dstRegClass(inst);
+        if (dstCls == isa::RegClass::Fp) {
+            double v = fpReg(inst.dst);
+            std::memcpy(&out.dstValue, &v, sizeof(v));
+            out.hasDstValue = true;
+        } else if (dstCls == isa::RegClass::Int) {
+            out.dstValue = (uint64_t)intReg(inst.dst);
+            out.hasDstValue = true;
+        }
+    }
+
     out.nextPc = nextPc;
     pc_ = nextPc;
     ++seq_;

@@ -42,6 +42,9 @@ class FreeList
     /** Return an index to the list. */
     void push(uint32_t index);
 
+    /** Current free indices, unordered (structural auditor). */
+    const std::vector<uint32_t> &contents() const { return entries_; }
+
   private:
     std::vector<uint32_t> entries_;
     size_t initialSize_ = 0;

@@ -40,6 +40,10 @@ class RandomQueue : public IssueQueue
     size_t freePriority() const { return priorityFree_.size(); }
     size_t freeNormal() const { return normalFree_.size(); }
 
+    /** Free-list objects, for the structural auditor (cpu/audit.hh). */
+    const FreeList &priorityFreeList() const { return priorityFree_; }
+    const FreeList &normalFreeList() const { return normalFree_; }
+
   private:
     void place(uint32_t index, uint32_t clientId, SeqNum seq);
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lockstep commit checker, after gem5's CheckerCPU: an independent
+ * functional emulator re-executes the program architecturally, one
+ * instruction per timing-pipeline commit, and cross-validates PC,
+ * next-PC, destination register value, and effective address. Any
+ * mismatch means the timing model committed the wrong instruction
+ * stream — a squash bug, a wrong-path leak, a reordered commit — which
+ * would silently fabricate or hide the misspeculation-penalty effects
+ * this reproduction measures.
+ *
+ * The checker never influences timing; it is a pure observer. A
+ * divergence produces a structured diagnostic carrying the disagreeing
+ * fields and the last N committed instructions; the pipeline appends its
+ * own state snapshot (ROB/IQ/LSQ occupancy, rename state, fetch PC) and
+ * applies the configured CheckPolicy (warn / throw CheckError / abort).
+ */
+
+#ifndef PUBS_SIM_CHECKER_HH
+#define PUBS_SIM_CHECKER_HH
+
+#include <deque>
+#include <string>
+
+#include "common/error.hh"
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "trace/dyninst.hh"
+
+namespace pubs::sim
+{
+
+/** One committed instruction as remembered by the history ring. */
+struct CommitRecord
+{
+    SeqNum seq = 0;
+    Cycle cycle = 0;
+    Pc pc = 0;
+    Pc nextPc = 0;
+    Addr effAddr = 0;
+    isa::Opcode op = isa::Opcode::Nop;
+    RegId dst = invalidReg;
+    uint64_t dstValue = 0;
+    bool hasDstValue = false;
+};
+
+class CommitChecker
+{
+  public:
+    /**
+     * @param program the static program the reference emulator replays.
+     * @param historyDepth committed instructions kept for diagnostics.
+     */
+    explicit CommitChecker(const isa::Program &program,
+                           size_t historyDepth = 16);
+
+    /**
+     * Validate one committed instruction against the reference
+     * emulator.
+     * @return an empty string if the commit matches; otherwise a
+     *         multi-line diagnostic (disagreeing fields + recent commit
+     *         history). The caller decides what to do with it (see
+     *         reportViolation()).
+     */
+    std::string check(const trace::DynInst &committed, Cycle commitCycle);
+
+    uint64_t commitsChecked() const { return commitsChecked_; }
+    uint64_t divergences() const { return divergences_; }
+
+    /** Formatted dump of the last N committed instructions. */
+    std::string historyDump() const;
+
+  private:
+    void remember(const trace::DynInst &di, Cycle cycle);
+
+    emu::Emulator emu_;
+    size_t historyDepth_;
+    std::deque<CommitRecord> history_;
+    uint64_t commitsChecked_ = 0;
+    uint64_t divergences_ = 0;
+};
+
+} // namespace pubs::sim
+
+#endif // PUBS_SIM_CHECKER_HH

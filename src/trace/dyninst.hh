@@ -33,6 +33,16 @@ struct DynInst
     uint8_t memSize = 0;    ///< access size in bytes (0 for non-memory)
     bool taken = false;     ///< conditional branches: actual direction
 
+    /**
+     * Architectural value written to dst (raw bits; FP values are the
+     * IEEE-754 bit pattern). 0 when there is no destination. The
+     * lockstep commit checker (sim/checker.hh) cross-validates it
+     * against an independent reference emulator at every commit; v0
+     * trace files predate it and replay with hasDstValue = false.
+     */
+    uint64_t dstValue = 0;
+    bool hasDstValue = false;
+
     isa::OpClass cls() const { return isa::opClass(op); }
     bool isBranch() const { return isa::isBranch(op); }
     bool isCondBranch() const { return isa::isCondBranch(op); }

@@ -1,7 +1,9 @@
 #include "trace/trace.hh"
 
+#include <cerrno>
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pubs::trace
@@ -10,8 +12,15 @@ namespace pubs::trace
 namespace
 {
 
-// On-disk record layout (little-endian, packed by hand for portability).
-constexpr size_t recordBytes = 40;
+// On-disk record layouts (little-endian, packed by hand for portability).
+// v1 extends v0's 40 bytes with the 8-byte architectural destination
+// value; byte 33 holds a flags byte (bit 0 = dstValue present), bytes
+// 34..39 stay reserved and must be zero in both formats.
+constexpr size_t recordBytesV0 = 40;
+constexpr size_t recordBytesV1 = 48;
+constexpr size_t headerBytesV0 = 16;
+constexpr size_t headerBytesV1 = 32;
+constexpr uint8_t flagHasDstValue = 0x01;
 
 void
 pack64(uint8_t *out, uint64_t v)
@@ -30,6 +39,22 @@ unpack64(const uint8_t *in)
 }
 
 void
+pack32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = (v >> (8 * i)) & 0xff;
+}
+
+uint32_t
+unpack32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= (uint32_t)in[i] << (8 * i);
+    return v;
+}
+
+void
 pack16(uint8_t *out, uint16_t v)
 {
     out[0] = v & 0xff;
@@ -42,30 +67,64 @@ unpack16(const uint8_t *in)
     return (uint16_t)(in[0] | (in[1] << 8));
 }
 
+[[noreturn]] void
+traceFail(const std::string &path, const std::string &what)
+{
+    throw TraceError("trace file '" + path + "': " + what);
+}
+
+/** Size of @p file in bytes via seek-to-end (position is restored). */
+long
+fileSize(std::FILE *file)
+{
+    long pos = std::ftell(file);
+    if (pos < 0 || std::fseek(file, 0, SEEK_END) != 0)
+        return -1;
+    long size = std::ftell(file);
+    if (std::fseek(file, pos, SEEK_SET) != 0)
+        return -1;
+    return size;
+}
+
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
-    fatal_if(!file_, "cannot open trace file '%s' for writing",
-             path.c_str());
-    // Header: magic + count placeholder.
-    std::fwrite(traceMagic, 1, sizeof(traceMagic), file_);
-    uint8_t zero[8] = {};
-    std::fwrite(zero, 1, sizeof(zero), file_);
+    if (!file_)
+        traceFail(path_, std::string("cannot open for writing: ") +
+                             std::strerror(errno));
+    // v1 header: magic + version + record size + count placeholder +
+    // reserved. The count is patched in close().
+    uint8_t header[headerBytesV1] = {};
+    std::memcpy(header, traceMagic, sizeof(traceMagic));
+    pack32(header + 8, traceFormatVersion);
+    pack32(header + 12, (uint32_t)recordBytesV1);
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        traceFail(path_, "short write of trace header");
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (file_)
+    if (!file_)
+        return;
+    // Destructors must not throw; a failing implicit close degrades to a
+    // warning. Call close() explicitly to get the error.
+    try {
         close();
+    } catch (const SimError &e) {
+        warn("%s", e.what());
+    }
 }
 
 void
 TraceWriter::write(const DynInst &inst)
 {
     panic_if(!file_, "write after close");
-    uint8_t rec[recordBytes] = {};
+    uint8_t rec[recordBytesV1] = {};
     pack64(rec + 0, inst.pc);
     pack64(rec + 8, inst.nextPc);
     pack64(rec + 16, inst.effAddr);
@@ -75,9 +134,12 @@ TraceWriter::write(const DynInst &inst)
     pack16(rec + 29, (uint16_t)inst.src2);
     rec[31] = inst.memSize;
     rec[32] = inst.taken ? 1 : 0;
-    // Bytes 33..39 reserved (zero).
-    size_t n = std::fwrite(rec, 1, recordBytes, file_);
-    fatal_if(n != recordBytes, "short write to trace file");
+    rec[33] = inst.hasDstValue ? flagHasDstValue : 0;
+    // Bytes 34..39 reserved (zero).
+    pack64(rec + 40, inst.dstValue);
+    size_t n = std::fwrite(rec, 1, recordBytesV1, file_);
+    if (n != recordBytesV1)
+        traceFail(path_, "short write of trace record (disk full?)");
     ++count_;
 }
 
@@ -85,28 +147,88 @@ void
 TraceWriter::close()
 {
     panic_if(!file_, "double close");
+    std::FILE *file = file_;
+    file_ = nullptr; // never retry a failing close
+
     // Patch the record count into the header.
-    std::fseek(file_, sizeof(traceMagic), SEEK_SET);
     uint8_t countBytes[8];
     pack64(countBytes, count_);
-    std::fwrite(countBytes, 1, sizeof(countBytes), file_);
-    std::fclose(file_);
-    file_ = nullptr;
+    if (std::fseek(file, 16, SEEK_SET) != 0) {
+        std::fclose(file);
+        traceFail(path_, std::string("cannot seek to header: ") +
+                             std::strerror(errno));
+    }
+    if (std::fwrite(countBytes, 1, sizeof(countBytes), file) !=
+        sizeof(countBytes)) {
+        std::fclose(file);
+        traceFail(path_, "cannot patch record count into header "
+                         "(disk full?)");
+    }
+    if (std::fclose(file) != 0) {
+        traceFail(path_, std::string("close failed, contents not "
+                                     "durable: ") +
+                             std::strerror(errno));
+    }
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    if (!file_)
+        traceFail(path_,
+                  std::string("cannot open: ") + std::strerror(errno));
+
     char magic[sizeof(traceMagic)];
-    uint8_t countBytes[8];
-    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-        std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
-        fatal("'%s' is not a PUBS trace file", path.c_str());
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic))
+        traceFail(path_, "too short to hold a trace header");
+
+    size_t headerBytes;
+    if (std::memcmp(magic, traceMagic, sizeof(magic)) == 0) {
+        // Current format: version, record size, count, reserved.
+        uint8_t rest[headerBytesV1 - sizeof(traceMagic)];
+        if (std::fread(rest, 1, sizeof(rest), file_) != sizeof(rest))
+            traceFail(path_, "truncated v1 trace header");
+        version_ = unpack32(rest + 0);
+        if (version_ != traceFormatVersion)
+            traceFail(path_, "unsupported trace format version " +
+                                 std::to_string(version_) +
+                                 " (this build reads versions 0 and " +
+                                 std::to_string(traceFormatVersion) + ")");
+        recordBytes_ = unpack32(rest + 4);
+        if (recordBytes_ != recordBytesV1)
+            traceFail(path_, "v1 header declares " +
+                                 std::to_string(recordBytes_) +
+                                 "-byte records, expected " +
+                                 std::to_string(recordBytesV1));
+        total_ = unpack64(rest + 8);
+        if (unpack64(rest + 16) != 0)
+            traceFail(path_, "nonzero reserved bytes in header "
+                             "(corrupt or written by a newer tool)");
+        headerBytes = headerBytesV1;
+    } else if (std::memcmp(magic, traceMagicV0, sizeof(magic)) == 0) {
+        // Legacy format: just the record count.
+        uint8_t countBytes[8];
+        if (std::fread(countBytes, 1, 8, file_) != 8)
+            traceFail(path_, "truncated v0 trace header");
+        version_ = 0;
+        recordBytes_ = recordBytesV0;
+        total_ = unpack64(countBytes);
+        headerBytes = headerBytesV0;
+    } else {
+        traceFail(path_, "not a PUBS trace file (bad magic)");
     }
-    fatal_if(std::fread(countBytes, 1, 8, file_) != 8,
-             "truncated trace header in '%s'", path.c_str());
-    total_ = unpack64(countBytes);
+
+    // The header's record count must agree with what is actually on
+    // disk; a mismatch means a truncated copy or an unfinalised writer.
+    long size = fileSize(file_);
+    if (size >= 0) {
+        uint64_t expected = headerBytes + total_ * recordBytes_;
+        if ((uint64_t)size != expected)
+            traceFail(path_, "header promises " + std::to_string(total_) +
+                                 " records (" + std::to_string(expected) +
+                                 " bytes) but the file holds " +
+                                 std::to_string(size) + " bytes");
+    }
 }
 
 TraceReader::~TraceReader()
@@ -120,21 +242,40 @@ TraceReader::next(DynInst &out)
 {
     if (read_ >= total_)
         return false;
-    uint8_t rec[recordBytes];
-    size_t n = std::fread(rec, 1, recordBytes, file_);
-    fatal_if(n != recordBytes, "truncated trace record");
+    uint8_t rec[recordBytesV1] = {};
+    size_t n = std::fread(rec, 1, recordBytes_, file_);
+    if (n != recordBytes_)
+        traceFail(path_, "truncated record " + std::to_string(read_) +
+                             " of " + std::to_string(total_));
+    if (rec[24] >= (uint8_t)isa::Opcode::NumOpcodes)
+        traceFail(path_, "corrupt opcode " + std::to_string(rec[24]) +
+                             " in record " + std::to_string(read_));
+    // Byte 33 is the v1 flags byte; in v0 it is reserved like 34..39.
+    for (size_t i = version_ >= 1 ? 34 : 33; i < 40; ++i) {
+        if (rec[i] != 0)
+            traceFail(path_, "nonzero reserved byte " + std::to_string(i) +
+                                 " in record " + std::to_string(read_) +
+                                 " (corrupt or written by a newer tool)");
+    }
+    out = DynInst{};
     out.seq = read_;
     out.pc = unpack64(rec + 0);
     out.nextPc = unpack64(rec + 8);
     out.effAddr = unpack64(rec + 16);
     out.op = (isa::Opcode)rec[24];
-    fatal_if(rec[24] >= (uint8_t)isa::Opcode::NumOpcodes,
-             "corrupt opcode %u in trace", rec[24]);
     out.dst = (RegId)unpack16(rec + 25);
     out.src1 = (RegId)unpack16(rec + 27);
     out.src2 = (RegId)unpack16(rec + 29);
     out.memSize = rec[31];
     out.taken = rec[32] != 0;
+    if (version_ >= 1) {
+        out.hasDstValue = (rec[33] & flagHasDstValue) != 0;
+        out.dstValue = unpack64(rec + 40);
+        if ((rec[33] & ~flagHasDstValue) != 0)
+            traceFail(path_, "unknown flag bits 0x" +
+                                 std::to_string(rec[33]) + " in record " +
+                                 std::to_string(read_));
+    }
     ++read_;
     return true;
 }

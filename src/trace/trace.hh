@@ -2,8 +2,22 @@
  * @file
  * Binary trace file format so externally captured (open) traces can be
  * replayed through the timing model, substituting for the paper's SPEC2006
- * runs. Format: 16-byte header (magic, version, record count), then one
- * packed 40-byte record per dynamic instruction.
+ * runs.
+ *
+ * v1 (current): 32-byte header — 8-byte magic "PUBSTRC2", u32 format
+ * version, u32 record size, u64 record count, 8 reserved (zero) bytes —
+ * then one packed 48-byte little-endian record per dynamic instruction,
+ * carrying the architectural destination value for the lockstep commit
+ * checker.
+ *
+ * v0 (legacy, still read): 16-byte header — magic "PUBSTRC1" + u64
+ * record count — and 40-byte records without the destination value.
+ *
+ * The reader validates everything it can at open: magic, version,
+ * record size, header record count against the actual file size, and
+ * reserved bytes (which must be zero). All failures throw
+ * pubs::TraceError naming the file, so a batch sweep can skip a corrupt
+ * trace instead of dying.
  */
 
 #ifndef PUBS_TRACE_TRACE_HH
@@ -19,8 +33,14 @@
 namespace pubs::trace
 {
 
-/** Magic bytes at the start of every trace file. */
-constexpr char traceMagic[8] = {'P', 'U', 'B', 'S', 'T', 'R', 'C', '1'};
+/** Magic bytes at the start of every v1 (current) trace file. */
+constexpr char traceMagic[8] = {'P', 'U', 'B', 'S', 'T', 'R', 'C', '2'};
+
+/** Magic bytes of legacy v0 traces (accepted by TraceReader). */
+constexpr char traceMagicV0[8] = {'P', 'U', 'B', 'S', 'T', 'R', 'C', '1'};
+
+/** On-disk format version written by TraceWriter. */
+constexpr uint32_t traceFormatVersion = 1;
 
 /** Streams DynInst records to a file. */
 class TraceWriter
@@ -34,12 +54,17 @@ class TraceWriter
 
     void write(const DynInst &inst);
 
-    /** Finalise the header (record count) and close. */
+    /**
+     * Finalise the header (record count) and close. Throws TraceError
+     * naming the file if any I/O step fails (e.g. a full disk), so a
+     * silently corrupt trace is never left looking valid.
+     */
     void close();
 
     uint64_t recordsWritten() const { return count_; }
 
   private:
+    std::string path_;
     std::FILE *file_ = nullptr;
     uint64_t count_ = 0;
 };
@@ -58,10 +83,16 @@ class TraceReader : public InstSource
 
     uint64_t recordCount() const { return total_; }
 
+    /** Format version of the open file (0 = legacy). */
+    uint32_t formatVersion() const { return version_; }
+
   private:
+    std::string path_;
     std::FILE *file_ = nullptr;
     uint64_t total_ = 0;
     uint64_t read_ = 0;
+    uint32_t version_ = traceFormatVersion;
+    size_t recordBytes_ = 0;
 };
 
 /** Buffers an in-memory sequence of records as an InstSource (tests). */

@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "common/bench_util.hh"
+#include "sim/config.hh"
 
 namespace pubs::bench
 {
@@ -95,6 +96,45 @@ TEST(BenchUtil, BudgetsReadEnvironment)
 TEST(BenchUtil, GeoMeanRatio)
 {
     EXPECT_NEAR(geoMeanRatio({1.1, 1.1, 1.1}), 1.1, 1e-12);
+}
+
+TEST(BenchUtil, RunSuiteSkipsFailingConfigurations)
+{
+    // An impossible configuration makes every workload throw
+    // ConfigError; the sweep must report each failure and keep going
+    // with index-aligned results rather than aborting.
+    std::vector<wl::Workload> suite;
+    suite.push_back(wl::makeWorkload("hmmer_like"));
+    suite.push_back(wl::makeWorkload("sjeng_like"));
+
+    cpu::CoreParams bad = sim::makeConfig(sim::Machine::Pubs);
+    bad.iqKind = iq::IqKind::Shifting; // PUBS needs the random queue
+
+    SuiteRun run = runSuite(suite, bad, false);
+    ASSERT_EQ(run.results.size(), suite.size());
+    ASSERT_EQ(run.errors.size(), suite.size());
+    EXPECT_EQ(run.failed(), suite.size());
+    EXPECT_FALSE(run.ok(0));
+    EXPECT_EQ(run.results[0].workload, "hmmer_like");
+    EXPECT_NE(run.errors[1].find("invalid core configuration"),
+              std::string::npos);
+}
+
+TEST(BenchUtil, RunSuiteMixedFailurePreservesGoodResults)
+{
+    std::vector<wl::Workload> suite;
+    suite.push_back(wl::makeWorkload("hmmer_like"));
+
+    cpu::CoreParams good = sim::makeConfig(sim::Machine::Base);
+    ::setenv("PUBS_BENCH_INSTS", "20000", 1);
+    ::setenv("PUBS_BENCH_WARMUP", "1000", 1);
+    SuiteRun run = runSuite(suite, good, false);
+    ::unsetenv("PUBS_BENCH_INSTS");
+    ::unsetenv("PUBS_BENCH_WARMUP");
+    ASSERT_EQ(run.results.size(), 1u);
+    EXPECT_EQ(run.failed(), 0u);
+    EXPECT_TRUE(run.ok(0));
+    EXPECT_GT(run.results[0].ipc, 0.0);
 }
 
 } // namespace

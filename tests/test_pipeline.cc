@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "emu/emulator.hh"
 #include "cpu/pipeline.hh"
 #include "isa/assembler.hh"
@@ -309,7 +311,7 @@ TEST(Pipeline, RejectsInvalidConfigurations)
     emu::Emulator emu(w.program);
     CoreParams bad = makeConfig(Machine::Pubs);
     bad.iqKind = iq::IqKind::Shifting; // PUBS needs the random queue
-    EXPECT_DEATH({ Pipeline pipe(bad, emu); }, "");
+    EXPECT_THROW({ Pipeline pipe(bad, emu); }, ConfigError);
 }
 
 TEST(Pipeline, NonStallPolicyAvoidsPriorityStalls)
@@ -395,7 +397,7 @@ TEST(Pipeline, IdealSelectRequiresSliceUnit)
     emu::Emulator emu(w.program);
     CoreParams bad = makeConfig(Machine::Base);
     bad.idealPrioritySelect = true; // without usePubs: invalid
-    EXPECT_DEATH({ Pipeline pipe(bad, emu); }, "");
+    EXPECT_THROW({ Pipeline pipe(bad, emu); }, ConfigError);
 }
 
 TEST(Pipeline, DistributedIqRejectsAgeMatrix)
@@ -404,7 +406,7 @@ TEST(Pipeline, DistributedIqRejectsAgeMatrix)
     emu::Emulator emu(w.program);
     CoreParams bad = makeConfig(Machine::Age);
     bad.distributedIq = true;
-    EXPECT_DEATH({ Pipeline pipe(bad, emu); }, "");
+    EXPECT_THROW({ Pipeline pipe(bad, emu); }, ConfigError);
 }
 
 } // namespace

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <vector>
 
+#include "common/error.hh"
 #include "emu/emulator.hh"
 #include "isa/assembler.hh"
 #include "trace/trace.hh"
@@ -135,6 +139,189 @@ TEST(Trace, CapturedEmulationReplaysIdentically)
         EXPECT_EQ(fromEmu.taken, fromTrace.taken);
     }
     EXPECT_FALSE(reader.next(fromTrace));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DstValueSurvivesRoundTrip)
+{
+    std::string path = tempPath("pubs_trace_dstv.trc");
+    {
+        TraceWriter writer(path);
+        DynInst di = sample(0);
+        di.dstValue = 0x123456789abcdef0ull;
+        di.hasDstValue = true;
+        writer.write(di);
+        DynInst plain = sample(1); // no destination value
+        writer.write(plain);
+        writer.close();
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.formatVersion(), traceFormatVersion);
+    DynInst di;
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_TRUE(di.hasDstValue);
+    EXPECT_EQ(di.dstValue, 0x123456789abcdef0ull);
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_FALSE(di.hasDstValue);
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** Write raw bytes as a file. */
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write((const char *)bytes.data(), (std::streamsize)bytes.size());
+}
+
+/** Read the whole file back as bytes. */
+std::vector<uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+TEST(TraceErrors, MissingFile)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/nope.trc"), TraceError);
+}
+
+TEST(TraceErrors, WrongMagic)
+{
+    std::string path = tempPath("pubs_trace_badmagic.trc");
+    writeBytes(path, std::vector<uint8_t>(32, 'x'));
+    EXPECT_THROW(TraceReader reader(path), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, TruncatedHeader)
+{
+    std::string path = tempPath("pubs_trace_shorthdr.trc");
+    writeBytes(path, {'P', 'U', 'B', 'S'});
+    EXPECT_THROW(TraceReader reader(path), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, TruncatedRecordsDetectedAtOpen)
+{
+    std::string path = tempPath("pubs_trace_trunc.trc");
+    {
+        TraceWriter writer(path);
+        for (SeqNum i = 0; i < 10; ++i)
+            writer.write(sample(i));
+        writer.close();
+    }
+    // Chop off the last record: the file-size check must reject it.
+    std::vector<uint8_t> bytes = readBytes(path);
+    bytes.resize(bytes.size() - 20);
+    writeBytes(path, bytes);
+    EXPECT_THROW(TraceReader reader(path), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, CorruptOpcodeRejected)
+{
+    std::string path = tempPath("pubs_trace_badop.trc");
+    {
+        TraceWriter writer(path);
+        writer.write(sample(0));
+        writer.close();
+    }
+    std::vector<uint8_t> bytes = readBytes(path);
+    bytes[32 + 24] = 0xff; // opcode byte of record 0
+    writeBytes(path, bytes);
+    TraceReader reader(path);
+    DynInst di;
+    EXPECT_THROW(reader.next(di), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, NonzeroReservedBytesRejected)
+{
+    std::string path = tempPath("pubs_trace_badresv.trc");
+    {
+        TraceWriter writer(path);
+        writer.write(sample(0));
+        writer.close();
+    }
+    std::vector<uint8_t> bytes = readBytes(path);
+    bytes[32 + 37] = 0x42; // a reserved byte of record 0
+    writeBytes(path, bytes);
+    TraceReader reader(path);
+    DynInst di;
+    EXPECT_THROW(reader.next(di), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, UnsupportedVersionRejected)
+{
+    std::string path = tempPath("pubs_trace_badver.trc");
+    {
+        TraceWriter writer(path);
+        writer.close();
+    }
+    std::vector<uint8_t> bytes = readBytes(path);
+    bytes[8] = 99; // version field
+    writeBytes(path, bytes);
+    EXPECT_THROW(TraceReader reader(path), TraceError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, LegacyV0TracesStillLoad)
+{
+    // Hand-build a v0 file: 16-byte header (magic + count) followed by
+    // one 40-byte record.
+    std::string path = tempPath("pubs_trace_v0.trc");
+    std::vector<uint8_t> bytes(16 + 40, 0);
+    std::memcpy(bytes.data(), traceMagicV0, 8);
+    bytes[8] = 1; // count = 1, little-endian
+    uint8_t *rec = bytes.data() + 16;
+    rec[0] = 0x34; // pc = 0x1234
+    rec[1] = 0x12;
+    rec[8] = 0x38; // nextPc
+    rec[9] = 0x12;
+    rec[24] = (uint8_t)isa::Opcode::Addi;
+    rec[25] = 7; // dst = r7
+    rec[27] = 0xff; // src1 = invalidReg (-1 as u16)
+    rec[28] = 0xff;
+    rec[29] = 0xff; // src2 = invalidReg
+    rec[30] = 0xff;
+    writeBytes(path, bytes);
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.formatVersion(), 0u);
+    EXPECT_EQ(reader.recordCount(), 1u);
+    DynInst di;
+    ASSERT_TRUE(reader.next(di));
+    EXPECT_EQ(di.pc, 0x1234u);
+    EXPECT_EQ(di.nextPc, 0x1238u);
+    EXPECT_EQ(di.op, isa::Opcode::Addi);
+    EXPECT_EQ(di.dst, 7);
+    EXPECT_EQ(di.src1, invalidReg);
+    EXPECT_FALSE(di.hasDstValue); // v0 carries no destination values
+    EXPECT_FALSE(reader.next(di));
+    std::remove(path.c_str());
+}
+
+TEST(TraceErrors, HeaderCountMismatchRejected)
+{
+    std::string path = tempPath("pubs_trace_count.trc");
+    {
+        TraceWriter writer(path);
+        writer.write(sample(0));
+        writer.close();
+    }
+    std::vector<uint8_t> bytes = readBytes(path);
+    bytes[16] = 9; // count field claims 9 records, file holds 1
+    writeBytes(path, bytes);
+    EXPECT_THROW(TraceReader reader(path), TraceError);
     std::remove(path.c_str());
 }
 

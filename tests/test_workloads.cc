@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "emu/emulator.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
@@ -30,7 +32,7 @@ TEST(Suite, NamesAreStableAndComplete)
 
 TEST(Suite, UnknownNameIsFatal)
 {
-    EXPECT_DEATH({ makeWorkload("nonexistent"); }, "");
+    EXPECT_THROW({ makeWorkload("nonexistent"); }, SimError);
 }
 
 class EveryWorkload : public ::testing::TestWithParam<std::string>
