@@ -121,6 +121,41 @@ maybeWriteCsv(const std::string &benchName, const TextTable &table)
     return true;
 }
 
+namespace
+{
+
+/**
+ * Append one host-speed record to $PUBS_BENCH_CSV/simspeed.csv (header
+ * written on creation), so every bench invocation accumulates a
+ * simulator-performance log alongside its model results.
+ */
+void
+appendSimSpeedCsv(const sim::RunResult &result,
+                  const cpu::CoreParams &params)
+{
+    const char *dir = std::getenv("PUBS_BENCH_CSV");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/simspeed.csv";
+    bool fresh = !std::ifstream(path).good();
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("cannot write CSV to %s", path.c_str());
+        return;
+    }
+    if (fresh)
+        out << "workload,pubs,instructions,cycles,sim_seconds,kips\n";
+    char line[192];
+    std::snprintf(line, sizeof(line), "%s,%d,%llu,%llu,%.4f,%.1f\n",
+                  result.workload.c_str(), params.usePubs ? 1 : 0,
+                  (unsigned long long)result.instructions,
+                  (unsigned long long)result.cycles, result.simSeconds,
+                  result.kips());
+    out << line;
+}
+
+} // namespace
+
 sim::RunResult
 runWorkload(const wl::Workload &workload, const cpu::CoreParams &params)
 {
@@ -128,6 +163,7 @@ runWorkload(const wl::Workload &workload, const cpu::CoreParams &params)
         sim::simulate(params, workload.program, warmupInsts(),
                       measureInsts());
     result.workload = workload.name;
+    appendSimSpeedCsv(result, params);
     return result;
 }
 
@@ -144,8 +180,10 @@ runSuite(const std::vector<wl::Workload> &suite,
         try {
             sim::RunResult r = runWorkload(workload, params);
             if (verbose) {
-                std::fprintf(stderr, " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f\n",
-                             r.ipc, r.branchMpki, r.llcMpki);
+                std::fprintf(stderr,
+                             " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f "
+                             "kips=%.0f\n",
+                             r.ipc, r.branchMpki, r.llcMpki, r.kips());
             }
             run.results.push_back(std::move(r));
             run.errors.emplace_back();

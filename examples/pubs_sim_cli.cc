@@ -20,6 +20,13 @@
  *                                    lockstep checker and the structural
  *                                    auditor; PASS/FAIL per workload
  *       --audit-interval <n>         cycles between structural audits
+ *       --stats-json <path>          write the full stat registry as JSON
+ *                                    (implies --telemetry)
+ *       --pipeview <path>            write a gem5-O3PipeView pipeline
+ *                                    trace (view with Konata)
+ *       --telemetry                  collect PUBS slice telemetry and the
+ *                                    branch-site profile
+ *       --heartbeat <cycles>         heartbeat interval (0 disables)
  *       --list                       list suite workloads and exit
  *
  * Prints the full pipeline stat group. Recoverable failures (bad
@@ -33,9 +40,11 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "cpu/telemetry.hh"
 #include "emu/emulator.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
+#include "trace/pipeview.hh"
 #include "trace/trace.hh"
 #include "workloads/suite.hh"
 
@@ -54,7 +63,9 @@ usage(const char *argv0)
                  "          [--no-mode-switch] [--non-stall]\n"
                  "          [--distributed-iq] [--iq KIND] [--list]\n"
                  "          [--check off|warn|throw|abort|lockstep]\n"
-                 "          [--audit-interval N]\n",
+                 "          [--audit-interval N]\n"
+                 "          [--stats-json PATH] [--pipeview PATH]\n"
+                 "          [--telemetry] [--heartbeat N]\n",
                  argv0);
     std::exit(2);
 }
@@ -170,6 +181,11 @@ run(int argc, char **argv)
     std::string checkArg;
     bool setAuditInterval = false;
     unsigned auditInterval = 0;
+    std::string statsJsonPath;
+    std::string pipeviewPath;
+    bool telemetry = false;
+    bool setHeartbeat = false;
+    unsigned heartbeat = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -210,6 +226,16 @@ run(int argc, char **argv)
         } else if (arg == "--audit-interval") {
             setAuditInterval = true;
             auditInterval = (unsigned)std::stoul(next());
+        } else if (arg == "--stats-json") {
+            statsJsonPath = next();
+            telemetry = true;
+        } else if (arg == "--pipeview") {
+            pipeviewPath = next();
+        } else if (arg == "--telemetry") {
+            telemetry = true;
+        } else if (arg == "--heartbeat") {
+            setHeartbeat = true;
+            heartbeat = (unsigned)std::stoul(next());
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -235,6 +261,10 @@ run(int argc, char **argv)
         params.iqKind = iqKind;
     if (setAuditInterval)
         params.auditInterval = auditInterval;
+    if (telemetry)
+        params.telemetry = true;
+    if (setHeartbeat)
+        params.heartbeatInterval = heartbeat;
 
     if (checkArg == "lockstep")
         return runLockstep(params, warmup, insts, seed) ? 1 : 0;
@@ -262,11 +292,43 @@ run(int argc, char **argv)
     }
 
     sim::Simulator simulator(params, std::move(source));
+    if (!pipeviewPath.empty()) {
+        simulator.pipeline().attachPipeView(
+            std::make_unique<trace::PipeViewWriter>(pipeviewPath));
+    }
     sim::RunResult result = simulator.run(warmup, insts);
 
     StatGroup group(workload);
     simulator.pipeline().fillStats(group);
     std::printf("%s", group.format().c_str());
+    std::printf("host speed: %.2f s, %.1f KIPS\n", result.simSeconds,
+                result.kips());
+
+    if (const cpu::CoreTelemetry *t = simulator.pipeline().telemetry())
+        std::printf("%s", t->formatBranchProfile().c_str());
+
+    if (!statsJsonPath.empty()) {
+        StatRegistry registry;
+        StatGroup &run = registry.group("run");
+        run.addString("workload", workload);
+        run.addString("machine", sim::machineName(machine));
+        run.addString("size", cpu::sizeClassName(size));
+        run.add("instructions", (double)result.instructions);
+        run.add("warmup_instructions", (double)warmup);
+        run.add("seed", (double)seed);
+        run.add("sim_seconds", result.simSeconds,
+                "host wall-clock of the measurement phase");
+        run.add("kips", result.kips(),
+                "kilo-instructions committed per host second");
+        simulator.pipeline().fillRegistry(registry);
+        registry.writeJson(statsJsonPath);
+        std::printf("stats written to %s\n", statsJsonPath.c_str());
+    }
+    if (const trace::PipeViewWriter *pv = simulator.pipeline().pipeView()) {
+        std::printf("pipeview trace: %s (%llu records; open with Konata)\n",
+                    pv->path().c_str(),
+                    (unsigned long long)pv->records());
+    }
     return 0;
 }
 

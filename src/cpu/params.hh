@@ -96,6 +96,20 @@ struct CoreParams
     /** Seed for all model-internal randomness. */
     uint64_t seed = 1;
 
+    // --- observability (cpu/telemetry.hh) ---
+    /**
+     * Collect cycle-level telemetry: per-branch-PC misprediction
+     * profiles, PUBS slice-prediction coverage/accuracy against true
+     * backward slices, the priority-entry occupancy histogram, and the
+     * interval heartbeat. Off by default: the hot paths then pay only a
+     * null-pointer check per event.
+     */
+    bool telemetry = false;
+    /** Cycles between heartbeat samples (0 disables the heartbeat). */
+    unsigned heartbeatInterval = 100000;
+    /** Print each heartbeat sample to stderr as it is taken. */
+    bool heartbeatToStderr = true;
+
     // --- verification (see sim/checker.hh and cpu/audit.hh) ---
     /**
      * Lockstep commit checker: an independent functional emulator

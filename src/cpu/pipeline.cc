@@ -7,11 +7,13 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "cpu/audit.hh"
+#include "cpu/telemetry.hh"
 #include "isa/program.hh"
 #include "iq/circular_queue.hh"
 #include "iq/random_queue.hh"
 #include "iq/shifting_queue.hh"
 #include "sim/checker.hh"
+#include "trace/pipeview.hh"
 
 namespace pubs::cpu
 {
@@ -94,6 +96,9 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
     readyMask_.assign((params.iqEntries + 63) / 64, 0);
     staticProgram_ = source.program();
 
+    if (params.telemetry)
+        telemetry_ = std::make_unique<CoreTelemetry>(params);
+
     // PUBS_CHECK in the environment overrides both configured policies.
     checkPolicy_ = checkPolicyFromEnv(params.checkPolicy);
     auditPolicy_ = checkPolicyFromEnv(params.auditPolicy);
@@ -109,6 +114,12 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
 }
 
 Pipeline::~Pipeline() = default;
+
+void
+Pipeline::attachPipeView(std::unique_ptr<trace::PipeViewWriter> writer)
+{
+    pipeview_ = std::move(writer);
+}
 
 Cycle
 Pipeline::regReadyCycle(isa::RegClass cls, PhysRegId reg) const
@@ -163,6 +174,8 @@ void
 Pipeline::resetStats()
 {
     stats_ = PipelineStats{};
+    if (telemetry_)
+        telemetry_->resetStats(now_);
 }
 
 void
@@ -179,6 +192,15 @@ Pipeline::cycle()
     for (const auto &queue : iqs_)
         occupancy += queue->occupancy();
     stats_.iqOccupancy.sample(occupancy);
+
+    if (telemetry_) {
+        size_t priorityOccupancy = 0;
+        for (const auto &queue : iqs_)
+            priorityOccupancy += queue->priorityOccupancy();
+        telemetry_->noteCycle(occupancy, priorityOccupancy);
+        if (now_ >= telemetry_->nextHeartbeat())
+            telemetry_->heartbeat(now_, stats_);
+    }
 
     if (auditPolicy_ != CheckPolicy::Off && params_.auditInterval != 0 &&
         now_ % params_.auditInterval == 0) {
@@ -232,10 +254,19 @@ Pipeline::processSquashes()
 }
 
 void
+Pipeline::recordSquashed(Inflight &inst)
+{
+    inst.di.stamps.squashed = true;
+    pipeview_->record(inst.di);
+}
+
+void
 Pipeline::squashYoungerThan(uint32_t branchId)
 {
     // Drop not-yet-dispatched wrong-path instructions.
     for (uint32_t id : frontendQueue_) {
+        if (pipeview_)
+            recordSquashed(at(id));
         at(id).valid = false;
         freeIds_.push_back(id);
         ++stats_.squashed;
@@ -268,6 +299,8 @@ Pipeline::squashYoungerThan(uint32_t branchId)
             rename_.rollback(inst.dstCls, inst.di.dst, inst.physDst,
                              inst.prevPhysDst);
         }
+        if (pipeview_)
+            recordSquashed(inst);
         inst.valid = false;
         freeIds_.push_back(id);
         rob_.popTail();
@@ -312,6 +345,16 @@ Pipeline::doCommit()
         if (inst.di.op == Opcode::Halt)
             haltCommitted_ = true;
 
+        if (telemetry_) {
+            telemetry_->noteCommit(inst.slice.unconfident, inst.trueSlice);
+            if (inst.di.isCondBranch())
+                telemetry_->noteBranchCommit(inst.di.pc);
+        }
+        if (pipeview_) {
+            inst.di.stamps.retire = now_;
+            pipeview_->record(inst.di);
+        }
+
         inst.valid = false;
         freeIds_.push_back(id);
         rob_.popHead();
@@ -348,6 +391,7 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
     inst.issued = true;
     inst.issueCycle = now_;
     stats_.iqWaitSum += now_ - inst.dispatchCycle;
+    stats_.iqWait.sample(now_ - inst.dispatchCycle);
     ++stats_.issued;
 
     Cycle done;
@@ -417,6 +461,10 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
         done = now_ + info.latency;
     }
     inst.doneCycle = done;
+    if (pipeview_) {
+        inst.di.stamps.issue = now_;
+        inst.di.stamps.complete = done;
+    }
 
     if (inst.physDst != invalidPhysReg)
         setRegReady(inst.dstCls, inst.physDst, done);
@@ -430,6 +478,65 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
         ++stats_.misspecPenaltyCount;
         stats_.misspecPenalty.sample(done - inst.fetchCycle);
         squashEvents_.push({done, id});
+        if (telemetry_) {
+            telemetry_->noteMispredictResolved(di.pc,
+                                               done - inst.fetchCycle);
+            traceTrueSlice(id, inst);
+        }
+    }
+}
+
+void
+Pipeline::traceTrueSlice(uint32_t branchId, const Inflight &branch)
+{
+    // Snapshot the ROB in program order and locate the branch.
+    static thread_local std::vector<uint32_t> ids;
+    ids.clear();
+    rob_.forEach([](uint32_t id) { ids.push_back(id); });
+    size_t branchPos = SIZE_MAX;
+    for (size_t i = ids.size(); i-- > 0;) {
+        if (ids[i] == branchId) {
+            branchPos = i;
+            break;
+        }
+    }
+    if (branchPos == SIZE_MAX)
+        return; // resolved after leaving the window
+
+    // Physical registers whose producers belong to the slice. Renaming
+    // guarantees at most one in-flight producer per physical register.
+    static thread_local std::vector<bool> wantInt, wantFp;
+    wantInt.assign(params_.intPhysRegs, false);
+    wantFp.assign(params_.fpPhysRegs, false);
+    auto want = [&](isa::RegClass cls, PhysRegId reg) {
+        if (reg == invalidPhysReg || cls == isa::RegClass::None)
+            return;
+        (cls == isa::RegClass::Fp ? wantFp : wantInt)[(size_t)reg] = true;
+    };
+    auto wanted = [&](isa::RegClass cls, PhysRegId reg) {
+        if (reg == invalidPhysReg || cls == isa::RegClass::None)
+            return false;
+        return (bool)(cls == isa::RegClass::Fp ? wantFp
+                                               : wantInt)[(size_t)reg];
+    };
+
+    want(branch.src1Cls, branch.physSrc1);
+    want(branch.src2Cls, branch.physSrc2);
+
+    // Walk older instructions youngest-first, growing the register set
+    // transitively: the true dynamic backward slice within the window.
+    for (size_t i = branchPos; i-- > 0;) {
+        Inflight &inst = at(ids[i]);
+        if (!inst.valid || inst.physDst == invalidPhysReg)
+            continue;
+        if (!wanted(inst.dstCls, inst.physDst))
+            continue;
+        if (!inst.trueSlice) {
+            inst.trueSlice = true;
+            telemetry_->noteTrueSliceInst(inst.slice.unconfident);
+        }
+        want(inst.src1Cls, inst.physSrc1);
+        want(inst.src2Cls, inst.physSrc2);
     }
 }
 
@@ -651,12 +758,20 @@ Pipeline::doDispatch()
         rob_.push(id);
         inst.dispatched = true;
         inst.dispatchCycle = now_;
+        if (pipeview_) {
+            inst.di.stamps.rename = now_;
+            inst.di.stamps.dispatch = now_;
+        }
 
         if (isNop) {
             // Nops bypass the IQ: complete immediately.
             inst.issued = true;
             inst.issueCycle = now_;
             inst.doneCycle = now_ + 1;
+            if (pipeview_) {
+                inst.di.stamps.issue = now_;
+                inst.di.stamps.complete = now_ + 1;
+            }
         }
 
         frontendQueue_.pop_front();
@@ -729,6 +844,10 @@ Pipeline::doFetch()
         inst.wrongPath = onWrongPath;
         inst.fetchCycle = now_;
         inst.feReadyCycle = now_ + params_.frontendDepth;
+        if (pipeview_) {
+            inst.di.stamps.fetch = now_;
+            inst.di.stamps.decode = now_ + 1;
+        }
 
         // PUBS slice classification happens in the in-order front end —
         // including on the wrong path, exactly as the hardware would.
@@ -989,6 +1108,77 @@ Pipeline::fillStats(StatGroup &group) const
         group.add("audits_run", (double)s.auditsRun,
                   "structural invariant audit passes");
         group.add("audit_violations", (double)s.auditViolations);
+    }
+}
+
+void
+Pipeline::fillRegistry(StatRegistry &registry) const
+{
+    StatGroup &pipeline = registry.group("pipeline");
+    fillStats(pipeline);
+    pipeline.addHistogram(
+        "misspec_penalty", stats_.misspecPenalty,
+        "fetch-to-resolution cycles of mispredicted branches");
+
+    StatGroup &iq = registry.group("iq");
+    size_t capacity = 0;
+    unsigned priorityEntries = 0;
+    for (const auto &queue : iqs_) {
+        capacity += queue->capacity();
+        priorityEntries += queue->priorityEntries();
+    }
+    iq.add("queues", (double)iqs_.size());
+    iq.add("capacity", (double)capacity);
+    iq.add("priority_entries", (double)priorityEntries,
+           "entries reserved for unconfident-slice instructions");
+    iq.addHistogram("occupancy", stats_.iqOccupancy,
+                    "occupied entries per cycle");
+    iq.addHistogram("wait", stats_.iqWait,
+                    "dispatch-to-issue cycles of issued instructions");
+
+    StatGroup &mem = registry.group("mem");
+    for (const mem::Cache *cache :
+         {&mem_->l1i(), &mem_->l1d(), &mem_->l2()}) {
+        std::string prefix = cache->params().name;
+        mem.add(prefix + "_accesses", (double)cache->demandAccesses());
+        mem.add(prefix + "_misses", (double)cache->demandMisses());
+        mem.add(prefix + "_miss_rate", cache->missRate());
+        mem.add(prefix + "_prefetch_fills",
+                (double)cache->prefetchFills());
+        mem.add(prefix + "_useful_prefetches",
+                (double)cache->usefulPrefetches());
+    }
+    mem.add("llc_misses", (double)mem_->llcMisses());
+
+    if (sliceUnit_) {
+        StatGroup &pubs = registry.group("pubs");
+        pubs.add("dynamic_branches",
+                 (double)sliceUnit_->dynamicBranches());
+        pubs.add("unconfident_branches",
+                 (double)sliceUnit_->unconfidentBranches());
+        pubs.add("unconfident_branch_rate",
+                 sliceUnit_->unconfidentBranchRate(),
+                 "unconfident / dynamic conditional branches");
+        pubs.add("slice_insts", (double)sliceUnit_->sliceInsts(),
+                 "decoded insts predicted inside some branch slice");
+        pubs.add("unconfident_slice_insts",
+                 (double)sliceUnit_->unconfidentSliceInsts(),
+                 "... inside an unconfident branch slice");
+        if (modeSwitch_) {
+            pubs.add("mode_intervals", (double)modeSwitch_->intervals());
+            pubs.add("mode_enabled_intervals",
+                     (double)modeSwitch_->enabledIntervals());
+            pubs.add("mode_enabled_fraction",
+                     modeSwitch_->enabledFraction(),
+                     "fraction of mode-switch intervals with PUBS on");
+        }
+        sliceUnit_->confTab().fillStats(registry.group("pubs.conf_tab"));
+    }
+
+    if (telemetry_) {
+        telemetry_->fillSliceStats(registry.group("pubs.telemetry"));
+        telemetry_->fillBranchProfile(registry.group("branch_profile"));
+        telemetry_->fillHeartbeats(registry.group("heartbeat"));
     }
 }
 

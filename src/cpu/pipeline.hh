@@ -47,8 +47,15 @@ namespace pubs::sim
 class CommitChecker;
 } // namespace pubs::sim
 
+namespace pubs::trace
+{
+class PipeViewWriter;
+} // namespace pubs::trace
+
 namespace pubs::cpu
 {
+
+class CoreTelemetry;
 
 /** Counters the benches and tests read out. */
 struct PipelineStats
@@ -94,10 +101,13 @@ struct PipelineStats
     uint64_t auditsRun = 0;
     uint64_t auditViolations = 0;
 
-    /** Distribution of misspeculation penalties (cycle buckets). */
-    Histogram misspecPenalty{192};
+    /** Distribution of misspeculation penalties (4-cycle buckets, so
+     *  long LLC-miss-bound penalties keep resolution). */
+    Histogram misspecPenalty{128, 4};
     /** Per-cycle IQ occupancy distribution (entry buckets). */
     Histogram iqOccupancy{256};
+    /** Dispatch-to-issue wait of issued instructions (2-cycle buckets). */
+    Histogram iqWait{96, 2};
 
     double ipc() const
     {
@@ -162,6 +172,27 @@ class Pipeline
     /** Summarise into a stat group for reporting. */
     void fillStats(StatGroup &group) const;
 
+    /**
+     * Publish the full observability picture into @p registry: the
+     * "pipeline" group (fillStats plus histograms), plus "iq", "mem",
+     * "pubs" / "pubs.conf_tab", and — when telemetry is enabled —
+     * "pubs.telemetry", "branch_profile" and "heartbeat".
+     */
+    void fillRegistry(StatRegistry &registry) const;
+
+    /**
+     * Attach an O3PipeView trace writer: every instruction's stage
+     * cycles are stamped and written at retire/squash. Pass before
+     * running; null detaches.
+     */
+    void attachPipeView(std::unique_ptr<trace::PipeViewWriter> writer);
+
+    /** The attached pipeview writer, if any. */
+    const trace::PipeViewWriter *pipeView() const { return pipeview_.get(); }
+
+    /** Telemetry collector (null unless CoreParams::telemetry). */
+    const CoreTelemetry *telemetry() const { return telemetry_.get(); }
+
     /** The lockstep checker, if one is attached (null otherwise). */
     const sim::CommitChecker *checker() const { return checker_.get(); }
 
@@ -206,6 +237,9 @@ class Pipeline
         bool isMispredict = false;
         bool condPredictionCorrect = false;
         bool wrongPath = false; ///< fetched past an unresolved mispredict
+        /** Found in the true backward slice of a resolved misprediction
+         *  (telemetry ground truth for the PUBS slice predictor). */
+        bool trueSlice = false;
 
         pubs::SliceDecision slice{};
     };
@@ -242,6 +276,17 @@ class Pipeline
 
     bool srcsReady(const Inflight &inst, Cycle &readyAt) const;
     void issueInst(uint32_t id, Inflight &inst);
+
+    /**
+     * Telemetry: walk the true dynamic backward slice of the resolved
+     * mispredicted branch @p branchId through the older ROB entries,
+     * marking members and scoring the PUBS slice prediction against
+     * them.
+     */
+    void traceTrueSlice(uint32_t branchId, const Inflight &branch);
+
+    /** Emit a squashed instruction's pipeview record and mark it. */
+    void recordSquashed(Inflight &inst);
     void issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
                         unsigned &grants);
     iq::IssueQueue &queueFor(const trace::DynInst &di);
@@ -264,6 +309,8 @@ class Pipeline
     std::unique_ptr<pubs::SliceUnit> sliceUnit_;
     std::unique_ptr<pubs::ModeSwitch> modeSwitch_;
     std::unique_ptr<sim::CommitChecker> checker_;
+    std::unique_ptr<CoreTelemetry> telemetry_;
+    std::unique_ptr<trace::PipeViewWriter> pipeview_;
     CheckPolicy checkPolicy_ = CheckPolicy::Off;
     CheckPolicy auditPolicy_ = CheckPolicy::Off;
     RenameUnit rename_;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cycle-level core telemetry (CoreParams::telemetry):
+ *
+ *  - a per-branch-PC misprediction / misspeculation-penalty profile, the
+ *    analysis of Lin & Tarsa ("Branch Prediction Is Not a Solved
+ *    Problem"): a handful of static branches dominate misprediction cost;
+ *  - ground truth for the PUBS slice predictor: at every resolved
+ *    misprediction the pipeline walks the true dynamic backward slice of
+ *    the branch through the ROB and compares it against what the
+ *    conf_tab / brslice_tab predicted (coverage), while commit counts how
+ *    many predicted-unconfident-slice instructions really fed a
+ *    mispredicted branch (accuracy) — the paper's Fig. 9 correlation made
+ *    measurable;
+ *  - a per-cycle priority-entry occupancy histogram (are the reserved
+ *    entries earning their area?);
+ *  - an interval heartbeat (IPC / MPKI / IQ occupancy per interval) so
+ *    long runs are debuggable mid-flight.
+ *
+ * The Pipeline owns one instance only when telemetry is enabled; every
+ * hot-path hook is gated behind a single null-pointer check.
+ */
+
+#ifndef PUBS_CPU_TELEMETRY_HH
+#define PUBS_CPU_TELEMETRY_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pubs::cpu
+{
+
+struct CoreParams;
+struct PipelineStats;
+
+/** Accumulated cost of one static conditional branch. */
+struct BranchSiteStats
+{
+    uint64_t commits = 0;     ///< committed executions
+    uint64_t mispredicts = 0; ///< resolved mispredictions
+    uint64_t penaltySum = 0;  ///< summed misspeculation penalty cycles
+};
+
+/** One heartbeat interval's headline numbers. */
+struct HeartbeatSample
+{
+    Cycle cycle;               ///< sample time
+    double intervalIpc;        ///< IPC over the interval just ended
+    double intervalMpki;       ///< branch MPKI over the interval
+    double intervalIqOccupancy; ///< mean IQ occupancy over the interval
+};
+
+class CoreTelemetry
+{
+  public:
+    explicit CoreTelemetry(const CoreParams &params);
+
+    /** Zero measurement state at a warmup boundary; @p now re-anchors
+     *  the heartbeat intervals. */
+    void resetStats(Cycle now);
+
+    // --- per-cycle sampling ---
+
+    /** Called once per cycle with the occupied priority-entry count. */
+    void
+    noteCycle(size_t iqOccupancy, size_t priorityOccupancy)
+    {
+        priorityOccupancy_.sample(priorityOccupancy);
+        intervalOccupancySum_ += iqOccupancy;
+        ++intervalCycles_;
+    }
+
+    // --- slice ground truth (filled by the pipeline's ROB walk) ---
+
+    /** An instruction was found in a true backward slice of a resolved
+     *  misprediction; @p predictedUnconfident is its decode-time PUBS
+     *  classification. */
+    void
+    noteTrueSliceInst(bool predictedUnconfident)
+    {
+        ++trueSliceInsts_;
+        if (predictedUnconfident)
+            ++trueSliceCovered_;
+    }
+
+    /** A correct-path instruction committed. */
+    void
+    noteCommit(bool predictedUnconfident, bool inTrueSlice)
+    {
+        ++committedInsts_;
+        if (predictedUnconfident) {
+            ++committedUnconfident_;
+            if (inTrueSlice)
+                ++committedUnconfidentTrue_;
+        }
+    }
+
+    /** A conditional branch at @p pc committed. */
+    void noteBranchCommit(Pc pc) { ++sites_[pc].commits; }
+
+    /** A misprediction at @p pc resolved with @p penalty cycles. */
+    void
+    noteMispredictResolved(Pc pc, Cycle penalty)
+    {
+        BranchSiteStats &site = sites_[pc];
+        ++site.mispredicts;
+        site.penaltySum += penalty;
+    }
+
+    // --- heartbeat ---
+
+    /** First cycle at/after which a heartbeat sample is due
+     *  (neverCycle when the heartbeat is disabled). */
+    Cycle nextHeartbeat() const { return nextHeartbeat_; }
+
+    /** Take a heartbeat sample at @p now from the live counters. */
+    void heartbeat(Cycle now, const PipelineStats &stats);
+
+    // --- reporting ---
+
+    /**
+     * Fraction of true-backward-slice instructions of mispredicted
+     * branches that the slice predictor had marked unconfident-slice.
+     */
+    double
+    sliceCoverage() const
+    {
+        return trueSliceInsts_
+                   ? (double)trueSliceCovered_ / (double)trueSliceInsts_
+                   : 0.0;
+    }
+
+    /**
+     * Fraction of committed predicted-unconfident-slice instructions
+     * that really were in a mispredicted branch's backward slice.
+     */
+    double
+    sliceAccuracy() const
+    {
+        return committedUnconfident_
+                   ? (double)committedUnconfidentTrue_ /
+                         (double)committedUnconfident_
+                   : 0.0;
+    }
+
+    uint64_t trueSliceInsts() const { return trueSliceInsts_; }
+    uint64_t trueSliceCovered() const { return trueSliceCovered_; }
+    uint64_t committedUnconfident() const { return committedUnconfident_; }
+    uint64_t committedUnconfidentTrue() const
+        { return committedUnconfidentTrue_; }
+
+    const Histogram &priorityOccupancy() const { return priorityOccupancy_; }
+    const std::vector<HeartbeatSample> &heartbeats() const
+        { return heartbeats_; }
+    const std::unordered_map<Pc, BranchSiteStats> &branchSites() const
+        { return sites_; }
+
+    /** The @p topN sites by misprediction count, most costly first. */
+    std::vector<std::pair<Pc, BranchSiteStats>> topBranchSites(
+        size_t topN) const;
+
+    /** Publish slice / priority-occupancy stats into @p group. */
+    void fillSliceStats(StatGroup &group) const;
+
+    /** Publish the top-@p topN branch profile into @p group. */
+    void fillBranchProfile(StatGroup &group, size_t topN = 20) const;
+
+    /** Publish the heartbeat series into @p group. */
+    void fillHeartbeats(StatGroup &group) const;
+
+    /** The branch profile as an aligned text table (CLI output). */
+    std::string formatBranchProfile(size_t topN = 10) const;
+
+  private:
+    unsigned heartbeatInterval_;
+    bool heartbeatToStderr_;
+    Cycle nextHeartbeat_;
+
+    uint64_t trueSliceInsts_ = 0;
+    uint64_t trueSliceCovered_ = 0;
+    uint64_t committedInsts_ = 0;
+    uint64_t committedUnconfident_ = 0;
+    uint64_t committedUnconfidentTrue_ = 0;
+
+    Histogram priorityOccupancy_{32};
+    std::unordered_map<Pc, BranchSiteStats> sites_;
+
+    // Interval deltas for the heartbeat.
+    uint64_t lastCommitted_ = 0;
+    uint64_t lastMispredicts_ = 0;
+    Cycle lastCycle_ = 0;
+    uint64_t intervalOccupancySum_ = 0;
+    uint64_t intervalCycles_ = 0;
+    std::vector<HeartbeatSample> heartbeats_;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_TELEMETRY_HH

@@ -80,6 +80,9 @@ class IssueQueue
     /** Number of reserved PUBS priority entries (0 if unpartitioned). */
     virtual unsigned priorityEntries() const { return 0; }
 
+    /** Occupied priority entries this cycle (0 if unpartitioned). */
+    virtual size_t priorityOccupancy() const { return 0; }
+
     virtual const char *kindName() const = 0;
 
     bool empty() const { return occupancy() == 0; }

@@ -35,6 +35,8 @@ class RandomQueue : public IssueQueue
     size_t occupancy() const override { return occupancy_; }
     size_t capacity() const override { return slots_.size(); }
     unsigned priorityEntries() const override { return priorityEntries_; }
+    size_t priorityOccupancy() const override
+        { return priorityEntries_ - priorityFree_.size(); }
     const char *kindName() const override { return "random"; }
 
     size_t freePriority() const { return priorityFree_.size(); }

@@ -31,18 +31,27 @@ ConfTab::ConfTab(const PubsParams &params)
 void
 ConfTab::update(const TableKey &key, bool correctPrediction)
 {
+    ++dynamics_.updates;
     bool allocated = false;
     ConfEntry &entry = table_.lookupOrAllocate(key, allocated);
     if (allocated) {
+        ++dynamics_.allocations;
         entry.counter = correctPrediction ? counterMax_ : 0;
+        if (entry.counter == counterMax_)
+            ++dynamics_.saturations;
         return;
     }
     if (correctPrediction) {
-        if (entry.counter < counterMax_)
-            ++entry.counter;
+        if (entry.counter < counterMax_) {
+            ++dynamics_.increments;
+            if (++entry.counter == counterMax_)
+                ++dynamics_.saturations;
+        }
     } else if (shape_ == CounterShape::Resetting) {
+        ++dynamics_.resets;
         entry.counter = 0;
     } else if (entry.counter > 0) {
+        ++dynamics_.decrements;
         --entry.counter;
     }
 }
@@ -64,6 +73,39 @@ ConfTab::counterValue(const TableKey &key, uint32_t &out)
         return true;
     }
     return false;
+}
+
+Histogram
+ConfTab::valueHistogram() const
+{
+    // Narrow counters get one bucket per value; wide ones fall back to
+    // log2 buckets so the snapshot stays compact.
+    Histogram h = counterMax_ < 64
+                      ? Histogram(counterMax_ + 1)
+                      : Histogram(17, 1, BucketScale::Log2);
+    table_.forEachValid(
+        [&h](const ConfEntry &entry) { h.sample(entry.counter); });
+    return h;
+}
+
+void
+ConfTab::fillStats(StatGroup &group) const
+{
+    group.add("counter_bits", (double)counterBits_);
+    group.add("valid_entries", (double)validEntries());
+    group.add("capacity", (double)table_.capacity());
+    group.add("updates", (double)dynamics_.updates,
+              "confidence training events");
+    group.add("allocations", (double)dynamics_.allocations,
+              "entries (re)allocated on first sight");
+    group.add("increments", (double)dynamics_.increments);
+    group.add("resets", (double)dynamics_.resets,
+              "counters reset to 0 by a misprediction");
+    group.add("decrements", (double)dynamics_.decrements);
+    group.add("saturations", (double)dynamics_.saturations,
+              "transitions into the confident (saturated) state");
+    group.addHistogram("counter_value", valueHistogram(),
+                       "snapshot of counter values across valid entries");
 }
 
 uint64_t

@@ -8,6 +8,7 @@
 #ifndef PUBS_PUBS_CONF_TAB_HH
 #define PUBS_PUBS_CONF_TAB_HH
 
+#include "common/stats.hh"
 #include "pubs/params.hh"
 #include "pubs/table.hh"
 
@@ -52,6 +53,30 @@ class ConfTab
     /** Per Fig. 6: each entry stores (tag t_c, counter) + valid. */
     uint64_t costBits() const;
 
+    /**
+     * Confidence-counter dynamics, accumulated on every update():
+     * how often counters are (re)allocated, pushed towards saturation,
+     * reset by mispredictions, and how often they *reach* saturation —
+     * the transition that flips a branch from unconfident to confident.
+     */
+    struct Dynamics
+    {
+        uint64_t updates = 0;     ///< total training events
+        uint64_t allocations = 0; ///< first-sight (or re-alloc) entries
+        uint64_t increments = 0;  ///< correct outcomes below saturation
+        uint64_t resets = 0;      ///< mispredictions (resetting shape)
+        uint64_t decrements = 0;  ///< mispredictions (up-down shape)
+        uint64_t saturations = 0; ///< transitions into the saturated state
+    };
+
+    const Dynamics &dynamics() const { return dynamics_; }
+
+    /** Snapshot histogram of counter values across valid entries. */
+    Histogram valueHistogram() const;
+
+    /** Publish dynamics + occupancy + value distribution into @p group. */
+    void fillStats(StatGroup &group) const;
+
   private:
     struct ConfEntry
     {
@@ -61,6 +86,7 @@ class ConfTab
     unsigned counterBits_;
     uint32_t counterMax_;
     CounterShape shape_;
+    Dynamics dynamics_;
     HashedTagTable<ConfEntry> table_;
 };
 

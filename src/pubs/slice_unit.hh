@@ -62,6 +62,7 @@ class SliceUnit
     DefTab &defTab() { return defTab_; }
     BrsliceTab &brsliceTab() { return brsliceTab_; }
     ConfTab &confTab() { return confTab_; }
+    const ConfTab &confTab() const { return confTab_; }
 
   private:
     /** Propagate the conf pointer to the producers of @p inst's sources. */

@@ -156,6 +156,17 @@ class HashedTagTable
         return n;
     }
 
+    /** Visit every valid payload (telemetry snapshots). */
+    template <typename F>
+    void
+    forEachValid(F &&visit) const
+    {
+        for (const auto &e : entries_) {
+            if (e.valid)
+                visit(e.payload);
+        }
+    }
+
   private:
     struct Entry
     {

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace pubs::sim
@@ -30,7 +32,10 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
         pipeline_->run(warmupInsts);
         pipeline_->resetStats();
     }
+    auto wallStart = std::chrono::steady_clock::now();
     pipeline_->run(measureInsts);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wallStart;
 
     const cpu::PipelineStats &s = pipeline_->stats();
     RunResult result;
@@ -43,6 +48,7 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
     result.avgIqWait =
         s.issued ? (double)s.iqWaitSum / (double)s.issued : 0.0;
     result.priorityStallCycles = s.priorityStallCycles;
+    result.simSeconds = wall.count();
     if (const pubs::SliceUnit *unit = pipeline_->sliceUnit())
         result.unconfidentBranchRate = unit->unconfidentBranchRate();
     if (const pubs::ModeSwitch *ms = pipeline_->modeSwitch())

@@ -36,6 +36,9 @@ struct RunResult
     double pubsEnabledFraction = 1.0;
     uint64_t priorityStallCycles = 0;
 
+    /** Host wall-clock seconds of the measurement phase. */
+    double simSeconds = 0.0;
+
     /** Full pipeline counters for detailed analysis. */
     cpu::PipelineStats pipeline{};
 
@@ -44,6 +47,15 @@ struct RunResult
     speedupOver(const RunResult &other) const
     {
         return other.ipc > 0.0 ? ipc / other.ipc : 0.0;
+    }
+
+    /** Simulation speed: kilo-instructions committed per host second. */
+    double
+    kips() const
+    {
+        return simSeconds > 0.0
+                   ? (double)instructions / simSeconds / 1000.0
+                   : 0.0;
     }
 };
 

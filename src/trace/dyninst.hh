@@ -20,6 +20,25 @@ class Program;
 namespace pubs::trace
 {
 
+/**
+ * Cycle stamps of every pipeline stage one dynamic instruction visited,
+ * captured by the timing pipeline when a pipeview trace is attached
+ * (trace/pipeview.hh). A stage the instruction never reached stays 0; a
+ * squashed instruction is marked instead of retired, matching gem5's
+ * O3PipeView semantics.
+ */
+struct StageStamps
+{
+    Cycle fetch = 0;
+    Cycle decode = 0;
+    Cycle rename = 0;
+    Cycle dispatch = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Cycle retire = 0;
+    bool squashed = false;
+};
+
 struct DynInst
 {
     SeqNum seq = 0;
@@ -42,6 +61,12 @@ struct DynInst
      */
     uint64_t dstValue = 0;
     bool hasDstValue = false;
+
+    /**
+     * Pipeline stage timing, filled only while a pipeview trace is being
+     * written (never serialised into trace files).
+     */
+    StageStamps stamps{};
 
     isa::OpClass cls() const { return isa::opClass(op); }
     bool isBranch() const { return isa::isBranch(op); }

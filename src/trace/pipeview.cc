@@ -1,0 +1,60 @@
+#include "trace/pipeview.hh"
+
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace pubs::trace
+{
+
+PipeViewWriter::PipeViewWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    fatal_if(!file_, "cannot open pipeview trace '%s'", path.c_str());
+}
+
+PipeViewWriter::~PipeViewWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+PipeViewWriter::record(const DynInst &inst)
+{
+    const StageStamps &t = inst.stamps;
+    // The immediate is not part of the dynamic record; disassemble the
+    // operand form only (targets/offsets print as 0).
+    isa::Inst staticInst{inst.op, inst.dst, inst.src1, inst.src2, 0};
+    std::string disasm = isa::disassemble(staticInst);
+
+    std::fprintf(file_, "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n",
+                 (unsigned long long)t.fetch, (unsigned long long)inst.pc,
+                 (unsigned long long)inst.seq, disasm.c_str());
+    std::fprintf(file_, "O3PipeView:decode:%llu\n",
+                 (unsigned long long)t.decode);
+    std::fprintf(file_, "O3PipeView:rename:%llu\n",
+                 (unsigned long long)t.rename);
+    std::fprintf(file_, "O3PipeView:dispatch:%llu\n",
+                 (unsigned long long)t.dispatch);
+    std::fprintf(file_, "O3PipeView:issue:%llu\n",
+                 (unsigned long long)t.issue);
+    std::fprintf(file_, "O3PipeView:complete:%llu\n",
+                 (unsigned long long)t.complete);
+    // gem5 semantics: a squashed instruction retires at tick 0; the
+    // trailing store field is the store-completion tick.
+    unsigned long long retire = t.squashed ? 0 : (unsigned long long)t.retire;
+    unsigned long long store =
+        !t.squashed && inst.isStore() ? (unsigned long long)t.complete : 0;
+    std::fprintf(file_, "O3PipeView:retire:%llu:store:%llu\n", retire,
+                 store);
+    ++records_;
+}
+
+void
+PipeViewWriter::flush()
+{
+    if (file_)
+        std::fflush(file_);
+}
+
+} // namespace pubs::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-instruction pipeline event trace in gem5's O3PipeView text format,
+ * which Konata (https://github.com/shioyadan/Konata) renders as a cycle
+ * diagram. The pipeline stamps stage cycles onto DynInst::stamps and
+ * calls record() once per instruction at retire or squash; with no writer
+ * attached nothing is stamped and nothing is written.
+ */
+
+#ifndef PUBS_TRACE_PIPEVIEW_HH
+#define PUBS_TRACE_PIPEVIEW_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/dyninst.hh"
+
+namespace pubs::trace
+{
+
+class PipeViewWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit PipeViewWriter(const std::string &path);
+    ~PipeViewWriter();
+
+    PipeViewWriter(const PipeViewWriter &) = delete;
+    PipeViewWriter &operator=(const PipeViewWriter &) = delete;
+
+    /**
+     * Emit one instruction's record from @p inst's stage stamps. Ticks
+     * are simulated cycles (Konata infers the period); a squashed
+     * instruction retires at tick 0, which Konata draws as a flush.
+     */
+    void record(const DynInst &inst);
+
+    /** Records written so far. */
+    uint64_t records() const { return records_; }
+
+    const std::string &path() const { return path_; }
+
+    void flush();
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    uint64_t records_ = 0;
+};
+
+} // namespace pubs::trace
+
+#endif // PUBS_TRACE_PIPEVIEW_HH
