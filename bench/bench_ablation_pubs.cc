@@ -13,6 +13,10 @@
  *     evaluation" preferred set-associative.
  *  4. legacy IQ organisations (shifting / circular) vs the random queue
  *     — quantifies the Section III-B1 taxonomy.
+ *
+ * Every configuration below is known up front, so the whole ablation is
+ * submitted as ONE sweep batch; each section then reads its runs back
+ * by the indices SweepSpec::add returned.
  */
 
 #include <cstdio>
@@ -21,157 +25,142 @@
 #include "sim/config.hh"
 #include "workloads/kernels.hh"
 
-int
-main()
+namespace
 {
-    using namespace pubs::bench;
-    namespace sim = pubs::sim;
-    namespace wl = pubs::wl;
+
+using namespace pubs::bench;
+namespace sim = pubs::sim;
+namespace wl = pubs::wl;
+
+/** Indices of one labelled variant run over a workload list. */
+struct Variant
+{
+    std::string label;
+    std::vector<size_t> runs; ///< sweep indices, workload-aligned
+};
+
+/** Queue @p params over @p workloads; remember the indices. */
+Variant
+addVariant(SweepSpec &spec, const std::vector<wl::Workload> &workloads,
+           const pubs::cpu::CoreParams &params, const std::string &label)
+{
+    Variant v{label, {}};
+    for (const auto &workload : workloads)
+        v.runs.push_back(spec.add(workload, params, label));
+    return v;
+}
+
+/** Geomean speedup of a variant over base runs at @p baseRuns. */
+double
+geomeanSpeedup(const SweepResult &sweep, const Variant &variant,
+               const std::vector<size_t> &baseRuns)
+{
+    std::vector<double> ratios;
+    for (size_t k = 0; k < variant.runs.size(); ++k) {
+        if (!sweep.ok(variant.runs[k]) || !sweep.ok(baseRuns[k]))
+            continue;
+        ratios.push_back(sweep.at(variant.runs[k])
+                             .speedupOver(sweep.at(baseRuns[k])));
+    }
+    return geoMeanRatio(ratios);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseBenchArgs(argc, argv);
 
     // A representative D-BP pair keeps this ablation bench fast.
     std::vector<wl::Workload> picks;
     picks.push_back(wl::makeWorkload("sjeng_like"));
     picks.push_back(wl::makeWorkload("gobmk_like"));
+    std::vector<wl::Workload> sjengOnly{picks[0]};
+    std::vector<wl::Workload> mcfOnly{wl::makeWorkload("mcf_like")};
 
-    std::fprintf(stderr, "ablation: base machine\n");
-    SuiteRun base = runSuite(picks, sim::makeConfig(sim::Machine::Base));
-
-    auto geomeanSpeedup = [&](const pubs::cpu::CoreParams &params) {
-        std::vector<double> ratios;
-        for (size_t i = 0; i < picks.size(); ++i) {
-            pubs::sim::RunResult r = runWorkload(picks[i], params);
-            ratios.push_back(r.speedupOver(base.results[i]));
-        }
-        return geoMeanRatio(ratios);
-    };
+    SweepSpec spec;
+    Variant base =
+        addVariant(spec, picks, sim::makeConfig(sim::Machine::Base),
+                   "base");
 
     // --- 2/3: tag handling ---
-    TextTable tags({"tables", "speedup"});
-    {
-        pubs::cpu::CoreParams hashed = sim::makeConfig(sim::Machine::Pubs);
-        std::fprintf(stderr, "ablation: hashed tags\n");
-        tags.addRow({"hashed q=8/4 (default)",
-                     pct(geomeanSpeedup(hashed))});
-
-        pubs::cpu::CoreParams full = hashed;
-        full.pubs.fullTags = true;
-        std::fprintf(stderr, "ablation: full tags\n");
-        tags.addRow({"full tags", pct(geomeanSpeedup(full))});
-
-        pubs::cpu::CoreParams narrow = hashed;
-        narrow.pubs.brsliceHashBits = 4;
-        narrow.pubs.confHashBits = 2;
-        std::fprintf(stderr, "ablation: narrow hashes\n");
-        tags.addRow({"hashed q=4/2", pct(geomeanSpeedup(narrow))});
-
-        pubs::cpu::CoreParams tagless = hashed;
-        tagless.pubs.tagless = true;
-        std::fprintf(stderr, "ablation: tagless\n");
-        tags.addRow({"tagless direct-mapped",
-                     pct(geomeanSpeedup(tagless))});
-    }
-    std::printf("ABLATION: table tagging (Section IV claims hashing is "
-                "nearly free)\n\n%s\n", tags.str().c_str());
-    maybeWriteCsv("ablation_tags", tags);
+    pubs::cpu::CoreParams hashed = sim::makeConfig(sim::Machine::Pubs);
+    Variant tagHashed = addVariant(spec, picks, hashed, "hashed q=8/4");
+    pubs::cpu::CoreParams fullCfg = hashed;
+    fullCfg.pubs.fullTags = true;
+    Variant tagFull = addVariant(spec, picks, fullCfg, "full tags");
+    pubs::cpu::CoreParams narrow = hashed;
+    narrow.pubs.brsliceHashBits = 4;
+    narrow.pubs.confHashBits = 2;
+    Variant tagNarrow = addVariant(spec, picks, narrow, "hashed q=4/2");
+    pubs::cpu::CoreParams taglessCfg = hashed;
+    taglessCfg.pubs.tagless = true;
+    Variant tagless = addVariant(spec, picks, taglessCfg, "tagless");
 
     // --- 4: IQ organisations (no PUBS) ---
-    TextTable iqKinds({"iq_organisation", "ipc_vs_random"});
-    {
-        for (auto kind : {pubs::iq::IqKind::Shifting,
-                          pubs::iq::IqKind::Circular}) {
-            pubs::cpu::CoreParams params =
-                sim::makeConfig(sim::Machine::Base);
-            params.iqKind = kind;
-            std::fprintf(stderr, "ablation: %s queue\n",
-                         pubs::iq::iqKindName(kind));
-            iqKinds.addRow({pubs::iq::iqKindName(kind),
-                            pct(geomeanSpeedup(params))});
-        }
-        pubs::cpu::CoreParams age = sim::makeConfig(sim::Machine::Age);
-        std::fprintf(stderr, "ablation: random + age matrix\n");
-        iqKinds.addRow({"random + age matrix", pct(geomeanSpeedup(age))});
+    std::vector<Variant> iqVariants;
+    for (auto kind : {pubs::iq::IqKind::Shifting,
+                      pubs::iq::IqKind::Circular}) {
+        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Base);
+        params.iqKind = kind;
+        iqVariants.push_back(
+            addVariant(spec, picks, params, pubs::iq::iqKindName(kind)));
     }
-    std::printf("ABLATION: IQ organisation IPC vs the random queue "
-                "(Section III-B1 taxonomy)\n\n%s\n",
-                iqKinds.str().c_str());
-    maybeWriteCsv("ablation_iq_kind", iqKinds);
+    iqVariants.push_back(addVariant(spec, picks,
+                                    sim::makeConfig(sim::Machine::Age),
+                                    "random + age matrix"));
 
     // --- mode-switch thresholds ---
-    TextTable thresholds({"llc_mpki_threshold", "speedup(sjeng)",
-                          "speedup(mcf)"});
+    Variant mcfBase =
+        addVariant(spec, mcfOnly, sim::makeConfig(sim::Machine::Base),
+                   "base");
+    struct ThresholdPoint
     {
-        wl::Workload mcf = wl::makeWorkload("mcf_like");
-        std::fprintf(stderr, "ablation: mcf base\n");
-        pubs::sim::RunResult mcfBase =
-            runWorkload(mcf, sim::makeConfig(sim::Machine::Base));
-        for (double threshold : {0.5, 1.0, 4.0, 1e9}) {
-            pubs::cpu::CoreParams params =
-                sim::makeConfig(sim::Machine::Pubs);
-            params.pubs.modeMpkiThreshold = threshold;
-            std::fprintf(stderr, "ablation: threshold %.1f\n", threshold);
-            pubs::sim::RunResult sj = runWorkload(picks[0], params);
-            pubs::sim::RunResult mc = runWorkload(mcf, params);
-            thresholds.addRow(
-                {threshold > 1e6 ? "inf (never disable)"
-                                 : num(threshold, 1),
-                 pct(sj.speedupOver(base.results[0])),
-                 pct(mc.speedupOver(mcfBase))});
-        }
+        double threshold;
+        Variant sjeng, mcf;
+    };
+    std::vector<ThresholdPoint> thresholdPoints;
+    for (double threshold : {0.5, 1.0, 4.0, 1e9}) {
+        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Pubs);
+        params.pubs.modeMpkiThreshold = threshold;
+        std::string label =
+            "pubs/thresh=" + num(threshold > 1e6 ? -1.0 : threshold, 1);
+        thresholdPoints.push_back(
+            {threshold, addVariant(spec, sjengOnly, params, label),
+             addVariant(spec, mcfOnly, params, label)});
     }
-    std::printf("ABLATION: mode-switch LLC MPKI threshold\n\n%s\n",
-                thresholds.str().c_str());
-    maybeWriteCsv("ablation_mode_threshold", thresholds);
 
     // --- tag handling under a large static code footprint ---
     // The suite's kernels are tiny loops, so the PC-indexed tables see
     // almost no capacity or aliasing pressure. A 192x-unrolled kernel
     // (~6K static instructions, ~200 static hard branches) stresses the
     // brslice_tab/conf_tab the way big-code programs do.
-    TextTable bigCode({"tables (large footprint)", "speedup"});
-    {
-        wl::BranchyParams bp;
-        bp.seed = 7;
-        bp.elems = 1 << 12;
-        bp.hardBranches = 1;
-        bp.sliceDepth = 2;
-        bp.takenBias = 0.65;
-        bp.intFiller = 9;
-        bp.fpFiller = 10;
-        bp.unroll = 192;
-        wl::Workload big;
-        big.name = "bigcode";
-        big.program = wl::branchyProgram("bigcode", bp);
+    wl::BranchyParams bigBp;
+    bigBp.seed = 7;
+    bigBp.elems = 1 << 12;
+    bigBp.hardBranches = 1;
+    bigBp.sliceDepth = 2;
+    bigBp.takenBias = 0.65;
+    bigBp.intFiller = 9;
+    bigBp.fpFiller = 10;
+    bigBp.unroll = 192;
+    wl::Workload big;
+    big.name = "bigcode";
+    big.program = wl::branchyProgram("bigcode", bigBp);
+    std::vector<wl::Workload> bigOnly{big};
 
-        std::fprintf(stderr, "ablation: bigcode base\n");
-        pubs::sim::RunResult bigBase =
-            runWorkload(big, sim::makeConfig(sim::Machine::Base));
-        auto bigSpeedup = [&](const pubs::cpu::CoreParams &params) {
-            return runWorkload(big, params).speedupOver(bigBase);
-        };
-
-        pubs::cpu::CoreParams hashed = sim::makeConfig(sim::Machine::Pubs);
-        std::fprintf(stderr, "ablation: bigcode hashed\n");
-        bigCode.addRow({"hashed q=8/4 (default)",
-                        pct(bigSpeedup(hashed))});
-        pubs::cpu::CoreParams full = hashed;
-        full.pubs.fullTags = true;
-        std::fprintf(stderr, "ablation: bigcode full tags\n");
-        bigCode.addRow({"full tags", pct(bigSpeedup(full))});
-        pubs::cpu::CoreParams tagless = hashed;
-        tagless.pubs.tagless = true;
-        std::fprintf(stderr, "ablation: bigcode tagless\n");
-        bigCode.addRow({"tagless direct-mapped",
-                        pct(bigSpeedup(tagless))});
-        pubs::cpu::CoreParams smallTabs = hashed;
-        smallTabs.pubs.brsliceSets = 64;
-        smallTabs.pubs.confSets = 64;
-        std::fprintf(stderr, "ablation: bigcode small tables\n");
-        bigCode.addRow({"hashed, quarter-size tables",
-                        pct(bigSpeedup(smallTabs))});
-    }
-    std::printf("ABLATION: table tagging under a ~6K-instruction "
-                "footprint\n\n%s\n", bigCode.str().c_str());
-    maybeWriteCsv("ablation_tags_bigcode", bigCode);
+    Variant bigBase =
+        addVariant(spec, bigOnly, sim::makeConfig(sim::Machine::Base),
+                   "base");
+    Variant bigHashed = addVariant(spec, bigOnly, hashed, "hashed q=8/4");
+    Variant bigFull = addVariant(spec, bigOnly, fullCfg, "full tags");
+    Variant bigTagless = addVariant(spec, bigOnly, taglessCfg, "tagless");
+    pubs::cpu::CoreParams smallTabs = hashed;
+    smallTabs.pubs.brsliceSets = 64;
+    smallTabs.pubs.confSets = 64;
+    Variant bigSmallTabs =
+        addVariant(spec, bigOnly, smallTabs, "quarter-size tables");
 
     // --- blind vs conf_tab under mixed branch confidence ---
     // The suite's hard branches are data-random, so nearly every slice
@@ -180,70 +169,152 @@ main()
     // the whole index chain — floods the priority entries when every
     // branch is blindly treated as unconfident, recreating the
     // Fig. 11 blind-vs-PUBS gap in isolation.
+    wl::BranchyParams mixedBp;
+    mixedBp.seed = 11;
+    mixedBp.elems = 1 << 12;
+    mixedBp.hardBranches = 1;
+    mixedBp.sliceDepth = 2;
+    mixedBp.takenBias = 0.65;
+    mixedBp.intFiller = 9;
+    mixedBp.fpFiller = 10;
+    mixedBp.condLoopBranch = true;
+    wl::Workload mixed;
+    mixed.name = "mixed_confidence";
+    mixed.program = wl::branchyProgram("mixed_confidence", mixedBp);
+    std::vector<wl::Workload> mixedOnly{mixed};
+
+    Variant mixedBase =
+        addVariant(spec, mixedOnly, sim::makeConfig(sim::Machine::Base),
+                   "base");
+    Variant mixedConf = addVariant(spec, mixedOnly,
+                                   sim::makeConfig(sim::Machine::Pubs),
+                                   "conf_tab");
+    pubs::cpu::CoreParams blindCfg = sim::makeConfig(sim::Machine::Pubs);
+    blindCfg.pubs.useConfTab = false;
+    Variant mixedBlind = addVariant(spec, mixedOnly, blindCfg, "blind");
+
+    // --- 1: confidence counter shape ---
+    std::vector<Variant> shapeVariants;
+    std::vector<bool> shapeResetting;
+    for (auto shape : {pubs::pubs::CounterShape::Resetting,
+                       pubs::pubs::CounterShape::UpDown}) {
+        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Pubs);
+        params.pubs.counterShape = shape;
+        bool resetting = shape == pubs::pubs::CounterShape::Resetting;
+        shapeResetting.push_back(resetting);
+        shapeVariants.push_back(addVariant(
+            spec, picks, params, resetting ? "resetting" : "up/down"));
+    }
+
+    // --- Section III-C variants ---
+    Variant vPubs = addVariant(spec, picks,
+                               sim::makeConfig(sim::Machine::Pubs),
+                               "PUBS (partitioned unified IQ)");
+    pubs::cpu::CoreParams ideal = sim::makeConfig(sim::Machine::Pubs);
+    ideal.pubs.priorityEntries = 0;
+    ideal.idealPrioritySelect = true;
+    Variant vIdeal = addVariant(spec, picks, ideal,
+                                "ideal flexible-priority select (III-C1)");
+    pubs::cpu::CoreParams distBase = sim::makeConfig(sim::Machine::Base);
+    distBase.distributedIq = true;
+    Variant vDistBase = addVariant(spec, picks, distBase,
+                                   "distributed IQ, no PUBS (III-C2)");
+    pubs::cpu::CoreParams distPubs = sim::makeConfig(sim::Machine::Pubs);
+    distPubs.distributedIq = true;
+    // Per-queue partitions are small, so the stall policy is too blunt
+    // here; the distributed port uses non-stall dispatch.
+    distPubs.pubs.stallPolicy = false;
+    Variant vDistPubs =
+        addVariant(spec, picks, distPubs,
+                   "distributed IQ + PUBS (III-C2, non-stall)");
+
+    // Run everything at once.
+    std::fprintf(stderr, "ablation: %zu runs in one batch\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
+    // --- report: tag handling ---
+    TextTable tags({"tables", "speedup"});
+    tags.addRow({"hashed q=8/4 (default)",
+                 pct(geomeanSpeedup(sweep, tagHashed, base.runs))});
+    tags.addRow({"full tags",
+                 pct(geomeanSpeedup(sweep, tagFull, base.runs))});
+    tags.addRow({"hashed q=4/2",
+                 pct(geomeanSpeedup(sweep, tagNarrow, base.runs))});
+    tags.addRow({"tagless direct-mapped",
+                 pct(geomeanSpeedup(sweep, tagless, base.runs))});
+    std::printf("ABLATION: table tagging (Section IV claims hashing is "
+                "nearly free)\n\n%s\n", tags.str().c_str());
+    maybeWriteCsv("ablation_tags", tags);
+
+    // --- report: IQ organisations ---
+    TextTable iqKinds({"iq_organisation", "ipc_vs_random"});
+    for (const Variant &variant : iqVariants) {
+        iqKinds.addRow({variant.label,
+                        pct(geomeanSpeedup(sweep, variant, base.runs))});
+    }
+    std::printf("ABLATION: IQ organisation IPC vs the random queue "
+                "(Section III-B1 taxonomy)\n\n%s\n",
+                iqKinds.str().c_str());
+    maybeWriteCsv("ablation_iq_kind", iqKinds);
+
+    // --- report: mode-switch thresholds ---
+    TextTable thresholds({"llc_mpki_threshold", "speedup(sjeng)",
+                          "speedup(mcf)"});
+    for (const ThresholdPoint &point : thresholdPoints) {
+        thresholds.addRow(
+            {point.threshold > 1e6 ? "inf (never disable)"
+                                   : num(point.threshold, 1),
+             pct(geomeanSpeedup(sweep, point.sjeng, {base.runs[0]})),
+             pct(geomeanSpeedup(sweep, point.mcf, mcfBase.runs))});
+    }
+    std::printf("ABLATION: mode-switch LLC MPKI threshold\n\n%s\n",
+                thresholds.str().c_str());
+    maybeWriteCsv("ablation_mode_threshold", thresholds);
+
+    // --- report: big-code tag handling ---
+    TextTable bigCode({"tables (large footprint)", "speedup"});
+    bigCode.addRow({"hashed q=8/4 (default)",
+                    pct(geomeanSpeedup(sweep, bigHashed, bigBase.runs))});
+    bigCode.addRow({"full tags",
+                    pct(geomeanSpeedup(sweep, bigFull, bigBase.runs))});
+    bigCode.addRow({"tagless direct-mapped",
+                    pct(geomeanSpeedup(sweep, bigTagless, bigBase.runs))});
+    bigCode.addRow({"hashed, quarter-size tables",
+                    pct(geomeanSpeedup(sweep, bigSmallTabs,
+                                       bigBase.runs))});
+    std::printf("ABLATION: table tagging under a ~6K-instruction "
+                "footprint\n\n%s\n", bigCode.str().c_str());
+    maybeWriteCsv("ablation_tags_bigcode", bigCode);
+
+    // --- report: blind vs conf_tab ---
     TextTable blind({"confidence source (mixed kernel)", "speedup",
                      "priority_stalls"});
-    {
-        wl::BranchyParams bp;
-        bp.seed = 11;
-        bp.elems = 1 << 12;
-        bp.hardBranches = 1;
-        bp.sliceDepth = 2;
-        bp.takenBias = 0.65;
-        bp.intFiller = 9;
-        bp.fpFiller = 10;
-        bp.condLoopBranch = true;
-        wl::Workload mixed;
-        mixed.name = "mixed_confidence";
-        mixed.program = wl::branchyProgram("mixed_confidence", bp);
-
-        std::fprintf(stderr, "ablation: mixed base\n");
-        pubs::sim::RunResult mixedBase =
-            runWorkload(mixed, sim::makeConfig(sim::Machine::Base));
-
-        pubs::cpu::CoreParams withConf =
-            sim::makeConfig(sim::Machine::Pubs);
-        std::fprintf(stderr, "ablation: mixed conf_tab\n");
-        pubs::sim::RunResult conf = runWorkload(mixed, withConf);
-        blind.addRow({"conf_tab (6-bit resetting)",
-                      pct(conf.speedupOver(mixedBase)),
-                      std::to_string(conf.priorityStallCycles)});
-
-        pubs::cpu::CoreParams blindCfg = withConf;
-        blindCfg.pubs.useConfTab = false;
-        std::fprintf(stderr, "ablation: mixed blind\n");
-        pubs::sim::RunResult blindRun = runWorkload(mixed, blindCfg);
-        blind.addRow({"blind (all branches unconfident)",
-                      pct(blindRun.speedupOver(mixedBase)),
-                      std::to_string(blindRun.priorityStallCycles)});
-    }
+    blind.addRow({"conf_tab (6-bit resetting)",
+                  pct(geomeanSpeedup(sweep, mixedConf, mixedBase.runs)),
+                  std::to_string(
+                      sweep.at(mixedConf.runs[0]).priorityStallCycles)});
+    blind.addRow({"blind (all branches unconfident)",
+                  pct(geomeanSpeedup(sweep, mixedBlind, mixedBase.runs)),
+                  std::to_string(
+                      sweep.at(mixedBlind.runs[0]).priorityStallCycles)});
     std::printf("ABLATION: blind vs conf_tab on a mixed-confidence "
                 "kernel (Fig. 11's blind gap)\n\n%s\n",
                 blind.str().c_str());
     maybeWriteCsv("ablation_blind", blind);
 
-    // --- 1: confidence counter shape ---
+    // --- report: confidence counter shape ---
     TextTable shapes({"counter_shape", "speedup", "unconfident_rate"});
-    {
-        for (auto shape : {pubs::pubs::CounterShape::Resetting,
-                           pubs::pubs::CounterShape::UpDown}) {
-            pubs::cpu::CoreParams params =
-                sim::makeConfig(sim::Machine::Pubs);
-            params.pubs.counterShape = shape;
-            bool resetting =
-                shape == pubs::pubs::CounterShape::Resetting;
-            std::fprintf(stderr, "ablation: %s counters\n",
-                         resetting ? "resetting" : "up/down");
-            std::vector<double> ratios, rates;
-            for (size_t i = 0; i < picks.size(); ++i) {
-                pubs::sim::RunResult r = runWorkload(picks[i], params);
-                ratios.push_back(r.speedupOver(base.results[i]));
-                rates.push_back(r.unconfidentBranchRate);
-            }
-            shapes.addRow({resetting ? "resetting (JRS, paper)"
-                                     : "up/down saturating",
-                           pct(geoMeanRatio(ratios)),
-                           num(pubs::arithmeticMean(rates), 2)});
-        }
+    for (size_t v = 0; v < shapeVariants.size(); ++v) {
+        std::vector<double> rates;
+        for (size_t run : shapeVariants[v].runs)
+            if (sweep.ok(run))
+                rates.push_back(sweep.at(run).unconfidentBranchRate);
+        shapes.addRow({shapeResetting[v] ? "resetting (JRS, paper)"
+                                         : "up/down saturating",
+                       pct(geomeanSpeedup(sweep, shapeVariants[v],
+                                          base.runs)),
+                       num(pubs::arithmeticMean(rates), 2)});
     }
     std::printf("ABLATION: confidence counter shape\n"
                 "(the paper adopts resetting counters; up/down forgives "
@@ -251,37 +322,13 @@ main()
                 shapes.str().c_str());
     maybeWriteCsv("ablation_counter_shape", shapes);
 
-    // --- Section III-C variants ---
+    // --- report: Section III-C variants ---
     TextTable variants({"variant", "speedup_vs_unified_base"});
-    {
-        std::fprintf(stderr, "ablation: PUBS (unified, partitioned)\n");
-        variants.addRow({"PUBS (partitioned unified IQ)",
-                         pct(geomeanSpeedup(
-                             sim::makeConfig(sim::Machine::Pubs)))});
-
-        pubs::cpu::CoreParams ideal = sim::makeConfig(sim::Machine::Pubs);
-        ideal.pubs.priorityEntries = 0;
-        ideal.idealPrioritySelect = true;
-        std::fprintf(stderr, "ablation: ideal flexible select\n");
-        variants.addRow({"ideal flexible-priority select (III-C1)",
-                         pct(geomeanSpeedup(ideal))});
-
-        pubs::cpu::CoreParams distBase =
-            sim::makeConfig(sim::Machine::Base);
-        distBase.distributedIq = true;
-        std::fprintf(stderr, "ablation: distributed base\n");
-        variants.addRow({"distributed IQ, no PUBS (III-C2)",
-                         pct(geomeanSpeedup(distBase))});
-
-        pubs::cpu::CoreParams distPubs =
-            sim::makeConfig(sim::Machine::Pubs);
-        distPubs.distributedIq = true;
-        // Per-queue partitions are small, so the stall policy is too
-        // blunt here; the distributed port uses non-stall dispatch.
-        distPubs.pubs.stallPolicy = false;
-        std::fprintf(stderr, "ablation: distributed PUBS\n");
-        variants.addRow({"distributed IQ + PUBS (III-C2, non-stall)",
-                         pct(geomeanSpeedup(distPubs))});
+    for (const Variant *variant : {&vPubs, &vIdeal, &vDistBase,
+                                   &vDistPubs}) {
+        variants.addRow({variant->label,
+                         pct(geomeanSpeedup(sweep, *variant,
+                                            base.runs))});
     }
     std::printf("ABLATION: Section III-C implementation variants\n"
                 "(the ideal select bounds what partitioning "

@@ -12,39 +12,55 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
     auto suite = wl::makeSuite();
     std::fprintf(stderr, "fig10: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base),
+                             true, "base");
 
     // D-BP subset (classified on the base machine).
     std::vector<size_t> dbp;
     for (size_t i = 0; i < suite.size(); ++i)
-        if (base.results[i].branchMpki > dbpThreshold)
+        if (base.ok(i) && base.results[i].branchMpki > dbpThreshold)
             dbp.push_back(i);
 
+    // One batch over every (entry count, policy, workload) point.
     const unsigned entryCounts[] = {2, 4, 6, 8, 10, 12};
-    TextTable table({"priority_entries", "stall", "non-stall"});
-
+    SweepSpec spec;
     for (unsigned entries : entryCounts) {
-        std::vector<double> stall, nonStall;
         for (bool stallPolicy : {true, false}) {
             pubs::cpu::CoreParams params =
                 sim::makeConfig(sim::Machine::Pubs);
             params.pubs.priorityEntries = entries;
             params.pubs.stallPolicy = stallPolicy;
-            std::fprintf(stderr, "fig10: %u entries, %s policy\n",
-                         entries, stallPolicy ? "stall" : "non-stall");
-            for (size_t i : dbp) {
-                pubs::sim::RunResult r =
-                    runWorkload(suite[i], params);
+            std::string label = "pubs@" + std::to_string(entries) +
+                                (stallPolicy ? "/stall" : "/non-stall");
+            for (size_t i : dbp)
+                spec.add(suite[i], params, label);
+        }
+    }
+    std::fprintf(stderr, "fig10: %zu runs (entries x policy x D-BP)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
+    TextTable table({"priority_entries", "stall", "non-stall"});
+    size_t index = 0;
+    for (unsigned entries : entryCounts) {
+        std::vector<double> stall, nonStall;
+        for (bool stallPolicy : {true, false}) {
+            for (size_t k = 0; k < dbp.size(); ++k, ++index) {
+                if (!sweep.ok(index))
+                    continue;
                 (stallPolicy ? stall : nonStall)
-                    .push_back(r.speedupOver(base.results[i]));
+                    .push_back(sweep.at(index).speedupOver(
+                        base.results[dbp[k]]));
             }
         }
         table.addRow({std::to_string(entries),

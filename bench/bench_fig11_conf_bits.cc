@@ -13,42 +13,64 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
     auto suite = wl::makeSuite();
     std::fprintf(stderr, "fig11: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base),
+                             true, "base");
 
     std::vector<size_t> dbp;
     for (size_t i = 0; i < suite.size(); ++i)
-        if (base.results[i].branchMpki > dbpThreshold)
+        if (base.ok(i) && base.results[i].branchMpki > dbpThreshold)
             dbp.push_back(i);
 
-    TextTable table({"conf_bits", "speedup", "unconfident_rate"});
-
-    auto sweep = [&](const char *label, unsigned bits, bool useConfTab) {
-        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Pubs);
-        params.pubs.useConfTab = useConfTab;
-        if (useConfTab)
-            params.pubs.confCounterBits = bits;
-        std::fprintf(stderr, "fig11: %s\n", label);
-        std::vector<double> speedups, rates;
-        for (size_t i : dbp) {
-            pubs::sim::RunResult r = runWorkload(suite[i], params);
-            speedups.push_back(r.speedupOver(base.results[i]));
-            rates.push_back(useConfTab ? r.unconfidentBranchRate : 1.0);
-        }
-        table.addRow({label, pct(geoMeanRatio(speedups)),
-                      num(pubs::arithmeticMean(rates), 2)});
+    // One batch over every (counter width | blind, workload) point.
+    struct Point
+    {
+        std::string label;
+        unsigned bits;
+        bool useConfTab;
     };
-
+    std::vector<Point> points;
     for (unsigned bits = 2; bits <= 8; ++bits)
-        sweep(std::to_string(bits).c_str(), bits, true);
-    sweep("blind", 0, false);
+        points.push_back({std::to_string(bits), bits, true});
+    points.push_back({"blind", 0, false});
+
+    SweepSpec spec;
+    for (const Point &point : points) {
+        pubs::cpu::CoreParams params = sim::makeConfig(sim::Machine::Pubs);
+        params.pubs.useConfTab = point.useConfTab;
+        if (point.useConfTab)
+            params.pubs.confCounterBits = point.bits;
+        for (size_t i : dbp)
+            spec.add(suite[i], params, "pubs@" + point.label + "bit");
+    }
+    std::fprintf(stderr, "fig11: %zu runs (widths x D-BP)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
+    TextTable table({"conf_bits", "speedup", "unconfident_rate"});
+    size_t index = 0;
+    for (const Point &point : points) {
+        std::vector<double> speedups, rates;
+        for (size_t k = 0; k < dbp.size(); ++k, ++index) {
+            if (!sweep.ok(index))
+                continue;
+            const pubs::sim::RunResult &r = sweep.at(index);
+            speedups.push_back(r.speedupOver(base.results[dbp[k]]));
+            rates.push_back(point.useConfTab ? r.unconfidentBranchRate
+                                             : 1.0);
+        }
+        table.addRow({point.label, pct(geoMeanRatio(speedups)),
+                      num(pubs::arithmeticMean(rates), 2)});
+    }
 
     std::printf("FIGURE 11: D-BP speedup & unconfident rate vs counter "
                 "bits\n");

@@ -12,32 +12,47 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
     auto suite = wl::makeSuite();
     std::fprintf(stderr, "fig12: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base),
+                             true, "base");
 
     std::vector<size_t> dbp;
     for (size_t i = 0; i < suite.size(); ++i)
-        if (base.results[i].branchMpki > dbpThreshold)
+        if (base.ok(i) && base.results[i].branchMpki > dbpThreshold)
             dbp.push_back(i);
 
     pubs::cpu::CoreParams withSwitch = sim::makeConfig(sim::Machine::Pubs);
     pubs::cpu::CoreParams noSwitch = sim::makeConfig(sim::Machine::Pubs);
     noSwitch.pubs.modeSwitch = false;
 
+    // One batch: each D-BP workload with the switch on and off.
+    SweepSpec spec;
+    for (size_t i : dbp) {
+        spec.add(suite[i], withSwitch, "pubs/switch-on");
+        spec.add(suite[i], noSwitch, "pubs/switch-off");
+    }
+    std::fprintf(stderr, "fig12: %zu runs (switch on/off x D-BP)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
     TextTable table({"workload", "llc_mpki", "switch_on", "switch_off",
                      "pubs_on_fraction"});
     std::vector<double> onRatios, offRatios;
-    for (size_t i : dbp) {
-        std::fprintf(stderr, "fig12: %s\n", suite[i].name.c_str());
-        pubs::sim::RunResult on = runWorkload(suite[i], withSwitch);
-        pubs::sim::RunResult off = runWorkload(suite[i], noSwitch);
+    for (size_t k = 0; k < dbp.size(); ++k) {
+        if (!sweep.ok(2 * k) || !sweep.ok(2 * k + 1))
+            continue;
+        size_t i = dbp[k];
+        const pubs::sim::RunResult &on = sweep.at(2 * k);
+        const pubs::sim::RunResult &off = sweep.at(2 * k + 1);
         double sOn = on.speedupOver(base.results[i]);
         double sOff = off.speedupOver(base.results[i]);
         onRatios.push_back(sOn);

@@ -14,12 +14,14 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
     namespace branch = pubs::branch;
+
+    parseBenchArgs(argc, argv);
 
     auto defaultBp =
         branch::makePredictor(branch::PredictorKind::Perceptron);
@@ -32,24 +34,37 @@ main()
 
     auto suite = wl::makeSuite();
     std::fprintf(stderr, "fig13: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base),
+                             true, "base");
 
     std::vector<size_t> dbp;
     for (size_t i = 0; i < suite.size(); ++i)
-        if (base.results[i].branchMpki > dbpThreshold)
+        if (base.ok(i) && base.results[i].branchMpki > dbpThreshold)
             dbp.push_back(i);
 
     pubs::cpu::CoreParams pubsCfg = sim::makeConfig(sim::Machine::Pubs);
     pubs::cpu::CoreParams bigBpCfg = sim::makeConfig(sim::Machine::Base);
     bigBpCfg.predictor = branch::PredictorKind::PerceptronLarge;
 
+    // One batch: each D-BP workload under PUBS and the big predictor.
+    SweepSpec spec;
+    for (size_t i : dbp) {
+        spec.add(suite[i], pubsCfg, "pubs");
+        spec.add(suite[i], bigBpCfg, "base/large-bp");
+    }
+    std::fprintf(stderr, "fig13: %zu runs (pubs + large-bp x D-BP)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
     TextTable table({"workload", "base_mpki", "bigbp_mpki", "pubs",
                      "large_predictor"});
     std::vector<double> pubsRatios, bigRatios;
-    for (size_t i : dbp) {
-        std::fprintf(stderr, "fig13: %s\n", suite[i].name.c_str());
-        pubs::sim::RunResult withPubs = runWorkload(suite[i], pubsCfg);
-        pubs::sim::RunResult withBigBp = runWorkload(suite[i], bigBpCfg);
+    for (size_t k = 0; k < dbp.size(); ++k) {
+        if (!sweep.ok(2 * k) || !sweep.ok(2 * k + 1))
+            continue;
+        size_t i = dbp[k];
+        const pubs::sim::RunResult &withPubs = sweep.at(2 * k);
+        const pubs::sim::RunResult &withBigBp = sweep.at(2 * k + 1);
         double sPubs = withPubs.speedupOver(base.results[i]);
         double sBig = withBigBp.speedupOver(base.results[i]);
         pubsRatios.push_back(sPubs);

@@ -16,23 +16,31 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
     auto suite = wl::makeSuite();
-    SuiteRun runs[4];
     const sim::Machine machines[4] = {
         sim::Machine::Base, sim::Machine::Pubs, sim::Machine::Age,
         sim::Machine::PubsAge};
-    for (int m = 0; m < 4; ++m) {
-        std::fprintf(stderr, "fig15: %s machine\n",
+
+    // One batch: the whole suite on all four machines.
+    SweepSpec spec;
+    for (int m = 0; m < 4; ++m)
+        for (const auto &workload : suite)
+            spec.add(workload, sim::makeConfig(machines[m]),
                      sim::machineName(machines[m]));
-        runs[m] = runSuite(suite, sim::makeConfig(machines[m]));
-    }
-    const SuiteRun &base = runs[0];
+    std::fprintf(stderr, "fig15: %zu runs (4 machines)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+    auto at = [&](int m, size_t i) -> const sim::RunResult & {
+        return sweep.at((size_t)m * suite.size() + i);
+    };
 
     pubs::iq::DelayModel delay;
 
@@ -41,17 +49,21 @@ main()
     std::vector<double> dbpRatios[3], ebpRatios[3];
     std::vector<double> dbpPerf, ebpPerf;
     for (size_t i = 0; i < suite.size(); ++i) {
-        bool hard = base.results[i].branchMpki > dbpThreshold;
+        bool allOk = true;
+        for (int m = 0; m < 4; ++m)
+            allOk = allOk && sweep.ok((size_t)m * suite.size() + i);
+        if (!allOk)
+            continue;
+        const sim::RunResult &base = at(0, i);
+        bool hard = base.branchMpki > dbpThreshold;
         double ratio[3];
         for (int m = 1; m < 4; ++m) {
-            ratio[m - 1] =
-                runs[m].results[i].speedupOver(base.results[i]);
+            ratio[m - 1] = at(m, i).speedupOver(base);
             (hard ? dbpRatios : ebpRatios)[m - 1].push_back(ratio[m - 1]);
         }
         // Fig 15(b): performance = IPC / cycle time.
-        double perf =
-            delay.performance(runs[1].results[i].ipc, false) /
-            delay.performance(runs[2].results[i].ipc, true);
+        double perf = delay.performance(at(1, i).ipc, false) /
+                      delay.performance(at(2, i).ipc, true);
         (hard ? dbpPerf : ebpPerf).push_back(perf);
         table.addRow({suite[i].name, hard ? "D-BP" : "E-BP",
                       pct(ratio[0]), pct(ratio[1]), pct(ratio[2]),

@@ -12,12 +12,14 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
     namespace cpu = pubs::cpu;
+
+    parseBenchArgs(argc, argv);
 
     auto suite = wl::makeSuite();
 
@@ -46,32 +48,48 @@ main()
 
     // Classify D-BP on the default (medium) base machine.
     std::fprintf(stderr, "fig16: classification run\n");
-    SuiteRun medium = runSuite(suite, sim::makeConfig(sim::Machine::Base));
+    SuiteRun medium = runSuite(suite, sim::makeConfig(sim::Machine::Base),
+                               true, "base");
     std::vector<size_t> dbp;
     for (size_t i = 0; i < suite.size(); ++i)
-        if (medium.results[i].branchMpki > dbpThreshold)
+        if (medium.ok(i) && medium.results[i].branchMpki > dbpThreshold)
             dbp.push_back(i);
 
-    TextTable table({"size", "PUBS", "AGE", "PUBS+AGE"});
+    // One batch over every (size, machine, workload) point — the
+    // largest figure sweep in the harness (4 sizes x 4 machines x D-BP).
+    const sim::Machine machines[4] = {
+        sim::Machine::Base, sim::Machine::Pubs, sim::Machine::Age,
+        sim::Machine::PubsAge};
+    SweepSpec spec;
     for (auto size : classes) {
-        std::fprintf(stderr, "fig16: size %s\n", cpu::sizeClassName(size));
-        std::vector<double> ratios[3];
-        std::vector<pubs::sim::RunResult> baseRuns;
-        for (size_t i : dbp) {
-            baseRuns.push_back(runWorkload(
-                suite[i], sim::makeConfig(sim::Machine::Base, size)));
+        for (const sim::Machine machine : machines) {
+            std::string label = std::string(sim::machineName(machine)) +
+                                "@" + cpu::sizeClassName(size);
+            for (size_t i : dbp)
+                spec.add(suite[i], sim::makeConfig(machine, size), label);
         }
-        const sim::Machine machines[3] = {sim::Machine::Pubs,
-                                          sim::Machine::Age,
-                                          sim::Machine::PubsAge};
-        for (int m = 0; m < 3; ++m) {
+    }
+    std::fprintf(stderr, "fig16: %zu runs (sizes x machines x D-BP)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+    // Index of (size s, machine m, workload k) in the spec.
+    auto at = [&](size_t s, size_t m, size_t k) {
+        return (s * 4 + m) * dbp.size() + k;
+    };
+
+    TextTable table({"size", "PUBS", "AGE", "PUBS+AGE"});
+    for (size_t s = 0; s < 4; ++s) {
+        std::vector<double> ratios[3];
+        for (size_t m = 1; m < 4; ++m) {
             for (size_t k = 0; k < dbp.size(); ++k) {
-                pubs::sim::RunResult r = runWorkload(
-                    suite[dbp[k]], sim::makeConfig(machines[m], size));
-                ratios[m].push_back(r.speedupOver(baseRuns[k]));
+                if (!sweep.ok(at(s, 0, k)) || !sweep.ok(at(s, m, k)))
+                    continue;
+                ratios[m - 1].push_back(sweep.at(at(s, m, k))
+                                            .speedupOver(
+                                                sweep.at(at(s, 0, k))));
             }
         }
-        table.addRow({cpu::sizeClassName(size),
+        table.addRow({cpu::sizeClassName(classes[s]),
                       pct(geoMeanRatio(ratios[0])),
                       pct(geoMeanRatio(ratios[1])),
                       pct(geoMeanRatio(ratios[2]))});

@@ -14,25 +14,35 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
+    // One batch: the whole suite on both machines, scheduled across the
+    // pool at once so slow and fast workloads interleave.
     auto suite = wl::makeSuite();
-    std::fprintf(stderr, "fig8: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
-    std::fprintf(stderr, "fig8: PUBS machine\n");
-    SuiteRun pubsRun = runSuite(suite, sim::makeConfig(sim::Machine::Pubs));
+    SweepSpec spec;
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Base), "base");
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Pubs), "pubs");
+    std::fprintf(stderr, "fig8: %zu runs (base + PUBS)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
 
     TextTable table({"workload", "class", "branch_mpki", "llc_mpki",
                      "base_ipc", "pubs_ipc", "speedup"});
     std::vector<double> dbp;
     std::vector<double> ebp;
     for (size_t i = 0; i < suite.size(); ++i) {
-        const sim::RunResult &b = base.results[i];
-        const sim::RunResult &p = pubsRun.results[i];
+        if (!sweep.ok(i) || !sweep.ok(suite.size() + i))
+            continue;
+        const sim::RunResult &b = sweep.at(i);
+        const sim::RunResult &p = sweep.at(suite.size() + i);
         bool hard = b.branchMpki > dbpThreshold;
         double speedup = p.speedupOver(b);
         (hard ? dbp : ebp).push_back(speedup);

@@ -39,25 +39,33 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace sim = pubs::sim;
     namespace wl = pubs::wl;
 
+    parseBenchArgs(argc, argv);
+
     auto suite = wl::makeSuite();
-    std::fprintf(stderr, "fig9: base machine\n");
-    SuiteRun base = runSuite(suite, sim::makeConfig(sim::Machine::Base));
-    std::fprintf(stderr, "fig9: PUBS machine\n");
-    SuiteRun pubsRun = runSuite(suite, sim::makeConfig(sim::Machine::Pubs));
+    SweepSpec spec;
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Base), "base");
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Pubs), "pubs");
+    std::fprintf(stderr, "fig9: %zu runs (base + PUBS)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
 
     TextTable table({"workload", "branch_mpki", "llc_mpki", "intensity",
                      "speedup"});
     std::vector<double> mpkiCompute, speedupCompute;
     std::vector<double> speedupMem;
     for (size_t i = 0; i < suite.size(); ++i) {
-        const sim::RunResult &b = base.results[i];
-        double speedup = pubsRun.results[i].speedupOver(b);
+        if (!sweep.ok(i) || !sweep.ok(suite.size() + i))
+            continue;
+        const sim::RunResult &b = sweep.at(i);
+        double speedup = sweep.at(suite.size() + i).speedupOver(b);
         bool memIntensive = b.llcMpki > memIntensityThreshold;
         if (memIntensive) {
             speedupMem.push_back(speedup);

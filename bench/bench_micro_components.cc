@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "branch/perceptron.hh"
+#include "common/bench_util.hh"
 #include "common/rng.hh"
 #include "emu/emulator.hh"
 #include "cpu/pipeline.hh"
@@ -16,6 +17,7 @@
 #include "mem/cache.hh"
 #include "pubs/slice_unit.hh"
 #include "sim/config.hh"
+#include "sim/run_pool.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -132,6 +134,47 @@ BM_PipelineSimulation(benchmark::State &state)
     state.SetItemsProcessed((int64_t)pipe.stats().committed);
 }
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunPoolNoopTasks(benchmark::State &state)
+{
+    // Pure scheduling overhead: submit/steal/complete with empty tasks.
+    sim::RunPool pool((unsigned)state.range(0));
+    constexpr int batch = 256;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            pool.submit([] {});
+        pool.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_RunPoolNoopTasks)->Arg(1)->Arg(4);
+
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    // Whole-batch simulation throughput through the sweep engine; the
+    // argument is the job count, so 1 vs N shows run-level scaling.
+    static wl::Workload sjeng = wl::makeWorkload("sjeng_like");
+    static wl::Workload gobmk = wl::makeWorkload("gobmk_like");
+    uint64_t committed = 0;
+    for (auto _ : state) {
+        bench::SweepSpec spec;
+        spec.jobs = (unsigned)state.range(0);
+        spec.warmup = 1000;
+        spec.insts = 20000;
+        spec.verbose = false;
+        for (const auto *w : {&sjeng, &gobmk}) {
+            spec.add(*w, sim::makeConfig(sim::Machine::Base), "base");
+            spec.add(*w, sim::makeConfig(sim::Machine::Pubs), "pubs");
+        }
+        bench::SweepResult sweep = bench::runSweep(spec);
+        for (const auto &row : sweep.rows)
+            committed += row.result.instructions;
+    }
+    state.SetItemsProcessed((int64_t)committed);
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

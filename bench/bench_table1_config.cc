@@ -11,9 +11,11 @@
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs;
+
+    bench::parseBenchArgs(argc, argv);
 
     cpu::CoreParams base = sim::makeConfig(sim::Machine::Base);
     std::printf("TABLE I: base processor configuration\n%s\n",

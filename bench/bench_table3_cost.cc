@@ -11,10 +11,12 @@
 #include "pubs/cost_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pubs::bench;
     namespace pp = pubs::pubs;
+
+    parseBenchArgs(argc, argv);
 
     pp::PubsParams defaults;
     std::printf("%s\n", pp::formatCostTable(defaults).c_str());

@@ -1,13 +1,17 @@
 #include "common/bench_util.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/run_pool.hh"
 
 namespace pubs::bench
 {
@@ -27,6 +31,12 @@ envCount(const char *name, uint64_t fallback)
     return parsed;
 }
 
+/** Jobs pinned by --jobs / setBenchJobs(); 0 = auto. */
+std::atomic<unsigned> pinnedJobs{0};
+
+/** Serialises CSV appends across concurrent sweeps in one process. */
+std::mutex csvMutex;
+
 } // namespace
 
 uint64_t
@@ -39,6 +49,44 @@ uint64_t
 warmupInsts()
 {
     return envCount("PUBS_BENCH_WARMUP", 200000);
+}
+
+unsigned
+benchJobs()
+{
+    unsigned pinned = pinnedJobs.load(std::memory_order_relaxed);
+    if (pinned)
+        return pinned;
+    uint64_t env = envCount("PUBS_BENCH_JOBS", 0x10000);
+    if (env != 0x10000)
+        return (unsigned)env;
+    return sim::RunPool::hardwareThreads();
+}
+
+void
+setBenchJobs(unsigned jobs)
+{
+    pinnedJobs.store(jobs, std::memory_order_relaxed);
+}
+
+void
+parseBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            unsigned long jobs = std::strtoul(argv[++i], nullptr, 10);
+            fatal_if(jobs == 0, "--jobs wants a positive thread count");
+            setBenchJobs((unsigned)jobs);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N]\n"
+                         "  --jobs N   parallel simulation runs "
+                         "(default: hardware concurrency, or "
+                         "$PUBS_BENCH_JOBS)\n",
+                         argv[0]);
+            std::exit(std::strcmp(argv[i], "--help") == 0 ? 0 : 2);
+        }
+    }
 }
 
 TextTable::TextTable(std::vector<std::string> header)
@@ -127,7 +175,8 @@ namespace
 /**
  * Append one host-speed record to $PUBS_BENCH_CSV/simspeed.csv (header
  * written on creation), so every bench invocation accumulates a
- * simulator-performance log alongside its model results.
+ * simulator-performance log alongside its model results. Caller holds
+ * csvMutex (or is provably single-threaded).
  */
 void
 appendSimSpeedCsv(const sim::RunResult &result,
@@ -154,6 +203,67 @@ appendSimSpeedCsv(const sim::RunResult &result,
     out << line;
 }
 
+/**
+ * Record every skipped item of a finished sweep in
+ * $PUBS_BENCH_CSV/skipped.csv (header on creation), in spec order, so
+ * a batch's holes are machine-readable instead of stderr-only.
+ */
+void
+appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
+{
+    const char *dir = std::getenv("PUBS_BENCH_CSV");
+    if (!dir || !*dir || result.failed() == 0)
+        return;
+    std::string path = std::string(dir) + "/skipped.csv";
+    bool fresh = !std::ifstream(path).good();
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("cannot write CSV to %s", path.c_str());
+        return;
+    }
+    if (fresh)
+        out << "workload,machine,error_kind,error\n";
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const SweepRow &row = result.rows[i];
+        if (row.ok())
+            continue;
+        // Quote the free-text message; strip characters that would
+        // break one-row-per-line parsing.
+        std::string message = row.error;
+        for (char &c : message)
+            if (c == '\n' || c == '\r' || c == '"')
+                c = ' ';
+        out << spec.items[i].workload.name << ','
+            << spec.items[i].machine << ',' << row.errorKind << ",\""
+            << message << "\"\n";
+    }
+}
+
+/** Append one pool-utilization record to sweep_pool.csv. */
+void
+appendPoolCsv(const SweepResult &result)
+{
+    const char *dir = std::getenv("PUBS_BENCH_CSV");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/sweep_pool.csv";
+    bool fresh = !std::ifstream(path).good();
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("cannot write CSV to %s", path.c_str());
+        return;
+    }
+    if (fresh)
+        out << "runs,failed,jobs,wall_seconds,busy_seconds,"
+               "utilization\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%zu,%zu,%u,%.4f,%.4f,%.3f\n",
+                  result.rows.size(), result.failed(), result.jobs,
+                  result.wallSeconds, result.busySeconds,
+                  result.utilization());
+    out << line;
+}
+
 } // namespace
 
 sim::RunResult
@@ -163,46 +273,170 @@ runWorkload(const wl::Workload &workload, const cpu::CoreParams &params)
         sim::simulate(params, workload.program, warmupInsts(),
                       measureInsts());
     result.workload = workload.name;
+    std::lock_guard<std::mutex> lock(csvMutex);
     appendSimSpeedCsv(result, params);
+    return result;
+}
+
+size_t
+SweepSpec::add(wl::Workload workload, cpu::CoreParams params,
+               std::string machine)
+{
+    items.push_back(
+        {std::move(workload), std::move(params), std::move(machine)});
+    return items.size() - 1;
+}
+
+std::string
+SweepResult::statsJson() const
+{
+    auto quoted = [](const std::string &s) {
+        return '"' + jsonEscape(s) + '"';
+    };
+    std::ostringstream out;
+    out << "{\"sweep\": {\"runs\": " << rows.size()
+        << ", \"failed\": " << failed() << "},\n\"runs\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &row = rows[i];
+        const sim::RunResult &r = row.result;
+        out << (i ? ",\n " : "\n ") << "{\"workload\": "
+            << quoted(r.workload)
+            << ", \"machine\": " << quoted(r.machine)
+            << ", \"ok\": " << (row.ok() ? "true" : "false");
+        if (row.ok()) {
+            out << ", \"instructions\": " << r.instructions
+                << ", \"cycles\": " << r.cycles
+                << ", \"ipc\": " << jsonNumber(r.ipc)
+                << ", \"branch_mpki\": " << jsonNumber(r.branchMpki)
+                << ", \"llc_mpki\": " << jsonNumber(r.llcMpki)
+                << ", \"avg_misspec_penalty\": "
+                << jsonNumber(r.avgMisspecPenalty)
+                << ", \"avg_iq_wait\": " << jsonNumber(r.avgIqWait)
+                << ", \"unconfident_rate\": "
+                << jsonNumber(r.unconfidentBranchRate)
+                << ", \"pubs_enabled_fraction\": "
+                << jsonNumber(r.pubsEnabledFraction)
+                << ", \"priority_stall_cycles\": "
+                << r.priorityStallCycles;
+        } else {
+            out << ", \"error_kind\": " << quoted(row.errorKind)
+                << ", \"error\": " << quoted(row.error);
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+SweepResult
+runSweep(const SweepSpec &spec)
+{
+    uint64_t warmup =
+        spec.warmup == SweepSpec::envBudget ? warmupInsts() : spec.warmup;
+    uint64_t insts =
+        spec.insts == SweepSpec::envBudget ? measureInsts() : spec.insts;
+
+    SweepResult result;
+    result.rows.resize(spec.items.size());
+
+    sim::RunPool pool(spec.jobs ? spec.jobs : benchJobs());
+    result.jobs = pool.threads();
+
+    std::mutex logMutex;
+    std::atomic<size_t> completed{0};
+    for (size_t i = 0; i < spec.items.size(); ++i) {
+        pool.submit([&, i] {
+            const SweepItem &item = spec.items[i];
+            SweepRow &row = result.rows[i];
+            try {
+                // Each run owns its Simulator (pipeline, emulator, RNG
+                // streams, stats); nothing is shared with siblings, so
+                // the result depends only on the item, never on the
+                // schedule.
+                sim::RunResult r =
+                    sim::simulate(item.params, item.workload.program,
+                                  warmup, insts);
+                r.workload = item.workload.name;
+                r.machine = item.machine;
+                row.result = std::move(r);
+            } catch (const SimError &error) {
+                // Skip-and-continue: one broken run must not sink the
+                // batch.
+                row.error = error.what();
+                row.errorKind = SimError::kindName(error.kind());
+                row.result.workload = item.workload.name;
+                row.result.machine = item.machine;
+            }
+            size_t done = completed.fetch_add(1) + 1;
+            if (spec.verbose) {
+                std::lock_guard<std::mutex> lock(logMutex);
+                if (row.ok()) {
+                    std::fprintf(
+                        stderr,
+                        "  [%3zu/%zu] %-18s %-14s ipc=%.3f "
+                        "brMPKI=%.1f llcMPKI=%.1f kips=%.0f\n",
+                        done, spec.items.size(),
+                        item.workload.name.c_str(),
+                        item.machine.c_str(), row.result.ipc,
+                        row.result.branchMpki, row.result.llcMpki,
+                        row.result.kips());
+                } else {
+                    std::fprintf(stderr,
+                                 "  [%3zu/%zu] %-18s %-14s FAILED "
+                                 "(%s: %s)\n",
+                                 done, spec.items.size(),
+                                 item.workload.name.c_str(),
+                                 item.machine.c_str(),
+                                 row.errorKind.c_str(),
+                                 row.error.c_str());
+                }
+            }
+        });
+    }
+    pool.wait();
+
+    sim::PoolStats stats = pool.stats();
+    result.wallSeconds = stats.wallSeconds;
+    result.busySeconds = stats.busySeconds;
+
+    if (size_t n = result.failed()) {
+        warn("%zu of %zu sweep runs failed and were skipped", n,
+             spec.items.size());
+    }
+    if (spec.verbose && spec.items.size() > 1) {
+        std::fprintf(stderr,
+                     "  sweep: %zu runs on %u jobs in %.2f s "
+                     "(utilization %.0f%%)\n",
+                     spec.items.size(), result.jobs, result.wallSeconds,
+                     result.utilization() * 100.0);
+    }
+
+    // All telemetry CSVs are appended in spec order after the barrier,
+    // so their row order is schedule-independent.
+    std::lock_guard<std::mutex> lock(csvMutex);
+    for (size_t i = 0; i < result.rows.size(); ++i)
+        if (result.rows[i].ok())
+            appendSimSpeedCsv(result.rows[i].result, spec.items[i].params);
+    appendSkipCsv(spec, result);
+    appendPoolCsv(result);
     return result;
 }
 
 SuiteRun
 runSuite(const std::vector<wl::Workload> &suite,
-         const cpu::CoreParams &params, bool verbose)
+         const cpu::CoreParams &params, bool verbose,
+         const std::string &machine)
 {
+    SweepSpec spec;
+    spec.verbose = verbose;
+    for (const auto &workload : suite)
+        spec.add(workload, params, machine);
+    SweepResult sweep = runSweep(spec);
+
     SuiteRun run;
-    for (const auto &workload : suite) {
-        if (verbose) {
-            std::fprintf(stderr, "  running %-18s ...", workload.name.c_str());
-            std::fflush(stderr);
-        }
-        try {
-            sim::RunResult r = runWorkload(workload, params);
-            if (verbose) {
-                std::fprintf(stderr,
-                             " ipc=%.3f brMPKI=%.1f llcMPKI=%.1f "
-                             "kips=%.0f\n",
-                             r.ipc, r.branchMpki, r.llcMpki, r.kips());
-            }
-            run.results.push_back(std::move(r));
-            run.errors.emplace_back();
-        } catch (const SimError &error) {
-            // Skip-and-continue: one broken run must not end the sweep.
-            if (verbose)
-                std::fprintf(stderr, " FAILED\n");
-            std::fprintf(stderr, "  %s error in %s: %s\n",
-                         SimError::kindName(error.kind()),
-                         workload.name.c_str(), error.what());
-            sim::RunResult placeholder;
-            placeholder.workload = workload.name;
-            run.results.push_back(std::move(placeholder));
-            run.errors.emplace_back(error.what());
-        }
-    }
-    if (size_t n = run.failed()) {
-        warn("%zu of %zu workloads failed and were skipped", n,
-             suite.size());
+    for (SweepRow &row : sweep.rows) {
+        run.results.push_back(std::move(row.result));
+        run.errors.push_back(std::move(row.error));
     }
     return run;
 }

@@ -3,7 +3,18 @@
  * Shared benchmark-harness utilities: instruction budgets (overridable
  * via PUBS_BENCH_INSTS / PUBS_BENCH_WARMUP), aligned text tables in the
  * style of the paper's figures, optional CSV emission
- * (PUBS_BENCH_CSV=<dir>), and suite-run helpers.
+ * (PUBS_BENCH_CSV=<dir>), and the parallel sweep engine every figure
+ * driver batches its runs through.
+ *
+ * Determinism contract of the sweep engine: each run is an independent
+ * Simulator seeded entirely from its SweepItem (params.seed + the
+ * pre-built workload program), results land in spec order regardless of
+ * scheduling, and the aggregated output (SweepResult::statsJson(), the
+ * per-figure tables, skipped.csv) carries no host-clock fields — so a
+ * sweep is byte-identical at any --jobs count, including --jobs 1.
+ * Host-speed telemetry (simspeed.csv, pool utilization) is appended in
+ * spec order too, but its wall-clock columns are inherently
+ * host-dependent and excluded from the contract.
  */
 
 #ifndef PUBS_BENCH_COMMON_BENCH_UTIL_HH
@@ -23,6 +34,23 @@ uint64_t measureInsts();
 
 /** Warmup instructions per run (default 200K). */
 uint64_t warmupInsts();
+
+/**
+ * Worker threads used by sweeps whose SweepSpec does not pin a count:
+ * the --jobs flag (parseBenchArgs) if given, else PUBS_BENCH_JOBS, else
+ * hardware concurrency.
+ */
+unsigned benchJobs();
+
+/** Pin the benchJobs() default (what --jobs does). 0 restores auto. */
+void setBenchJobs(unsigned jobs);
+
+/**
+ * Parse the shared bench-driver command line (currently: --jobs N,
+ * --help). Unknown flags print usage and exit(2). Every bench_* main
+ * calls this first so the whole harness honours --jobs uniformly.
+ */
+void parseBenchArgs(int argc, char **argv);
 
 /** The paper's D-BP threshold: branch MPKI > 3.0 on the base machine. */
 constexpr double dbpThreshold = 3.0;
@@ -66,6 +94,90 @@ bool maybeWriteCsv(const std::string &benchName, const TextTable &table);
 sim::RunResult runWorkload(const wl::Workload &workload,
                            const cpu::CoreParams &params);
 
+// --- parallel sweep engine -------------------------------------------
+
+/** One independent run: a workload on a machine configuration. */
+struct SweepItem
+{
+    wl::Workload workload;
+    cpu::CoreParams params;
+    /** Label recorded as RunResult::machine and in CSV/JSON output. */
+    std::string machine;
+};
+
+/** A batch of independent runs plus the budgets they share. */
+struct SweepSpec
+{
+    /** Sentinel: take the budget from the PUBS_BENCH_* environment. */
+    static constexpr uint64_t envBudget = ~0ull;
+
+    std::vector<SweepItem> items;
+    uint64_t warmup = envBudget;
+    uint64_t insts = envBudget;
+    unsigned jobs = 0; ///< worker threads; 0 = benchJobs()
+    bool verbose = true;
+
+    /** Append one run; @return its index (== result slot). */
+    size_t add(wl::Workload workload, cpu::CoreParams params,
+               std::string machine);
+};
+
+/** Outcome of one sweep item (index-aligned with the spec). */
+struct SweepRow
+{
+    sim::RunResult result;
+    std::string error;     ///< empty = ran clean
+    std::string errorKind; ///< SimError kind name when failed
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Deterministically aggregated results of one sweep. */
+struct SweepResult
+{
+    /** Index-aligned with SweepSpec::items, independent of schedule. */
+    std::vector<SweepRow> rows;
+
+    unsigned jobs = 1;        ///< worker threads actually used
+    double wallSeconds = 0.0; ///< host wall clock of the whole sweep
+    double busySeconds = 0.0; ///< summed per-run simulation time
+
+    /** Fraction of thread-seconds spent simulating. */
+    double
+    utilization() const
+    {
+        double capacity = wallSeconds * (double)jobs;
+        return capacity > 0.0 ? busySeconds / capacity : 0.0;
+    }
+
+    size_t
+    failed() const
+    {
+        size_t n = 0;
+        for (const SweepRow &row : rows)
+            n += row.ok() ? 0 : 1;
+        return n;
+    }
+
+    bool ok(size_t index) const { return rows[index].ok(); }
+    const sim::RunResult &at(size_t i) const { return rows[i].result; }
+
+    /**
+     * The whole sweep as one JSON object containing only deterministic
+     * fields (no wall-clock / KIPS): byte-identical at any job count.
+     */
+    std::string statsJson() const;
+};
+
+/**
+ * Run every item of @p spec across a work-stealing pool. An item that
+ * throws SimError is recorded as a skipped row (and in
+ * $PUBS_BENCH_CSV/skipped.csv) without sinking the batch; host-speed
+ * rows go to simspeed.csv and pool utilization to sweep_pool.csv, all
+ * in spec order.
+ */
+SweepResult runSweep(const SweepSpec &spec);
+
 /** Results of running the whole suite on one machine. */
 struct SuiteRun
 {
@@ -92,13 +204,15 @@ struct SuiteRun
 };
 
 /**
- * Run every workload in @p suite on @p params. A workload that throws
- * SimError (bad configuration, trace corruption, checker divergence) is
- * reported and skipped; the sweep continues with the remaining
- * workloads.
+ * Run every workload in @p suite on @p params, in parallel via
+ * runSweep(). A workload that throws SimError (bad configuration, trace
+ * corruption, checker divergence) is recorded and skipped; the sweep
+ * continues with the remaining workloads. @p machine labels the runs in
+ * CSV/JSON output.
  */
 SuiteRun runSuite(const std::vector<wl::Workload> &suite,
-                  const cpu::CoreParams &params, bool verbose = true);
+                  const cpu::CoreParams &params, bool verbose = true,
+                  const std::string &machine = "");
 
 /** Geometric mean of per-workload ratios over a subset selector. */
 double geoMeanRatio(const std::vector<double> &ratios);

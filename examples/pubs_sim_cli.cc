@@ -27,6 +27,8 @@
  *       --telemetry                  collect PUBS slice telemetry and the
  *                                    branch-site profile
  *       --heartbeat <cycles>         heartbeat interval (0 disables)
+ *       --jobs <n>                   worker threads for --check lockstep
+ *                                    (default: hardware concurrency)
  *       --list                       list suite workloads and exit
  *
  * Prints the full pipeline stat group. Recoverable failures (bad
@@ -43,6 +45,7 @@
 #include "cpu/telemetry.hh"
 #include "emu/emulator.hh"
 #include "sim/config.hh"
+#include "sim/run_pool.hh"
 #include "sim/simulator.hh"
 #include "trace/pipeview.hh"
 #include "trace/trace.hh"
@@ -65,7 +68,7 @@ usage(const char *argv0)
                  "          [--check off|warn|throw|abort|lockstep]\n"
                  "          [--audit-interval N]\n"
                  "          [--stats-json PATH] [--pipeview PATH]\n"
-                 "          [--telemetry] [--heartbeat N]\n",
+                 "          [--telemetry] [--heartbeat N] [--jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -119,40 +122,59 @@ endsWith(const std::string &s, const std::string &suffix)
 
 /**
  * Run every suite workload with the lockstep checker and the structural
- * auditor set to throw. @return the number of failing workloads.
+ * auditor set to throw, spread across @p jobs worker threads. Each run
+ * is independent (own emulator, pipeline, and RNG), so the report lines
+ * are collected per workload and printed in suite order afterwards.
+ * @return the number of failing workloads.
  */
 int
 runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
-            uint64_t seed)
+            uint64_t seed, unsigned jobs)
 {
     params.checkPolicy = CheckPolicy::Throw;
     params.auditPolicy = CheckPolicy::Throw;
 
-    std::printf("%-18s %-6s %12s %12s\n", "workload", "result",
-                "checked", "audits");
-    int failures = 0;
-    for (const auto &name : wl::suiteNames()) {
+    const std::vector<std::string> names = wl::suiteNames();
+    std::vector<std::string> lines(names.size());
+    std::vector<std::string> errors(names.size());
+
+    sim::RunPool pool(jobs);
+    sim::parallelFor(pool, names.size(), [&](size_t i) {
+        char buf[96];
         try {
-            wl::Workload w = wl::makeWorkload(name, seed);
+            wl::Workload w = wl::makeWorkload(names[i], seed);
             sim::Simulator simulator(
                 params, std::make_unique<emu::Emulator>(w.program));
             simulator.run(warmup, insts);
             const cpu::PipelineStats &s = simulator.pipeline().stats();
-            std::printf("%-18s %-6s %12llu %12llu\n", name.c_str(),
-                        "PASS", (unsigned long long)s.checkerCommits,
-                        (unsigned long long)s.auditsRun);
+            std::snprintf(buf, sizeof(buf), "%-18s %-6s %12llu %12llu",
+                          names[i].c_str(), "PASS",
+                          (unsigned long long)s.checkerCommits,
+                          (unsigned long long)s.auditsRun);
         } catch (const SimError &error) {
-            ++failures;
-            std::printf("%-18s %-6s\n", name.c_str(), "FAIL");
-            std::fprintf(stderr, "%s error in %s:\n%s\n",
-                         SimError::kindName(error.kind()), name.c_str(),
-                         error.what());
+            std::snprintf(buf, sizeof(buf), "%-18s %-6s",
+                          names[i].c_str(), "FAIL");
+            errors[i] = std::string(SimError::kindName(error.kind())) +
+                        " error in " + names[i] + ":\n" + error.what();
         }
-        std::fflush(stdout);
+        lines[i] = buf;
+    });
+    pool.wait();
+
+    std::printf("%-18s %-6s %12s %12s\n", "workload", "result",
+                "checked", "audits");
+    int failures = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::printf("%s\n", lines[i].c_str());
+        if (!errors[i].empty()) {
+            ++failures;
+            std::fprintf(stderr, "%s\n", errors[i].c_str());
+        }
     }
-    std::printf("lockstep verification: %s (%d failing workload%s)\n",
+    std::printf("lockstep verification: %s (%d failing workload%s, "
+                "%u jobs)\n",
                 failures ? "FAIL" : "PASS", failures,
-                failures == 1 ? "" : "s");
+                failures == 1 ? "" : "s", pool.threads());
     return failures;
 }
 
@@ -186,6 +208,7 @@ run(int argc, char **argv)
     bool telemetry = false;
     bool setHeartbeat = false;
     unsigned heartbeat = 0;
+    unsigned jobs = 0; // 0 = hardware concurrency
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -236,6 +259,10 @@ run(int argc, char **argv)
         } else if (arg == "--heartbeat") {
             setHeartbeat = true;
             heartbeat = (unsigned)std::stoul(next());
+        } else if (arg == "--jobs") {
+            jobs = (unsigned)std::stoul(next());
+            if (jobs == 0)
+                fatal("--jobs must be at least 1");
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -267,7 +294,7 @@ run(int argc, char **argv)
         params.heartbeatInterval = heartbeat;
 
     if (checkArg == "lockstep")
-        return runLockstep(params, warmup, insts, seed) ? 1 : 0;
+        return runLockstep(params, warmup, insts, seed, jobs) ? 1 : 0;
     if (!checkArg.empty()) {
         CheckPolicy policy;
         if (!parseCheckPolicy(checkArg, policy)) {

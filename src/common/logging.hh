@@ -15,6 +15,7 @@
 #ifndef PUBS_COMMON_LOGGING_HH
 #define PUBS_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <string>
@@ -64,14 +65,13 @@ uint64_t warnCount();
             warn(__VA_ARGS__);                                               \
     } while (0)
 
-/** warn() only the first time this site is reached. */
+/** warn() only the first time this site is reached (thread-safe: sweep
+ *  runs hit shared sites from many pool workers concurrently). */
 #define warn_once(...)                                                       \
     do {                                                                     \
-        static bool warned_once_ = false;                                    \
-        if (!warned_once_) {                                                 \
-            warned_once_ = true;                                             \
+        static std::atomic<bool> warned_once_{false};                        \
+        if (!warned_once_.exchange(true, std::memory_order_relaxed))         \
             warn(__VA_ARGS__);                                               \
-        }                                                                    \
     } while (0)
 
 /** warn_once() if the condition holds. */

@@ -1,0 +1,175 @@
+#include "sim/run_pool.hh"
+
+#include <exception>
+
+namespace pubs::sim
+{
+
+unsigned
+RunPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+RunPool::RunPool(unsigned threads)
+    : start_(std::chrono::steady_clock::now())
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    for (unsigned i = 0; i < threads; ++i)
+        workers_[i]->thread = std::thread([this, i] { workerLoop(i); });
+}
+
+RunPool::~RunPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(signal_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker->thread.join();
+}
+
+void
+RunPool::submit(std::function<void()> task)
+{
+    // Round-robin placement spreads the initial batch evenly; stealing
+    // rebalances once run times diverge.
+    unsigned home = (unsigned)(nextWorker_.fetch_add(
+                        1, std::memory_order_relaxed) %
+                    workers_.size());
+    {
+        std::lock_guard<std::mutex> lock(workers_[home]->mutex);
+        workers_[home]->deque.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lock(signal_);
+        ++queued_;
+        ++pending_;
+    }
+    workCv_.notify_one();
+}
+
+bool
+RunPool::takeTask(unsigned self, std::function<void()> &task)
+{
+    // Own deque first, newest task (LIFO: best locality).
+    {
+        Worker &mine = *workers_[self];
+        std::lock_guard<std::mutex> lock(mine.mutex);
+        if (!mine.deque.empty()) {
+            task = std::move(mine.deque.back());
+            mine.deque.pop_back();
+            return true;
+        }
+    }
+    // Steal the oldest task of the busiest sibling (FIFO steal).
+    for (size_t k = 1; k < workers_.size(); ++k) {
+        Worker &victim = *workers_[(self + k) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            task = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+RunPool::runTask(std::function<void()> &task)
+{
+    auto begin = std::chrono::steady_clock::now();
+    try {
+        task();
+    } catch (const std::exception &error) {
+        tasksFailed_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (firstError_.empty())
+            firstError_ = error.what();
+    } catch (...) {
+        tasksFailed_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (firstError_.empty())
+            firstError_ = "unknown exception in pool task";
+    }
+    auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - begin);
+    busyNanos_.fetch_add((uint64_t)nanos.count(),
+                         std::memory_order_relaxed);
+    tasksRun_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RunPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(signal_);
+            workCv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+            if (queued_ == 0) // stop_ and fully drained
+                return;
+            --queued_; // reserve one task; it is guaranteed to exist
+        }
+        std::function<void()> task;
+        // takeTask can only fail transiently (submit publishes the
+        // queued_ count after pushing the task), so a retry always
+        // terminates; in practice the first probe succeeds.
+        while (!takeTask(self, task))
+            std::this_thread::yield();
+        runTask(task);
+        {
+            std::lock_guard<std::mutex> lock(signal_);
+            if (--pending_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+void
+RunPool::wait()
+{
+    std::unique_lock<std::mutex> lock(signal_);
+    idleCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+PoolStats
+RunPool::stats() const
+{
+    PoolStats s;
+    s.threads = threads();
+    s.tasksRun = tasksRun_.load(std::memory_order_relaxed);
+    s.tasksStolen = tasksStolen_.load(std::memory_order_relaxed);
+    s.tasksFailed = tasksFailed_.load(std::memory_order_relaxed);
+    s.busySeconds =
+        (double)busyNanos_.load(std::memory_order_relaxed) * 1e-9;
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    s.wallSeconds = wall.count();
+    return s;
+}
+
+std::string
+RunPool::firstError() const
+{
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    return firstError_;
+}
+
+void
+parallelFor(RunPool &pool, size_t n,
+            const std::function<void(size_t)> &fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace pubs::sim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Work-stealing thread pool for batch simulation.
+ *
+ * Every paper figure is a sweep of independent (workload, machine) runs,
+ * so the natural scaling axis is run-level parallelism: each Simulator
+ * owns its pipeline, emulator, RNG streams, and stats, and never shares
+ * mutable state with a sibling run. RunPool schedules such independent
+ * tasks across hardware threads with per-worker deques (LIFO pop for
+ * cache locality, FIFO steal to spread the oldest work), which keeps a
+ * heterogeneous sweep — some configs simulate 10x slower than others —
+ * load-balanced without any central queue contention.
+ *
+ * Guarantees:
+ *  - A task that throws never takes down a worker or the pool: the
+ *    exception is caught, counted, and its first message retained
+ *    (batch layers above record per-run errors themselves; this is the
+ *    backstop for non-SimError escapes).
+ *  - wait() blocks until every task submitted so far has finished.
+ *  - The destructor drains all pending work before joining, so
+ *    destruction-while-draining is safe: no task is abandoned and no
+ *    worker is cancelled mid-run.
+ *  - Determinism is the submitter's job: the pool promises nothing
+ *    about execution order, so batch results must be written into
+ *    pre-assigned slots (see bench_util's runSweep), never appended in
+ *    completion order.
+ */
+
+#ifndef PUBS_SIM_RUN_POOL_HH
+#define PUBS_SIM_RUN_POOL_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pubs::sim
+{
+
+/** Utilization counters of one pool (sampled via RunPool::stats()). */
+struct PoolStats
+{
+    unsigned threads = 0;
+    uint64_t tasksRun = 0;    ///< tasks completed (including failed)
+    uint64_t tasksStolen = 0; ///< tasks taken from another worker's deque
+    uint64_t tasksFailed = 0; ///< tasks that threw
+    double busySeconds = 0.0; ///< summed per-worker task execution time
+    double wallSeconds = 0.0; ///< wall clock since pool construction
+
+    /** Fraction of thread-seconds spent executing tasks. */
+    double
+    utilization() const
+    {
+        double capacity = wallSeconds * (double)threads;
+        return capacity > 0.0 ? busySeconds / capacity : 0.0;
+    }
+};
+
+class RunPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means hardwareThreads().
+     */
+    explicit RunPool(unsigned threads = 0);
+
+    /** Drains all pending work, then joins the workers. */
+    ~RunPool();
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    unsigned threads() const { return (unsigned)workers_.size(); }
+
+    /** Enqueue @p task; runs on some worker, in no promised order. */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has completed. */
+    void wait();
+
+    /** Counters so far (callable at any time, including mid-drain). */
+    PoolStats stats() const;
+
+    /** Message of the first task that threw, or "" if none did. */
+    std::string firstError() const;
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        mutable std::mutex mutex;
+        std::deque<std::function<void()>> deque;
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned self);
+    bool takeTask(unsigned self, std::function<void()> &task);
+    void runTask(std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Guards queued_/pending_/stop_ and backs both condvars. */
+    mutable std::mutex signal_;
+    std::condition_variable workCv_; ///< queued_ > 0 or stop_
+    std::condition_variable idleCv_; ///< pending_ == 0
+    uint64_t queued_ = 0;  ///< submitted, not yet picked up
+    uint64_t pending_ = 0; ///< submitted, not yet completed
+    bool stop_ = false;
+
+    std::atomic<uint64_t> nextWorker_{0};
+    std::atomic<uint64_t> tasksRun_{0};
+    std::atomic<uint64_t> tasksStolen_{0};
+    std::atomic<uint64_t> tasksFailed_{0};
+    std::atomic<uint64_t> busyNanos_{0};
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex errorMutex_;
+    std::string firstError_;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) on @p pool and block until all have finished.
+ * Exceptions are absorbed per the pool contract (check pool.stats()).
+ */
+void parallelFor(RunPool &pool, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace pubs::sim
+
+#endif // PUBS_SIM_RUN_POOL_HH

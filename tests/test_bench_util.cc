@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "common/bench_util.hh"
 #include "sim/config.hh"
@@ -118,6 +119,64 @@ TEST(BenchUtil, RunSuiteSkipsFailingConfigurations)
     EXPECT_EQ(run.results[0].workload, "hmmer_like");
     EXPECT_NE(run.errors[1].find("invalid core configuration"),
               std::string::npos);
+}
+
+TEST(BenchUtil, SweepRecordsSkippedConfigsInCsv)
+{
+    // A failed run must leave a machine-readable skip row, not just a
+    // stderr warning: skipped.csv gets (workload, machine, kind, error)
+    // while simspeed.csv only collects the runs that succeeded.
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "pubs_skip_test")
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    setenv("PUBS_BENCH_CSV", dir.c_str(), 1);
+
+    SweepSpec spec;
+    spec.jobs = 1;
+    spec.warmup = 500;
+    spec.insts = 4000;
+    spec.verbose = false;
+    spec.add(wl::makeWorkload("hmmer_like"),
+             sim::makeConfig(sim::Machine::Base), "base");
+    cpu::CoreParams bad = sim::makeConfig(sim::Machine::Pubs);
+    bad.iqKind = iq::IqKind::Shifting; // PUBS needs the random queue
+    spec.add(wl::makeWorkload("sjeng_like"), bad, "bad");
+
+    SweepResult run = runSweep(spec);
+    unsetenv("PUBS_BENCH_CSV");
+    EXPECT_EQ(run.failed(), 1u);
+
+    std::ifstream skipped(dir + "/skipped.csv");
+    ASSERT_TRUE(skipped.good());
+    std::string line;
+    std::getline(skipped, line);
+    EXPECT_EQ(line, "workload,machine,error_kind,error");
+    std::getline(skipped, line);
+    EXPECT_NE(line.find("sjeng_like,bad,config,"), std::string::npos);
+    EXPECT_NE(line.find("invalid core configuration"),
+              std::string::npos);
+    EXPECT_FALSE(std::getline(skipped, line)); // exactly one skip row
+
+    // The good run went to simspeed.csv, the skipped one did not.
+    std::ifstream speed(dir + "/simspeed.csv");
+    ASSERT_TRUE(speed.good());
+    std::string all((std::istreambuf_iterator<char>(speed)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("hmmer_like"), std::string::npos);
+    EXPECT_EQ(all.find("sjeng_like"), std::string::npos);
+
+    // Pool telemetry lands alongside.
+    std::ifstream poolCsv(dir + "/sweep_pool.csv");
+    ASSERT_TRUE(poolCsv.good());
+    std::getline(poolCsv, line);
+    EXPECT_EQ(line,
+              "runs,failed,jobs,wall_seconds,busy_seconds,utilization");
+    std::getline(poolCsv, line);
+    EXPECT_NE(line.find("2,1,1,"), std::string::npos);
+
+    std::filesystem::remove_all(dir);
 }
 
 TEST(BenchUtil, RunSuiteMixedFailurePreservesGoodResults)

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Concurrency tests for sim::RunPool: stress submission, exception
+ * containment, destruction-while-draining, work distribution, and the
+ * parallelFor helper. All of these are meant to run under TSan too
+ * (see the PUBS_TSAN CMake option).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/run_pool.hh"
+
+namespace pubs::sim
+{
+namespace
+{
+
+TEST(RunPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(RunPool::hardwareThreads(), 1u);
+}
+
+TEST(RunPool, ZeroRequestsHardwareConcurrency)
+{
+    RunPool pool(0);
+    EXPECT_EQ(pool.threads(), RunPool::hardwareThreads());
+}
+
+TEST(RunPool, StressThousandNoopTasks)
+{
+    RunPool pool(4);
+    std::atomic<uint64_t> ran{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1000u);
+
+    PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.threads, 4u);
+    EXPECT_EQ(stats.tasksRun, 1000u);
+    EXPECT_EQ(stats.tasksFailed, 0u);
+    EXPECT_GE(stats.wallSeconds, 0.0);
+    EXPECT_GE(stats.utilization(), 0.0);
+    EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+}
+
+TEST(RunPool, WaitIsReusableAcrossBatches)
+{
+    RunPool pool(2);
+    std::atomic<int> ran{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (batch + 1) * 50);
+    }
+    EXPECT_EQ(pool.stats().tasksRun, 250u);
+}
+
+TEST(RunPool, ExceptionIsRecordedNotFatal)
+{
+    RunPool pool(2);
+    std::atomic<int> survivors{0};
+    pool.submit([] { throw std::runtime_error("task exploded"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&survivors] { ++survivors; });
+    pool.wait(); // must not deadlock or rethrow
+
+    EXPECT_EQ(survivors.load(), 20);
+    PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.tasksRun, 21u);
+    EXPECT_EQ(stats.tasksFailed, 1u);
+    EXPECT_EQ(pool.firstError(), "task exploded");
+
+    // The pool stays usable after a failure.
+    pool.submit([&survivors] { ++survivors; });
+    pool.wait();
+    EXPECT_EQ(survivors.load(), 21);
+}
+
+TEST(RunPool, FirstErrorKeepsEarliestMessage)
+{
+    RunPool pool(1);
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.wait();
+    pool.submit([] { throw std::runtime_error("second"); });
+    pool.wait();
+    EXPECT_EQ(pool.firstError(), "first");
+    EXPECT_EQ(pool.stats().tasksFailed, 2u);
+}
+
+TEST(RunPool, NonStdExceptionIsContained)
+{
+    RunPool pool(1);
+    pool.submit([] { throw 42; });
+    pool.wait();
+    EXPECT_EQ(pool.stats().tasksFailed, 1u);
+    EXPECT_FALSE(pool.firstError().empty());
+}
+
+TEST(RunPool, DestructionDrainsPendingWork)
+{
+    // Destroy the pool while tasks are still queued/running; the
+    // destructor must complete every one of them before joining.
+    std::atomic<uint64_t> ran{0};
+    {
+        RunPool pool(3);
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // No wait(): the destructor races with the drain.
+    }
+    EXPECT_EQ(ran.load(), 200u);
+}
+
+TEST(RunPool, ParallelForCoversEveryIndexOnce)
+{
+    RunPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(pool, hits.size(), [&hits](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(RunPool, ParallelForZeroItemsReturnsImmediately)
+{
+    RunPool pool(2);
+    parallelFor(pool, 0, [](size_t) { FAIL() << "must not be called"; });
+    EXPECT_EQ(pool.stats().tasksRun, 0u);
+}
+
+TEST(RunPool, SingleThreadRunsEverything)
+{
+    RunPool pool(1);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+    // One worker can never steal from itself.
+    EXPECT_EQ(pool.stats().tasksStolen, 0u);
+}
+
+TEST(RunPool, BusyTimeAccumulates)
+{
+    RunPool pool(2);
+    parallelFor(pool, 4, [](size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    PoolStats stats = pool.stats();
+    EXPECT_GT(stats.busySeconds, 0.0);
+    EXPECT_GT(stats.wallSeconds, 0.0);
+}
+
+} // namespace
+} // namespace pubs::sim
