@@ -7,10 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+
 #include "branch/perceptron.hh"
 #include "common/bench_util.hh"
+#include "common/bits.hh"
 #include "common/rng.hh"
+#include "common/slab.hh"
 #include "emu/emulator.hh"
+#include "cpu/event_wheel.hh"
 #include "cpu/pipeline.hh"
 #include "iq/age_matrix.hh"
 #include "iq/random_queue.hh"
@@ -95,6 +101,112 @@ BM_AgeMatrixOldestReady(benchmark::State &state)
 BENCHMARK(BM_AgeMatrixOldestReady);
 
 void
+BM_EventWheelScheduleDrain(benchmark::State &state)
+{
+    // The wakeup path: schedule completion events a few cycles out,
+    // advance the clock, drain. Mimics the pipeline's per-cycle wheel
+    // traffic (a handful of operand-ready events per cycle).
+    cpu::EventWheel wheel(1024);
+    Rng rng(4);
+    Cycle now = 0;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        ++now;
+        for (int i = 0; i < 4; ++i) {
+            wheel.schedule(now + 1 + rng.below(12),
+                           cpu::EventWheel::Kind::OperandReady,
+                           (uint32_t)rng.below(192), now, now);
+        }
+        wheel.drain(now, [&](const cpu::EventWheel::Event &) { ++fired; });
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed((int64_t)fired);
+}
+BENCHMARK(BM_EventWheelScheduleDrain);
+
+void
+BM_SelectBitmapScan(benchmark::State &state)
+{
+    // The new select loop: ctz-walk the ready bitmap words of a 64-entry
+    // queue with a typical sparse ready population.
+    iq::RandomQueue queue(64, 6, 1);
+    Rng rng(5);
+    for (uint32_t id = 0; id < 48; ++id)
+        queue.dispatch(id, id, false);
+    for (uint32_t id = 0; id < 48; id += 7)
+        queue.markReady(id);
+    uint64_t picked = 0;
+    for (auto _ : state) {
+        const auto &words = queue.readyWords();
+        for (size_t w = 0; w < words.size(); ++w) {
+            uint64_t word = words[w];
+            while (word != 0) {
+                picked += w * 64 + countTrailingZeros(word);
+                word &= word - 1;
+            }
+        }
+    }
+    benchmark::DoNotOptimize(picked);
+}
+BENCHMARK(BM_SelectBitmapScan);
+
+void
+BM_SelectFullScan(benchmark::State &state)
+{
+    // The old select loop for comparison: visit every slot and test it.
+    iq::RandomQueue queue(64, 6, 1);
+    Rng rng(5);
+    for (uint32_t id = 0; id < 48; ++id)
+        queue.dispatch(id, id, false);
+    std::vector<bool> ready(64, false);
+    for (uint32_t id = 0; id < 48; id += 7)
+        ready[queue.slotOf(id)] = true;
+    uint64_t picked = 0;
+    for (auto _ : state) {
+        const auto &slots = queue.prioritySlots();
+        for (size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].valid && ready[s])
+                picked += s;
+        }
+    }
+    benchmark::DoNotOptimize(picked);
+}
+BENCHMARK(BM_SelectFullScan);
+
+void
+BM_SlabDependentChain(benchmark::State &state)
+{
+    // Scoreboard dependent-overflow traffic: grow a chain of fanout
+    // nodes, walk it, free it — the allocation pattern of a producer
+    // with more consumers than the inline array holds.
+    struct Node
+    {
+        std::array<uint32_t, 6> ids{};
+        uint8_t n = 0;
+        uint32_t next = SlabPool<Node>::npos;
+    };
+    SlabPool<Node> pool;
+    uint64_t walked = 0;
+    for (auto _ : state) {
+        uint32_t head = SlabPool<Node>::npos;
+        for (int i = 0; i < 4; ++i) {
+            uint32_t node = pool.alloc();
+            pool.at(node).n = 6;
+            pool.at(node).next = head;
+            head = node;
+        }
+        for (uint32_t node = head; node != SlabPool<Node>::npos;) {
+            walked += pool.at(node).n;
+            uint32_t next = pool.at(node).next;
+            pool.free(node);
+            node = next;
+        }
+    }
+    benchmark::DoNotOptimize(walked);
+}
+BENCHMARK(BM_SlabDependentChain);
+
+void
 BM_CacheAccess(benchmark::State &state)
 {
     mem::MainMemory dram(300, 8, 64);
@@ -176,6 +288,104 @@ BM_ParallelSweep(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/**
+ * Run the fig8-style sweep (whole suite x base+PUBS machines) and write
+ * a host-speed record: per-run KIPS plus the geometric mean, with the
+ * instruction budgets that produced them. Wall-clock fields are
+ * inherently host-dependent, so this file is a measurement artifact,
+ * not part of the determinism contract.
+ */
+int
+writeHostspeed(const char *path)
+{
+    using namespace ::pubs::bench;
+    namespace sim = ::pubs::sim;
+    namespace wl = ::pubs::wl;
+
+    auto suite = wl::makeSuite();
+    SweepSpec spec;
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Base), "base");
+    for (const auto &workload : suite)
+        spec.add(workload, sim::makeConfig(sim::Machine::Pubs), "pubs");
+    std::fprintf(stderr, "hostspeed: %zu runs (base + PUBS)\n",
+                 spec.items.size());
+    SweepResult sweep = runSweep(spec);
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "hostspeed: cannot write %s\n", path);
+        return 1;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"fig8_hostspeed\",\n";
+    out << "  \"measure_insts\": " << measureInsts() << ",\n";
+    out << "  \"warmup_insts\": " << warmupInsts() << ",\n";
+    out << "  \"jobs\": " << sweep.jobs << ",\n";
+    out << "  \"runs\": [\n";
+    std::vector<double> allKips;
+    bool first = true;
+    for (size_t i = 0; i < spec.items.size(); ++i) {
+        if (!sweep.ok(i))
+            continue;
+        const sim::RunResult &r = sweep.at(i);
+        if (!first)
+            out << ",\n";
+        first = false;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"workload\": \"%s\", \"machine\": \"%s\", "
+                      "\"instructions\": %llu, \"cycles\": %llu, "
+                      "\"sim_seconds\": %.6f, \"kips\": %.2f}",
+                      spec.items[i].workload.name.c_str(),
+                      spec.items[i].machine.c_str(),
+                      (unsigned long long)r.instructions,
+                      (unsigned long long)r.cycles, r.simSeconds,
+                      r.kips());
+        out << buf;
+        if (r.kips() > 0.0)
+            allKips.push_back(r.kips());
+    }
+    out << "\n  ],\n";
+    char geo[64];
+    std::snprintf(geo, sizeof(geo), "%.2f", geoMeanRatio(allKips));
+    out << "  \"geomean_kips\": " << geo << ",\n";
+    out << "  \"failed_runs\": " << sweep.failed() << "\n";
+    out << "}\n";
+    std::fprintf(stderr, "hostspeed: geomean %s KIPS over %zu runs -> %s\n",
+                 geo, allKips.size(), path);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // `--hostspeed <file.json>` switches from the google-benchmark
+    // microbenchmarks to the whole-simulator host-speed sweep. The
+    // remaining flags go to the respective harness (--jobs N here,
+    // --benchmark_* to google-benchmark).
+    const char *hostspeedPath = nullptr;
+    std::vector<char *> rest;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--hostspeed") == 0 && i + 1 < argc) {
+            hostspeedPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            ::pubs::bench::setBenchJobs(
+                (unsigned)std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    if (hostspeedPath)
+        return writeHostspeed(hostspeedPath);
+
+    int restArgc = (int)rest.size();
+    benchmark::Initialize(&restArgc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

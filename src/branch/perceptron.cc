@@ -32,8 +32,9 @@ Perceptron::dot(size_t index) const
     const Weight *w = &weights_[index * (historyBits_ + 1)];
     int y = w[0]; // bias weight
     for (unsigned i = 0; i < historyBits_; ++i) {
-        bool taken = (history_ >> i) & 1;
-        y += taken ? w[i + 1] : -w[i + 1];
+        // Branchless (w if taken else -w): mask is 0 or ~0.
+        int m = -(int)((history_ >> i) & 1);
+        y += ((int)w[i + 1] ^ ~m) + (m + 1);
     }
     return y;
 }
@@ -41,14 +42,23 @@ Perceptron::dot(size_t index) const
 bool
 Perceptron::predict(Pc pc)
 {
-    return dot(indexOf(pc)) >= 0;
+    size_t index = indexOf(pc);
+    int y = dot(index);
+    memoIndex_ = index;
+    memoHistory_ = history_;
+    memoY_ = y;
+    memoValid_ = true;
+    return y >= 0;
 }
 
 void
 Perceptron::update(Pc pc, bool taken)
 {
     size_t index = indexOf(pc);
-    int y = dot(index);
+    int y = memoValid_ && memoIndex_ == index && memoHistory_ == history_
+                ? memoY_
+                : dot(index);
+    memoValid_ = false; // the weights or history change below
     bool predicted = y >= 0;
 
     if (predicted != taken || std::abs(y) <= threshold_) {

@@ -51,6 +51,17 @@ class Perceptron : public BranchPredictor
     int threshold_;
     uint64_t history_ = 0; ///< bit i = outcome of the i-th most recent
     std::vector<Weight> weights_; ///< tableEntries x (historyBits + 1)
+
+    /**
+     * Memo of the last dot() evaluation. The pipeline calls predict(pc)
+     * immediately followed by update(pc, taken); as long as neither the
+     * history nor any weight changed in between, update() can reuse the
+     * sum instead of recomputing the identical product.
+     */
+    size_t memoIndex_ = 0;
+    uint64_t memoHistory_ = 0;
+    int memoY_ = 0;
+    bool memoValid_ = false;
 };
 
 } // namespace pubs::branch

@@ -7,6 +7,7 @@
 #ifndef PUBS_COMMON_BITS_HH
 #define PUBS_COMMON_BITS_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "common/logging.hh"
@@ -25,10 +26,7 @@ isPowerOf2(uint64_t v)
 constexpr unsigned
 floorLog2(uint64_t v)
 {
-    unsigned r = 0;
-    while (v >>= 1)
-        ++r;
-    return r;
+    return v == 0 ? 0 : (unsigned)std::bit_width(v) - 1;
 }
 
 /** log2 of a power of two. */
@@ -48,6 +46,13 @@ nextPowerOf2(uint64_t v)
     while (p < v)
         p <<= 1;
     return p;
+}
+
+/** Index of the lowest set bit of @p v; @p v must be non-zero. */
+inline unsigned
+countTrailingZeros(uint64_t v)
+{
+    return (unsigned)__builtin_ctzll(v);
 }
 
 /** A mask with the low @p bits bits set. */

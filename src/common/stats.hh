@@ -42,6 +42,14 @@ class Average
         ++count_;
     }
 
+    /** Record @p v as if sampled @p n times (bulk idle-cycle account). */
+    void
+    sample(double v, uint64_t n)
+    {
+        sum_ += v * (double)n;
+        count_ += n;
+    }
+
     void reset() { sum_ = 0; count_ = 0; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     uint64_t count() const { return count_; }
@@ -82,6 +90,20 @@ class Histogram
         ++counts_[bucketOf(v)];
         sum_ += v;
         ++total_;
+    }
+
+    /**
+     * Record @p v as if sampled @p n times. The event-driven pipeline
+     * uses this to account a span of fast-forwarded idle cycles in one
+     * call; the resulting counts are bit-identical to sampling each
+     * cycle individually.
+     */
+    void
+    sample(uint64_t v, uint64_t n)
+    {
+        counts_[bucketOf(v)] += n;
+        sum_ += v * n;
+        total_ += n;
     }
 
     void reset();

@@ -349,6 +349,88 @@ Auditor::audit(const Pipeline &pipe)
                    std::to_string(iqResident) + " resident in queues");
     }
 
+    // --- wakeup scoreboard vs from-scratch dataflow recomputation ---
+    //
+    // The event-driven core never rescans operands, so its pending
+    // counters and ready bitmaps must always agree with what a rescan
+    // of the register ready cycles would conclude right now.
+    ++report.checksRun;
+    for (size_t q = 0; q < pipe.iqs_.size(); ++q) {
+        const iq::IssueQueue &queue = *pipe.iqs_[q];
+        const std::vector<iq::IqSlot> &slots = queue.prioritySlots();
+        size_t readyBits = 0;
+        for (uint32_t s = 0; s < slots.size(); ++s) {
+            if (!slots[s].valid) {
+                if (queue.readyAt(s))
+                    report.add("IQ " + std::to_string(q) + " slot " +
+                               std::to_string(s) +
+                               " is free but its ready bit is set");
+                continue;
+            }
+            readyBits += queue.readyAt(s) ? 1 : 0;
+            uint32_t id = slots[s].clientId;
+            if (id >= ring.size() || !ring[id].valid)
+                continue; // already reported above
+            const auto &inst = ring[id];
+            if (queue.slotOf(id) != s) {
+                report.add("IQ " + std::to_string(q) + " slot index of id " +
+                           std::to_string(id) + " points at slot " +
+                           std::to_string(queue.slotOf(id)) + ", not " +
+                           std::to_string(s));
+            }
+            unsigned pending = 0;
+            if (inst.physSrc1 != invalidPhysReg &&
+                pipe.regReadyCycle(inst.src1Cls, inst.physSrc1) > pipe.now_)
+                ++pending;
+            if (inst.physSrc2 != invalidPhysReg &&
+                pipe.regReadyCycle(inst.src2Cls, inst.physSrc2) > pipe.now_)
+                ++pending;
+            if (inst.pendingOps != pending) {
+                report.add("scoreboard pending-operand count of id " +
+                           std::to_string(id) + " is " +
+                           std::to_string(inst.pendingOps) +
+                           ", dataflow recomputation says " +
+                           std::to_string(pending));
+            }
+            if (queue.readyAt(s) && pending != 0) {
+                report.add("IQ " + std::to_string(q) + " id " +
+                           std::to_string(id) +
+                           " marked ready with " + std::to_string(pending) +
+                           " operands outstanding");
+            }
+            if (!queue.readyAt(s) && pending == 0 && !inst.di.isLoad()) {
+                report.add("IQ " + std::to_string(q) + " non-load id " +
+                           std::to_string(id) +
+                           " has no pending operands but no ready bit");
+            }
+        }
+        if (readyBits != queue.readyCount()) {
+            report.add("IQ " + std::to_string(q) + " ready-bit count " +
+                       std::to_string(queue.readyCount()) + " != " +
+                       std::to_string(readyBits) + " set bits");
+        }
+    }
+
+    // Dependent-record slab accounting: every live overflow node must be
+    // reachable from exactly one valid, not-yet-issued producer.
+    ++report.checksRun;
+    size_t reachableNodes = 0;
+    for (const auto &inst : ring) {
+        if (!inst.valid)
+            continue;
+        uint32_t node = inst.depOverflow;
+        while (node != SlabPool<Pipeline::DepNode>::npos) {
+            ++reachableNodes;
+            node = pipe.depPool_.at(node).next;
+        }
+    }
+    if (reachableNodes != pipe.depPool_.live()) {
+        report.add("dependent slab pool holds " +
+                   std::to_string(pipe.depPool_.live()) +
+                   " live nodes but " + std::to_string(reachableNodes) +
+                   " are reachable from in-flight producers");
+    }
+
     // --- LSQ cross-consistency ---
     ++report.checksRun;
     std::vector<uint32_t> lsqIds = pipe.lsq_.residentIds();

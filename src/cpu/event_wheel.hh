@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cycle-bucketed event wheel for the event-driven pipeline core.
+ *
+ * Events carry an absolute fire cycle and land in bucket
+ * (cycle & mask); each simulated cycle drains only its own bucket,
+ * firing entries whose stored cycle matches and keeping the rest (an
+ * event scheduled more than one wheel revolution ahead simply waits in
+ * its bucket across wrap-arounds). Within a cycle, events fire in
+ * schedule order (FIFO), which the determinism contract (DESIGN.md)
+ * depends on.
+ *
+ * Cancellation is lazy: the wheel always delivers what was scheduled,
+ * and consumers validate the payload (instruction id + sequence number)
+ * against live state, so a squash never has to search the wheel.
+ */
+
+#ifndef PUBS_CPU_EVENT_WHEEL_HH
+#define PUBS_CPU_EVENT_WHEEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pubs::cpu
+{
+
+class EventWheel
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        OperandReady, ///< wake a consumer: one pending operand completed
+        LoadRecheck,  ///< a store executed: re-test mem-blocked loads
+    };
+
+    struct Event
+    {
+        Cycle cycle;  ///< absolute fire cycle
+        uint64_t b;   ///< payload (sequence number)
+        uint32_t a;   ///< payload (instruction id)
+        Kind kind;
+    };
+
+    /** @param buckets wheel size; rounded up to a power of two. */
+    explicit EventWheel(unsigned buckets = 1024)
+    {
+        unsigned size = 1;
+        while (size < buckets)
+            size *= 2;
+        buckets_.resize(size);
+        mask_ = size - 1;
+    }
+
+    /** Schedule an event strictly in the future (@p cycle > @p now). */
+    void
+    schedule(Cycle cycle, Kind kind, uint32_t a, uint64_t b, Cycle now)
+    {
+        panic_if(cycle <= now,
+                 "event wheel schedule at cycle %llu not after now %llu",
+                 (unsigned long long)cycle, (unsigned long long)now);
+        buckets_[cycle & mask_].push_back({cycle, b, a, kind});
+        cycleHeap_.push(cycle);
+        ++pending_;
+    }
+
+    /**
+     * Fire every event due at @p now, in schedule order. Visitors may
+     * schedule new events (they land in later cycles by construction).
+     */
+    template <typename Visitor>
+    void
+    drain(Cycle now, Visitor &&visit)
+    {
+        if (pending_ == 0)
+            return;
+        drained_ = now;
+        // Index (not reference) the bucket on every access: a visitor
+        // scheduling exactly one wheel revolution ahead would push into
+        // this same bucket and may reallocate it.
+        const size_t slot = now & mask_;
+        size_t keep = 0;
+        for (size_t i = 0; i < buckets_[slot].size(); ++i) {
+            Event event = buckets_[slot][i];
+            if (event.cycle == now) {
+                --pending_;
+                visit(event);
+            } else {
+                buckets_[slot][keep++] = event;
+            }
+        }
+        buckets_[slot].resize(keep);
+        // Retire this cycle's heap entries now. Busy pipelines rarely
+        // ask for nextEventCycle(), so without eager pruning the heap
+        // would grow with one stale entry per event ever scheduled.
+        while (!cycleHeap_.empty() && cycleHeap_.top() <= now)
+            cycleHeap_.pop();
+    }
+
+    /**
+     * Earliest pending fire cycle, or neverCycle when the wheel is
+     * empty. Served from a lazy min-heap of scheduled cycles (entries
+     * whose cycle has already drained are discarded on access), so the
+     * per-cycle idle-scheduling path pays O(log events) amortised, not
+     * a scan of every pending event.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        if (pending_ == 0) {
+            if (!cycleHeap_.empty())
+                cycleHeap_ = MinHeap();
+            return neverCycle;
+        }
+        while (!cycleHeap_.empty() && cycleHeap_.top() <= drained_)
+            cycleHeap_.pop();
+        panic_if(cycleHeap_.empty(),
+                 "event wheel: %zu events pending but none after "
+                 "cycle %llu",
+                 pending_, (unsigned long long)drained_);
+        return cycleHeap_.top();
+    }
+
+    size_t pending() const { return pending_; }
+    bool empty() const { return pending_ == 0; }
+
+  private:
+    using MinHeap = std::priority_queue<Cycle, std::vector<Cycle>,
+                                        std::greater<Cycle>>;
+
+    std::vector<std::vector<Event>> buckets_;
+    uint64_t mask_ = 0;
+    size_t pending_ = 0;
+    Cycle drained_ = 0; ///< latest cycle drain() has processed
+    /** Cycles of scheduled events; stale entries removed lazily. */
+    mutable MinHeap cycleHeap_;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_EVENT_WHEEL_HH

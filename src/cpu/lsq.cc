@@ -1,5 +1,7 @@
 #include "cpu/lsq.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pubs::cpu
@@ -10,11 +12,32 @@ Lsq::Lsq(unsigned entries) : capacity_(entries)
     fatal_if(entries == 0, "LSQ needs at least one entry");
 }
 
-void
+const Lsq::Entry &
+Lsq::entryAt(uint64_t pos) const
+{
+    panic_if(pos < basePos_ || pos >= nextPos_,
+             "LSQ position %llu outside [%llu, %llu)",
+             (unsigned long long)pos, (unsigned long long)basePos_,
+             (unsigned long long)nextPos_);
+    return entries_[pos - basePos_];
+}
+
+Lsq::Entry &
+Lsq::entryAt(uint64_t pos)
+{
+    return const_cast<Entry &>(
+        static_cast<const Lsq *>(this)->entryAt(pos));
+}
+
+uint64_t
 Lsq::push(uint32_t id, bool isStore, Addr addr, unsigned size)
 {
     panic_if(full(), "push to full LSQ");
     entries_.push_back({id, isStore, addr, size, false, 0});
+    uint64_t pos = nextPos_++;
+    if (isStore)
+        storePos_.push_back(pos);
+    return pos;
 }
 
 void
@@ -31,13 +54,29 @@ Lsq::markDone(uint32_t id, Cycle doneCycle)
 }
 
 void
+Lsq::markDoneAt(uint64_t pos, uint32_t id, Cycle doneCycle)
+{
+    Entry &entry = entryAt(pos);
+    panic_if(entry.id != id, "LSQ position %llu holds id %u, not %u",
+             (unsigned long long)pos, entry.id, id);
+    entry.done = true;
+    entry.doneCycle = doneCycle;
+}
+
+void
 Lsq::remove(uint32_t id)
 {
     panic_if(entries_.empty(), "remove from empty LSQ");
     panic_if(entries_.front().id != id,
              "LSQ remove of %u out of order (head is %u)", id,
              entries_.front().id);
+    if (entries_.front().isStore) {
+        panic_if(storePos_.empty() || storePos_.front() != basePos_,
+                 "LSQ store index out of sync at head removal");
+        storePos_.pop_front();
+    }
     entries_.pop_front();
+    ++basePos_;
 }
 
 void
@@ -47,7 +86,13 @@ Lsq::removeYoungest(uint32_t id)
     panic_if(entries_.back().id != id,
              "LSQ removeYoungest of %u but tail is %u", id,
              entries_.back().id);
+    if (entries_.back().isStore) {
+        panic_if(storePos_.empty() || storePos_.back() != nextPos_ - 1,
+                 "LSQ store index out of sync at tail removal");
+        storePos_.pop_back();
+    }
     entries_.pop_back();
+    --nextPos_;
 }
 
 Lsq::Dep
@@ -78,6 +123,35 @@ Lsq::olderStoreDependence(uint32_t loadId, Addr addr, unsigned size) const
             dep.kind = Dep::Forward;
             dep.readyCycle = entry.doneCycle + forwardLatency;
         }
+    }
+    return dep;
+}
+
+Lsq::Dep
+Lsq::olderStoreDependenceAt(uint64_t loadPos, Addr addr,
+                            unsigned size) const
+{
+    Dep dep;
+    // Stores older than the load are the index entries below loadPos;
+    // the youngest overlapping one decides, so walk newest-first and
+    // stop at the first overlap.
+    auto end = std::lower_bound(storePos_.begin(), storePos_.end(),
+                                loadPos);
+    for (auto it = end; it != storePos_.begin();) {
+        --it;
+        const Entry &entry = entries_[*it - basePos_];
+        bool overlap = entry.addr < addr + size &&
+                       addr < entry.addr + entry.size;
+        if (!overlap)
+            continue;
+        if (!entry.done) {
+            dep.kind = Dep::Wait;
+            dep.readyCycle = 0;
+        } else {
+            dep.kind = Dep::Forward;
+            dep.readyCycle = entry.doneCycle + forwardLatency;
+        }
+        break;
     }
     return dep;
 }

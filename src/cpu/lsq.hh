@@ -5,6 +5,13 @@
  * store waits for it, and an exact-match completed store forwards with a
  * one-cycle bypass. Addresses are known at dispatch (trace-driven), which
  * models perfect memory disambiguation.
+ *
+ * Entries are addressed two ways: by instruction id (the original,
+ * linear-scan interface, kept for tests and auditing) and by *position*
+ * — a monotonic program-order index returned by push() that gives O(1)
+ * entry access and, through a sorted side index of store positions, a
+ * newest-first dependence walk that touches only the stores older than
+ * the load instead of the whole queue.
  */
 
 #ifndef PUBS_CPU_LSQ_HH
@@ -29,11 +36,17 @@ class Lsq
     size_t occupancy() const { return entries_.size(); }
     size_t capacity() const { return capacity_; }
 
-    /** Allocate (at dispatch, in program order). */
-    void push(uint32_t id, bool isStore, Addr addr, unsigned size);
+    /**
+     * Allocate (at dispatch, in program order). @return the entry's
+     * position handle, valid until the entry is removed.
+     */
+    uint64_t push(uint32_t id, bool isStore, Addr addr, unsigned size);
 
-    /** The op finished executing at @p doneCycle. */
+    /** The op finished executing at @p doneCycle (id-based scan). */
     void markDone(uint32_t id, Cycle doneCycle);
+
+    /** markDone by position handle: O(1). @p id cross-checks. */
+    void markDoneAt(uint64_t pos, uint32_t id, Cycle doneCycle);
 
     /** Deallocate (at commit). Must be the oldest entry. */
     void remove(uint32_t id);
@@ -56,10 +69,19 @@ class Lsq
 
     /**
      * Check the load @p loadId (already in the queue) against all older
-     * stores overlapping [addr, addr + size).
+     * stores overlapping [addr, addr + size) (id-based scan).
      */
     Dep olderStoreDependence(uint32_t loadId, Addr addr,
                              unsigned size) const;
+
+    /**
+     * Position-indexed dependence check: binary-search the store index
+     * for stores older than @p loadPos and walk them newest-first — the
+     * youngest overlapping store decides, so the walk stops at the
+     * first overlap. Result-identical to olderStoreDependence().
+     */
+    Dep olderStoreDependenceAt(uint64_t loadPos, Addr addr,
+                               unsigned size) const;
 
     /** Store-to-load forwarding bypass latency in cycles. */
     static constexpr unsigned forwardLatency = 1;
@@ -78,8 +100,90 @@ class Lsq
         Cycle doneCycle = 0;
     };
 
+    const Entry &entryAt(uint64_t pos) const;
+    Entry &entryAt(uint64_t pos);
+
     unsigned capacity_;
     std::deque<Entry> entries_; ///< program order, oldest first
+    uint64_t basePos_ = 0;      ///< position of entries_.front()
+    uint64_t nextPos_ = 0;      ///< position the next push() gets
+    std::deque<uint64_t> storePos_; ///< positions of stores, ascending
+};
+
+/**
+ * Post-commit store buffer: a fixed-depth ring of committed stores
+ * whose data can still forward to younger loads while the cache write
+ * drains. Lookup walks only the live entries newest-first and stops at
+ * the first covering store — the youngest, since insertion is in
+ * commit order.
+ */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(size_t depth) : slots_(depth) {}
+
+    void
+    insert(Addr addr, uint8_t size, Cycle done)
+    {
+        slots_[head_] = {addr, done, size};
+        head_ = (head_ + 1) % slots_.size();
+        if (live_ < slots_.size())
+            ++live_;
+    }
+
+    /**
+     * Completion cycle of the youngest store covering
+     * [addr, addr + size), or false if none does.
+     */
+    bool
+    coveringStore(Addr addr, unsigned size, Cycle &done) const
+    {
+        for (size_t i = 0; i < live_; ++i) {
+            size_t slot = (head_ + slots_.size() - 1 - i) % slots_.size();
+            const Slot &st = slots_[slot];
+            if (st.size != 0 && st.addr <= addr &&
+                st.addr + st.size >= addr + size) {
+                done = st.done;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Reference lookup scanning every slot, live or not — the original
+     * pipeline code path, kept to assert equivalence in debug builds.
+     */
+    bool
+    coveringStoreReference(Addr addr, unsigned size, Cycle &done) const
+    {
+        bool found = false;
+        for (size_t i = 0; i < slots_.size() && !found; ++i) {
+            size_t slot = (head_ + slots_.size() - 1 - i) % slots_.size();
+            const Slot &st = slots_[slot];
+            if (st.size != 0 && st.addr <= addr &&
+                st.addr + st.size >= addr + size) {
+                found = true;
+                done = st.done;
+            }
+        }
+        return found;
+    }
+
+    size_t depth() const { return slots_.size(); }
+    size_t liveEntries() const { return live_; }
+
+  private:
+    struct Slot
+    {
+        Addr addr = 0;
+        Cycle done = 0;
+        uint8_t size = 0;
+    };
+
+    std::vector<Slot> slots_;
+    size_t head_ = 0;
+    size_t live_ = 0;
 };
 
 } // namespace pubs::cpu

@@ -87,6 +87,10 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
 
     intRegReady_.assign(params.intPhysRegs, 0);
     fpRegReady_.assign(params.fpPhysRegs, 0);
+    intRegProducer_.assign(params.intPhysRegs, UINT32_MAX);
+    fpRegProducer_.assign(params.fpPhysRegs, UINT32_MAX);
+    intRegProducerSeq_.assign(params.intPhysRegs, 0);
+    fpRegProducerSeq_.assign(params.fpPhysRegs, 0);
 
     frontendCapacity_ = (size_t)params.frontendDepth * params.fetchWidth;
     ring_.resize(params.robEntries + frontendCapacity_ + 8);
@@ -95,6 +99,8 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
         freeIds_.push_back((uint32_t)(i - 1));
     readyMask_.assign((params.iqEntries + 63) / 64, 0);
     staticProgram_ = source.program();
+    if (staticProgram_)
+        lastMemAddr_.assign(staticProgram_->size(), 0);
 
     if (params.telemetry)
         telemetry_ = std::make_unique<CoreTelemetry>(params);
@@ -136,6 +142,313 @@ Pipeline::setRegReady(isa::RegClass cls, PhysRegId reg, Cycle cycle)
         intRegReady_[reg] = cycle;
 }
 
+uint32_t &
+Pipeline::regProducer(isa::RegClass cls, PhysRegId reg)
+{
+    return cls == isa::RegClass::Fp ? fpRegProducer_[reg]
+                                    : intRegProducer_[reg];
+}
+
+SeqNum &
+Pipeline::regProducerSeq(isa::RegClass cls, PhysRegId reg)
+{
+    return cls == isa::RegClass::Fp ? fpRegProducerSeq_[reg]
+                                    : intRegProducerSeq_[reg];
+}
+
+void
+Pipeline::onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b)
+{
+    if (kind == EventWheel::Kind::OperandReady) {
+        // One pending operand of instruction (a, seq b) completed.
+        // Stale deliveries — the consumer was squashed, possibly with
+        // its id reallocated — are detected by the sequence number.
+        Inflight &inst = at(a);
+        if (!inst.valid || inst.di.seq != b)
+            return;
+        panic_if(inst.pendingOps == 0 || inst.issued,
+                 "operand wakeup for inst %u with no pending operand", a);
+        if (--inst.pendingOps == 0 && inst.inIq)
+            iqs_[inst.iqIndex]->markReady(a);
+        return;
+    }
+
+    // LoadRecheck: a store executed last cycle, so loads parked as
+    // mem-blocked may have had their dependence resolve to Forward.
+    // Re-expose them to select; the per-load dependence check there
+    // re-parks any that are still blocked on a different store.
+    for (const auto &[id, seq] : memBlockedLoads_) {
+        const Inflight &inst = at(id);
+        if (!inst.valid || inst.di.seq != seq || !inst.inIq ||
+            inst.issued || inst.pendingOps != 0) {
+            continue; // squashed or otherwise no longer eligible
+        }
+        iqs_[inst.iqIndex]->markReady(id);
+    }
+    memBlockedLoads_.clear();
+}
+
+void
+Pipeline::setupScoreboard(uint32_t id, Inflight &inst)
+{
+    // Classify each source operand exactly as the per-cycle rescan
+    // would over the coming cycles: available now, completing at a
+    // known future cycle (producer already issued -> schedule the
+    // wakeup directly), or owned by a producer still waiting in the
+    // window (register with it; it schedules the wakeup when it
+    // issues).
+    inst.pendingOps = 0;
+    auto handleSrc = [&](isa::RegClass cls, PhysRegId reg) {
+        if (reg == invalidPhysReg)
+            return;
+        Cycle ready = regReadyCycle(cls, reg);
+        if (ready <= now_)
+            return;
+        ++inst.pendingOps;
+        if (ready == neverCycle) {
+            uint32_t producerId = regProducer(cls, reg);
+            panic_if(producerId == UINT32_MAX, "unready phys reg %d has "
+                     "no in-flight producer", (int)reg);
+            Inflight &producer = at(producerId);
+            panic_if(!producer.valid ||
+                         producer.di.seq != regProducerSeq(cls, reg) ||
+                         producer.issued,
+                     "stale producer %u for phys reg %d", producerId,
+                     (int)reg);
+            registerDependent(producer, id, inst.di.seq);
+        } else {
+            wheel_.schedule(ready, EventWheel::Kind::OperandReady, id,
+                            inst.di.seq, now_);
+        }
+    };
+    handleSrc(inst.src1Cls, inst.physSrc1);
+    handleSrc(inst.src2Cls, inst.physSrc2);
+    if (inst.pendingOps == 0)
+        iqs_[inst.iqIndex]->markReady(id);
+}
+
+void
+Pipeline::registerDependent(Inflight &producer, uint32_t id, SeqNum seq)
+{
+    if (producer.depCount < Inflight::inlineDeps) {
+        producer.depIds[producer.depCount] = id;
+        producer.depSeqs[producer.depCount] = seq;
+        ++producer.depCount;
+        return;
+    }
+    uint32_t node = producer.depOverflow;
+    if (node == SlabPool<DepNode>::npos ||
+        depPool_.at(node).n == DepNode::fanout) {
+        uint32_t fresh = depPool_.alloc();
+        depPool_.at(fresh).next = node;
+        producer.depOverflow = fresh;
+        node = fresh;
+    }
+    DepNode &dn = depPool_.at(node);
+    dn.ids[dn.n] = id;
+    dn.seqs[dn.n] = seq;
+    ++dn.n;
+}
+
+void
+Pipeline::wakeDependents(Inflight &producer, Cycle done)
+{
+    // Every op latency is >= 1 cycle, so the completion is strictly in
+    // the future and always schedulable. Dependents are not validated
+    // here; the event delivery does that (lazy cancellation).
+    for (uint8_t i = 0; i < producer.depCount; ++i) {
+        wheel_.schedule(done, EventWheel::Kind::OperandReady,
+                        producer.depIds[i], producer.depSeqs[i], now_);
+    }
+    producer.depCount = 0;
+    uint32_t node = producer.depOverflow;
+    while (node != SlabPool<DepNode>::npos) {
+        DepNode &dn = depPool_.at(node);
+        for (uint8_t i = 0; i < dn.n; ++i) {
+            wheel_.schedule(done, EventWheel::Kind::OperandReady,
+                            dn.ids[i], dn.seqs[i], now_);
+        }
+        uint32_t next = dn.next;
+        depPool_.free(node);
+        node = next;
+    }
+    producer.depOverflow = SlabPool<DepNode>::npos;
+}
+
+void
+Pipeline::releaseDeps(Inflight &inst)
+{
+    // Free the dependent records of an instruction leaving the window
+    // without issuing (squash; or commit, for IQ-bypassing ops). The
+    // registrations themselves need no cleanup — they die with the
+    // producer, and were only reachable through it.
+    inst.depCount = 0;
+    uint32_t node = inst.depOverflow;
+    while (node != SlabPool<DepNode>::npos) {
+        uint32_t next = depPool_.at(node).next;
+        depPool_.free(node);
+        node = next;
+    }
+    inst.depOverflow = SlabPool<DepNode>::npos;
+}
+
+void
+Pipeline::scheduleLoadRecheck()
+{
+    if (memBlockedLoads_.empty() || loadRecheckCycle_ == now_ + 1)
+        return;
+    loadRecheckCycle_ = now_ + 1;
+    wheel_.schedule(now_ + 1, EventWheel::Kind::LoadRecheck, 0, 0, now_);
+}
+
+const iq::IssueQueue &
+Pipeline::queueFor(const trace::DynInst &di) const
+{
+    return const_cast<Pipeline *>(this)->queueFor(di);
+}
+
+Pipeline::DispatchBlock
+Pipeline::dispatchBlockReason() const
+{
+    // Mirror of doDispatch()'s head-of-queue blocking checks, in the
+    // same order, with no side effects: used to decide whether the next
+    // cycle can dispatch and which stall counter an idle cycle charges.
+    const Inflight &inst = at(frontendQueue_.front());
+    const trace::DynInst &di = inst.di;
+    isa::Inst staticInst{di.op, di.dst, di.src1, di.src2, 0};
+
+    if (rob_.full())
+        return DispatchBlock::RobFull;
+    if (di.isMem() && lsq_.full())
+        return DispatchBlock::Silent;
+    isa::RegClass dstCls = isa::dstRegClass(staticInst);
+    if (di.dst != invalidReg && dstCls != isa::RegClass::None &&
+        rename_.freeRegs(dstCls) == 0) {
+        return DispatchBlock::Silent;
+    }
+    if (isa::opClass(di.op) == OpClass::Nop)
+        return DispatchBlock::None;
+
+    const iq::IssueQueue &queue = queueFor(di);
+    bool pubsOn = params_.usePubs && queue.priorityEntries() > 0;
+    bool pubsActive = pubsOn && modeSwitch_->pubsEnabled();
+    bool wantPriority = pubsActive && inst.slice.unconfident;
+    if (pubsOn && !pubsActive) {
+        return queue.occupancy() >= queue.capacity() ? DispatchBlock::IqFull
+                                                     : DispatchBlock::None;
+    }
+    if (wantPriority) {
+        if (queue.canDispatch(true))
+            return DispatchBlock::None;
+        if (!params_.pubs.stallPolicy && queue.canDispatch(false))
+            return DispatchBlock::None;
+        return DispatchBlock::PriorityStall;
+    }
+    return queue.canDispatch(false) ? DispatchBlock::None
+                                    : DispatchBlock::IqFull;
+}
+
+bool
+Pipeline::fetchCanProgress() const
+{
+    // Would doFetch() reach the i-cache access once any suspension
+    // expires? Mirrors its early exits: blocked on an unresolved branch,
+    // front end full, idling on an unresolvable wrong path, or source
+    // exhausted.
+    if (fetchBlockedOnBranch_)
+        return false;
+    if (frontendQueue_.size() >= frontendCapacity_)
+        return false;
+    if (wrongPathActive_)
+        return wrongPathPc_ != 0;
+    return havePending_ || !sourceExhausted_;
+}
+
+Cycle
+Pipeline::nextWorkCycle() const
+{
+    // Cheap early-outs first: anything issueable or dispatchable means
+    // the next cycle has work.
+    for (const auto &queue : iqs_)
+        if (queue->hasReady())
+            return now_ + 1;
+    if (!frontendQueue_.empty()) {
+        const Inflight &head = at(frontendQueue_.front());
+        if (head.feReadyCycle <= now_ + 1 &&
+            dispatchBlockReason() == DispatchBlock::None)
+            return now_ + 1;
+    }
+
+    Cycle next = now_ + maxSkipSpan;
+    auto consider = [&](Cycle cycle) {
+        next = std::min(next, std::max(cycle, now_ + 1));
+    };
+    if (fetchCanProgress())
+        consider(fetchSuspendedUntil_);
+    if (!frontendQueue_.empty()) {
+        const Inflight &head = at(frontendQueue_.front());
+        if (head.feReadyCycle > now_)
+            consider(head.feReadyCycle);
+    }
+    if (!rob_.empty()) {
+        const Inflight &head = at(rob_.head());
+        if (head.issued)
+            consider(head.doneCycle); // commit wake
+    }
+    if (!squashEvents_.empty())
+        consider(squashEvents_.top().cycle);
+    if (!confEvents_.empty())
+        consider(confEvents_.top().cycle);
+    if (!wheel_.empty())
+        consider(wheel_.nextEventCycle());
+    if (telemetry_)
+        consider(telemetry_->nextHeartbeat());
+    if (auditPolicy_ != CheckPolicy::Off && params_.auditInterval != 0) {
+        consider((now_ / params_.auditInterval + 1) *
+                 params_.auditInterval);
+    }
+    return next;
+}
+
+void
+Pipeline::fastForward(Cycle to)
+{
+    // Cycles (now_, to] provably change no architectural or stat state
+    // except the per-cycle samples and dispatch-stall counters, whose
+    // inputs are constant across the span; account them in bulk.
+    uint64_t span = to - now_;
+    stats_.cycles += span;
+
+    size_t occupancy = 0;
+    for (const auto &queue : iqs_)
+        occupancy += queue->occupancy();
+    stats_.iqOccupancy.sample(occupancy, span);
+    if (telemetry_) {
+        size_t priorityOccupancy = 0;
+        for (const auto &queue : iqs_)
+            priorityOccupancy += queue->priorityOccupancy();
+        telemetry_->noteCycles(occupancy, priorityOccupancy, span);
+    }
+
+    if (!frontendQueue_.empty() &&
+        at(frontendQueue_.front()).feReadyCycle <= now_) {
+        switch (dispatchBlockReason()) {
+          case DispatchBlock::RobFull:
+            stats_.robFullStallCycles += span;
+            break;
+          case DispatchBlock::IqFull:
+            stats_.iqFullStallCycles += span;
+            break;
+          case DispatchBlock::PriorityStall:
+            stats_.priorityStallCycles += span;
+            break;
+          default:
+            break;
+        }
+    }
+    now_ = to;
+}
+
 bool
 Pipeline::drained() const
 {
@@ -153,6 +466,12 @@ Pipeline::run(uint64_t maxInsts)
     Cycle lastProgress = now_;
 
     while (stats_.committed < target && !drained()) {
+        // Event-driven advance: when no stage can possibly do work next
+        // cycle, jump straight to the next scheduled event, bulk-
+        // accounting the skipped cycles' per-cycle stats on the way.
+        Cycle next = nextWorkCycle();
+        if (next > now_ + 1)
+            fastForward(next - 1);
         ++now_;
         ++stats_.cycles;
         cycle();
@@ -181,6 +500,12 @@ Pipeline::resetStats()
 void
 Pipeline::cycle()
 {
+    // Deliver this cycle's wakeup events before any stage runs, so the
+    // ready bitmaps the select logic reads match what a full rescan of
+    // regReadyCycle would conclude at this cycle.
+    wheel_.drain(now_, [this](const EventWheel::Event &event) {
+        onWheelEvent(event.kind, event.a, event.b);
+    });
     applyConfEvents();
     processSquashes();
     doCommit();
@@ -282,13 +607,10 @@ Pipeline::squashYoungerThan(uint32_t branchId)
         if (inst.inIq) {
             iq::IssueQueue &queue = *iqs_[inst.iqIndex];
             if (ageMatrix_ && inst.iqIndex == 0) {
-                const auto &cur = queue.prioritySlots();
-                for (uint32_t slot = 0; slot < cur.size(); ++slot) {
-                    if (cur[slot].valid && cur[slot].clientId == id) {
-                        ageMatrix_->remove(slot);
-                        break;
-                    }
-                }
+                uint32_t slot = queue.slotOf(id);
+                panic_if(slot == iq::IssueQueue::noSlot,
+                         "squashed inst %u not resident in its queue", id);
+                ageMatrix_->remove(slot);
             }
             queue.remove(id);
             inst.inIq = false;
@@ -301,6 +623,7 @@ Pipeline::squashYoungerThan(uint32_t branchId)
         }
         if (pipeview_)
             recordSquashed(inst);
+        releaseDeps(inst);
         inst.valid = false;
         freeIds_.push_back(id);
         rob_.popTail();
@@ -324,10 +647,8 @@ Pipeline::doCommit()
         if (inst.inLsq) {
             lsq_.remove(id);
             if (inst.di.isStore()) {
-                recentStores_[recentStoreHead_] = {
-                    inst.di.effAddr, inst.di.memSize, inst.doneCycle};
-                recentStoreHead_ =
-                    (recentStoreHead_ + 1) % recentStoreDepth;
+                recentStores_.insert(inst.di.effAddr, inst.di.memSize,
+                                     inst.doneCycle);
             }
         }
         if (modeSwitch_)
@@ -355,6 +676,7 @@ Pipeline::doCommit()
             pipeview_->record(inst.di);
         }
 
+        releaseDeps(inst);
         inst.valid = false;
         freeIds_.push_back(id);
         rob_.popHead();
@@ -396,7 +718,8 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
 
     Cycle done;
     if (di.isLoad()) {
-        Lsq::Dep dep = lsq_.olderStoreDependence(id, di.effAddr, di.memSize);
+        Lsq::Dep dep =
+            lsq_.olderStoreDependenceAt(inst.lsqPos, di.effAddr, di.memSize);
         panic_if(dep.kind == Lsq::Dep::Wait,
                  "load issued with unresolved older store");
         Cycle aguDone = now_ + 1;
@@ -404,17 +727,21 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
         Cycle sbReady = 0;
         if (dep.kind == Lsq::Dep::None) {
             // Post-commit store buffer: the youngest covering store
-            // forwards (newest-first search).
-            for (size_t i = 0; i < recentStoreDepth && !sbForward; ++i) {
-                size_t slot = (recentStoreHead_ + recentStoreDepth - 1 -
-                               i) % recentStoreDepth;
-                const RecentStore &st = recentStores_[slot];
-                if (st.size != 0 && st.addr <= di.effAddr &&
-                    st.addr + st.size >= di.effAddr + di.memSize) {
-                    sbForward = true;
-                    sbReady = st.done + Lsq::forwardLatency;
-                }
-            }
+            // forwards (newest-first search over live entries).
+            Cycle sbDone = 0;
+            sbForward =
+                recentStores_.coveringStore(di.effAddr, di.memSize, sbDone);
+#ifndef NDEBUG
+            Cycle refDone = 0;
+            bool refForward = recentStores_.coveringStoreReference(
+                di.effAddr, di.memSize, refDone);
+            panic_if(refForward != sbForward ||
+                         (sbForward && refDone != sbDone),
+                     "store buffer live-entry lookup diverges from "
+                     "full-depth scan");
+#endif
+            if (sbForward)
+                sbReady = sbDone + Lsq::forwardLatency;
         }
         if (dep.kind == Lsq::Dep::Forward) {
             done = std::max(aguDone, dep.readyCycle);
@@ -437,7 +764,7 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
             }
             done = res.readyCycle;
         }
-        lsq_.markDone(id, done);
+        lsq_.markDoneAt(inst.lsqPos, id, done);
     } else if (di.isStore()) {
         Cycle aguDone = now_ + 1;
         if (!inst.wrongPath) {
@@ -456,7 +783,10 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
             }
         }
         done = aguDone;
-        lsq_.markDone(id, done);
+        lsq_.markDoneAt(inst.lsqPos, id, done);
+        // The store's data is visible to the dependence check from the
+        // next select snapshot on: give parked loads another look.
+        scheduleLoadRecheck();
     } else {
         done = now_ + info.latency;
     }
@@ -468,6 +798,7 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
 
     if (inst.physDst != invalidPhysReg)
         setRegReady(inst.dstCls, inst.physDst, done);
+    wakeDependents(inst, done);
 
     // Branch resolution: train the confidence table with the outcome,
     // and schedule the misprediction squash for the completion cycle.
@@ -564,28 +895,53 @@ void
 Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
                          unsigned &grants)
 {
-    const auto &slots = queue.prioritySlots();
+    if (!queue.hasReady())
+        return;
 
-    // Wakeup: gather ready instructions in positional order.
+    const auto &slots = queue.prioritySlots();
+    const auto &words = queue.readyWords();
+
+    // Wakeup: the scoreboard already marked operand-complete entries in
+    // the queue's ready bitmap; snapshot them in positional order.
+    // Loads additionally clear the store-dependence hurdle here — a
+    // blocked load is parked off the bitmap until a store issue
+    // schedules a recheck, so idle queues are recognised in O(1).
     std::fill(readyMask_.begin(), readyMask_.end(), 0);
     static thread_local std::vector<uint32_t> readySlots;
     readySlots.clear();
-    for (uint32_t s = 0; s < slots.size(); ++s) {
-        const iq::IqSlot &slot = slots[s];
-        if (!slot.valid)
-            continue;
-        Inflight &inst = at(slot.clientId);
-        Cycle readyAt;
-        if (!srcsReady(inst, readyAt))
-            continue;
-        if (inst.di.isLoad()) {
-            Lsq::Dep dep = lsq_.olderStoreDependence(
-                slot.clientId, inst.di.effAddr, inst.di.memSize);
-            if (dep.kind == Lsq::Dep::Wait)
-                continue;
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+            uint32_t s = (uint32_t)(w * 64) + countTrailingZeros(word);
+            word &= word - 1;
+            const iq::IqSlot &slot = slots[s];
+            Inflight &inst = at(slot.clientId);
+#ifndef NDEBUG
+            Cycle debugReadyAt;
+            panic_if(!slot.valid || !srcsReady(inst, debugReadyAt),
+                     "ready bit set for unready slot %u", s);
+#endif
+            if (inst.di.isLoad()) {
+                Lsq::Dep dep = lsq_.olderStoreDependenceAt(
+                    inst.lsqPos, inst.di.effAddr, inst.di.memSize);
+#ifndef NDEBUG
+                Lsq::Dep ref = lsq_.olderStoreDependence(
+                    slot.clientId, inst.di.effAddr, inst.di.memSize);
+                panic_if(ref.kind != dep.kind ||
+                             (dep.kind == Lsq::Dep::Forward &&
+                              ref.readyCycle != dep.readyCycle),
+                         "indexed LSQ dependence diverges from scan");
+#endif
+                if (dep.kind == Lsq::Dep::Wait) {
+                    queue.clearReadySlot(s);
+                    memBlockedLoads_.push_back(
+                        {slot.clientId, inst.di.seq});
+                    continue;
+                }
+            }
+            readySlots.push_back(s);
+            readyMask_[s / 64] |= (uint64_t)1 << (s % 64);
         }
-        readySlots.push_back(s);
-        readyMask_[s / 64] |= (uint64_t)1 << (s % 64);
     }
 
     static thread_local std::vector<uint32_t> grantedIds;
@@ -639,13 +995,10 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
     // select/payload pipeline).
     for (uint32_t id : grantedIds) {
         if (useAgeMatrix) {
-            const auto &cur = queue.prioritySlots();
-            for (uint32_t s = 0; s < cur.size(); ++s) {
-                if (cur[s].valid && cur[s].clientId == id) {
-                    ageMatrix_->remove(s);
-                    break;
-                }
-            }
+            uint32_t s = queue.slotOf(id);
+            panic_if(s == iq::IssueQueue::noSlot,
+                     "granted inst %u not resident in its queue", id);
+            ageMatrix_->remove(s);
         }
         queue.remove(id);
         at(id).inIq = false;
@@ -723,13 +1076,11 @@ Pipeline::doDispatch()
                 ++stats_.normalDispatches;
 
             if (ageMatrix_ && inst.iqIndex == 0) {
-                const auto &cur = queue.prioritySlots();
-                for (uint32_t s = 0; s < cur.size(); ++s) {
-                    if (cur[s].valid && cur[s].clientId == id) {
-                        ageMatrix_->dispatch(s);
-                        break;
-                    }
-                }
+                uint32_t s = queue.slotOf(id);
+                panic_if(s == iq::IssueQueue::noSlot,
+                         "dispatched inst %u not resident in its queue",
+                         id);
+                ageMatrix_->dispatch(s);
             }
             inst.inIq = true;
         }
@@ -748,12 +1099,18 @@ Pipeline::doDispatch()
             inst.physDst =
                 rename_.renameDst(dstCls, di.dst, inst.prevPhysDst);
             setRegReady(dstCls, inst.physDst, neverCycle);
+            regProducer(dstCls, inst.physDst) = id;
+            regProducerSeq(dstCls, inst.physDst) = di.seq;
         }
 
         if (di.isMem()) {
-            lsq_.push(id, di.isStore(), di.effAddr, di.memSize);
+            inst.lsqPos = lsq_.push(id, di.isStore(), di.effAddr,
+                                    di.memSize);
             inst.inLsq = true;
         }
+
+        if (!isNop)
+            setupScoreboard(id, inst);
 
         rob_.push(id);
         inst.dispatched = true;
@@ -860,8 +1217,8 @@ Pipeline::doFetch()
         if (!onWrongPath) {
             // Remember data addresses so wrong-path replays of this
             // static instruction can approximate their accesses.
-            if (di.isMem())
-                lastMemAddr_[di.pc] = di.effAddr;
+            if (di.isMem() && staticProgram_)
+                lastMemAddr_[staticProgram_->indexOf(di.pc)] = di.effAddr;
             fetchControl(inst, endGroup, blockFetch, btbBubble);
         } else {
             endGroup = wpEndGroup;
@@ -976,7 +1333,8 @@ Pipeline::makeWrongPathInst(trace::DynInst &out)
         return false;
     }
     Pc pc = wrongPathPc_;
-    const isa::Inst &si = staticProgram_->at(staticProgram_->indexOf(pc));
+    size_t index = staticProgram_->indexOf(pc);
+    const isa::Inst &si = staticProgram_->at(index);
 
     out = trace::DynInst{};
     out.pc = pc;
@@ -987,8 +1345,7 @@ Pipeline::makeWrongPathInst(trace::DynInst &out)
     out.nextPc = pc + instBytes;
 
     if (isa::isMem(si.op)) {
-        auto it = lastMemAddr_.find(pc);
-        out.effAddr = it != lastMemAddr_.end() ? it->second : 0;
+        out.effAddr = lastMemAddr_[index];
         out.memSize =
             (si.op == Opcode::Lw || si.op == Opcode::Sw) ? 4 : 8;
     } else if (isa::isCondBranch(si.op)) {

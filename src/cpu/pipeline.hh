@@ -22,14 +22,15 @@
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "branch/btb.hh"
 #include "branch/predictor.hh"
 #include "branch/ras.hh"
 #include "common/rng.hh"
+#include "common/slab.hh"
 #include "common/stats.hh"
+#include "cpu/event_wheel.hh"
 #include "cpu/fu_pool.hh"
 #include "cpu/lsq.hh"
 #include "cpu/params.hh"
@@ -233,6 +234,20 @@ class Pipeline
         bool priorityEntry = false;
         uint8_t iqIndex = 0; ///< which queue holds it (distributed IQ)
 
+        // Wakeup scoreboard (see DESIGN.md "Host-performance
+        // architecture"): operands still outstanding, and the
+        // registered consumers to wake when this instruction's result
+        // is scheduled. Overflow dependents chain through the slab
+        // pool; entries are (id, seq) pairs validated lazily, so
+        // squashes never search these lists.
+        uint8_t pendingOps = 0;
+        uint8_t depCount = 0; ///< dependents in the inline array
+        static constexpr size_t inlineDeps = 4;
+        std::array<uint32_t, inlineDeps> depIds{};
+        std::array<SeqNum, inlineDeps> depSeqs{};
+        uint32_t depOverflow = UINT32_MAX; ///< slab chain head
+        uint64_t lsqPos = 0; ///< LSQ position handle (when inLsq)
+
         // Branch bookkeeping.
         bool isMispredict = false;
         bool condPredictionCorrect = false;
@@ -351,8 +366,12 @@ class Pipeline
     Pc wrongPathPc_ = 0;
 
     /** Last effective address seen per static memory instruction, used
-     *  to approximate wrong-path load/store addresses. */
-    std::unordered_map<Pc, Addr> lastMemAddr_;
+     *  to approximate wrong-path load/store addresses. Indexed by the
+     *  instruction's program index (programs are dense from basePc);
+     *  0 means "never seen", which the wrong-path replay already treats
+     *  the same as an absent entry. Empty without a static program —
+     *  wrong-path replay is impossible then, so nothing reads it. */
+    std::vector<Addr> lastMemAddr_;
 
     /** Scheduled squashes: (resolution cycle, mispredicted branch id). */
     struct SquashEvent
@@ -370,15 +389,8 @@ class Pipeline
      * Post-commit store buffer: committed stores whose data can still
      * forward to younger loads while the cache write drains.
      */
-    struct RecentStore
-    {
-        Addr addr = 0;
-        uint8_t size = 0;
-        Cycle done = 0;
-    };
     static constexpr size_t recentStoreDepth = 32;
-    std::array<RecentStore, recentStoreDepth> recentStores_{};
-    size_t recentStoreHead_ = 0;
+    StoreBuffer recentStores_{recentStoreDepth};
 
     std::priority_queue<ConfEvent, std::vector<ConfEvent>,
                         std::greater<ConfEvent>>
@@ -386,6 +398,59 @@ class Pipeline
 
     // Scratch for the age matrix ready mask.
     std::vector<uint64_t> readyMask_;
+
+    // --- Event-driven scheduling state ---
+
+    /** Overflow block for a producer's dependent list. */
+    struct DepNode
+    {
+        static constexpr size_t fanout = 6;
+        std::array<uint32_t, fanout> ids{};
+        std::array<SeqNum, fanout> seqs{};
+        uint8_t n = 0;
+        uint32_t next = UINT32_MAX;
+    };
+
+    /** Cycle-bucketed schedule of operand-ready / load-recheck events. */
+    EventWheel wheel_;
+    SlabPool<DepNode> depPool_;
+
+    /** Producing instruction id per physical register (UINT32_MAX when
+     *  the value is not owned by an in-flight producer). Paired with
+     *  the producer's seq so stale entries are ignored. */
+    std::vector<uint32_t> intRegProducer_, fpRegProducer_;
+    std::vector<SeqNum> intRegProducerSeq_, fpRegProducerSeq_;
+
+    /** Loads excluded from the ready bitmap because an older overlapping
+     *  store has not executed; re-checked when a store issues. */
+    std::vector<std::pair<uint32_t, SeqNum>> memBlockedLoads_;
+    Cycle loadRecheckCycle_ = 0; ///< cycle of the pending recheck event
+
+    /** Why dispatch would stall this cycle (stat accounting). */
+    enum class DispatchBlock : uint8_t
+    {
+        None,          ///< head can dispatch
+        RobFull,
+        IqFull,
+        PriorityStall,
+        Silent,        ///< blocked, but no stall counter increments
+    };
+
+    static constexpr Cycle maxSkipSpan = 4096;
+
+    void onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b);
+    void setupScoreboard(uint32_t id, Inflight &inst);
+    void registerDependent(Inflight &producer, uint32_t id, SeqNum seq);
+    void wakeDependents(Inflight &producer, Cycle done);
+    void releaseDeps(Inflight &inst);
+    void scheduleLoadRecheck();
+    DispatchBlock dispatchBlockReason() const;
+    bool fetchCanProgress() const;
+    Cycle nextWorkCycle() const;
+    void fastForward(Cycle to);
+    const iq::IssueQueue &queueFor(const trace::DynInst &di) const;
+    uint32_t &regProducer(isa::RegClass cls, PhysRegId reg);
+    SeqNum &regProducerSeq(isa::RegClass cls, PhysRegId reg);
 
     PipelineStats stats_;
 };

@@ -74,6 +74,20 @@ class CoreTelemetry
         ++intervalCycles_;
     }
 
+    /**
+     * Account @p span consecutive idle cycles with constant occupancy
+     * in one call (the event-driven pipeline's fast-forward path);
+     * bit-identical to @p span noteCycle() calls.
+     */
+    void
+    noteCycles(size_t iqOccupancy, size_t priorityOccupancy,
+               uint64_t span)
+    {
+        priorityOccupancy_.sample(priorityOccupancy, span);
+        intervalOccupancySum_ += (uint64_t)iqOccupancy * span;
+        intervalCycles_ += span;
+    }
+
     // --- slice ground truth (filled by the pipeline's ROB walk) ---
 
     /** An instruction was found in a true backward slice of a resolved

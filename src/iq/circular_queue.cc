@@ -9,6 +9,7 @@ CircularQueue::CircularQueue(unsigned size)
     : capacity_(size), slots_(size)
 {
     fatal_if(size == 0, "IQ size must be non-zero");
+    initReady(size);
 }
 
 bool
@@ -22,6 +23,7 @@ CircularQueue::dispatch(uint32_t clientId, SeqNum seq, bool)
 {
     panic_if(used_ >= capacity_, "dispatch into full circular queue");
     slots_[tail_] = {true, clientId, seq};
+    noteInsert((uint32_t)tail_, clientId);
     tail_ = (tail_ + 1) % capacity_;
     ++used_;
     ++occupancy_;
@@ -30,16 +32,14 @@ CircularQueue::dispatch(uint32_t clientId, SeqNum seq, bool)
 void
 CircularQueue::remove(uint32_t clientId)
 {
-    for (size_t i = 0; i < capacity_; ++i) {
-        IqSlot &slot = slots_[i];
-        if (slot.valid && slot.clientId == clientId) {
-            slot.valid = false;
-            --occupancy_;
-            advanceHead();
-            return;
-        }
-    }
-    panic("remove of client %u not in circular queue", clientId);
+    uint32_t i = slotOf(clientId);
+    panic_if(i == noSlot || !slots_[i].valid ||
+                 slots_[i].clientId != clientId,
+             "remove of client %u not in circular queue", clientId);
+    slots_[i].valid = false;
+    --occupancy_;
+    noteErase(i, clientId);
+    advanceHead();
 }
 
 void

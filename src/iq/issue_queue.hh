@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -86,6 +87,104 @@ class IssueQueue
     virtual const char *kindName() const = 0;
 
     bool empty() const { return occupancy() == 0; }
+
+    // --- ready bitmap (wakeup scoreboard interface) ------------------
+    //
+    // The pipeline's scoreboard marks an entry ready when its last
+    // pending operand completes; select then visits only set bits (one
+    // uint64_t word at a time, ctz iteration) instead of rescanning
+    // every slot. The bits live here, keyed by slot, so they follow the
+    // queue's own placement policy — including ShiftingQueue
+    // compaction, which moves them along with the instructions.
+
+    static constexpr uint32_t noSlot = UINT32_MAX;
+
+    /** Slot currently holding @p clientId, or noSlot. */
+    uint32_t
+    slotOf(uint32_t clientId) const
+    {
+        return clientId < slotIndex_.size() ? slotIndex_[clientId]
+                                            : noSlot;
+    }
+
+    /** Mark the resident @p clientId ready for select (idempotent). */
+    void
+    markReady(uint32_t clientId)
+    {
+        uint32_t slot = slotOf(clientId);
+        panic_if(slot == noSlot, "markReady of client %u not in IQ",
+                 clientId);
+        uint64_t bit = (uint64_t)1 << (slot % 64);
+        if (!(ready_[slot / 64] & bit)) {
+            ready_[slot / 64] |= bit;
+            ++readyCount_;
+        }
+    }
+
+    /** Clear the ready bit of slot @p slot (mem-blocked load). */
+    void
+    clearReadySlot(uint32_t slot)
+    {
+        uint64_t bit = (uint64_t)1 << (slot % 64);
+        if (ready_[slot / 64] & bit) {
+            ready_[slot / 64] &= ~bit;
+            --readyCount_;
+        }
+    }
+
+    bool hasReady() const { return readyCount_ != 0; }
+    size_t readyCount() const { return readyCount_; }
+
+    /** Ready bits by slot, 64 slots per word (select iteration). */
+    const std::vector<uint64_t> &readyWords() const { return ready_; }
+
+    /** Is the ready bit of @p slot set? (auditing / tests) */
+    bool
+    readyAt(uint32_t slot) const
+    {
+        return (ready_[slot / 64] >> (slot % 64)) & 1;
+    }
+
+  protected:
+    /** Size the bitmap; every concrete queue calls this once. */
+    void
+    initReady(size_t capacity)
+    {
+        ready_.assign((capacity + 63) / 64, 0);
+    }
+
+    /** Bookkeeping hooks the concrete queues call on slot changes. */
+    void
+    noteInsert(uint32_t slot, uint32_t clientId)
+    {
+        if (clientId >= slotIndex_.size())
+            slotIndex_.resize((size_t)clientId + 1, noSlot);
+        slotIndex_[clientId] = slot;
+    }
+
+    void
+    noteErase(uint32_t slot, uint32_t clientId)
+    {
+        clearReadySlot(slot);
+        slotIndex_[clientId] = noSlot;
+    }
+
+    /** The instruction in @p from moved to @p to (compaction). */
+    void
+    noteMove(uint32_t from, uint32_t to, uint32_t clientId)
+    {
+        slotIndex_[clientId] = to;
+        uint64_t bit = (uint64_t)1 << (from % 64);
+        if (ready_[from / 64] & bit) {
+            ready_[from / 64] &= ~bit;
+            ready_[to / 64] |= (uint64_t)1 << (to % 64);
+        }
+    }
+
+  private:
+    std::vector<uint64_t> ready_;
+    std::vector<uint32_t> slotIndex_; ///< clientId -> slot, grown on use
+    size_t readyCount_ = 0;
 };
 
 /** Queue kinds for configuration. */

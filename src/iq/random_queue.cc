@@ -17,6 +17,7 @@ RandomQueue::RandomQueue(unsigned size, unsigned priorityEntries,
     fatal_if(priorityEntries > size,
              "more priority entries (%u) than IQ entries (%u)",
              priorityEntries, size);
+    initReady(size);
 }
 
 bool
@@ -34,6 +35,7 @@ RandomQueue::place(uint32_t index, uint32_t clientId, SeqNum seq)
     panic_if(slot.valid, "dispatch into occupied IQ slot %u", index);
     slot = {true, clientId, seq};
     ++occupancy_;
+    noteInsert(index, clientId);
 }
 
 void
@@ -71,19 +73,17 @@ RandomQueue::dispatchUniform(uint32_t clientId, SeqNum seq, Rng &rng)
 void
 RandomQueue::remove(uint32_t clientId)
 {
-    for (uint32_t i = 0; i < slots_.size(); ++i) {
-        IqSlot &slot = slots_[i];
-        if (slot.valid && slot.clientId == clientId) {
-            slot.valid = false;
-            --occupancy_;
-            if (i < priorityEntries_)
-                priorityFree_.push(i);
-            else
-                normalFree_.push(i);
-            return;
-        }
-    }
-    panic("remove of client %u not in IQ", clientId);
+    uint32_t i = slotOf(clientId);
+    panic_if(i == noSlot || !slots_[i].valid ||
+                 slots_[i].clientId != clientId,
+             "remove of client %u not in IQ", clientId);
+    slots_[i].valid = false;
+    --occupancy_;
+    if (i < priorityEntries_)
+        priorityFree_.push(i);
+    else
+        normalFree_.push(i);
+    noteErase(i, clientId);
 }
 
 } // namespace pubs::iq

@@ -9,6 +9,7 @@ ShiftingQueue::ShiftingQueue(unsigned size)
     : capacity_(size), slots_(size)
 {
     fatal_if(size == 0, "IQ size must be non-zero");
+    initReady(size);
 }
 
 bool
@@ -22,23 +23,26 @@ ShiftingQueue::dispatch(uint32_t clientId, SeqNum seq, bool)
 {
     panic_if(occupancy_ >= capacity_, "dispatch into full shifting queue");
     slots_[occupancy_] = {true, clientId, seq};
+    noteInsert((uint32_t)occupancy_, clientId);
     ++occupancy_;
 }
 
 void
 ShiftingQueue::remove(uint32_t clientId)
 {
-    for (size_t i = 0; i < occupancy_; ++i) {
-        if (slots_[i].clientId == clientId) {
-            // Compact: shift everything younger one slot toward the head.
-            for (size_t j = i + 1; j < occupancy_; ++j)
-                slots_[j - 1] = slots_[j];
-            --occupancy_;
-            slots_[occupancy_].valid = false;
-            return;
-        }
+    uint32_t i = slotOf(clientId);
+    panic_if(i == noSlot || i >= occupancy_ ||
+                 slots_[i].clientId != clientId,
+             "remove of client %u not in shifting queue", clientId);
+    noteErase(i, clientId);
+    // Compact: shift everything younger one slot toward the head, ready
+    // bits and slot index moving along with the instructions.
+    for (size_t j = i + 1; j < occupancy_; ++j) {
+        slots_[j - 1] = slots_[j];
+        noteMove((uint32_t)j, (uint32_t)(j - 1), slots_[j - 1].clientId);
     }
-    panic("remove of client %u not in shifting queue", clientId);
+    --occupancy_;
+    slots_[occupancy_].valid = false;
 }
 
 } // namespace pubs::iq

@@ -17,6 +17,8 @@ Cache::Cache(const CacheParams &params, MemLevel *next)
     fatal_if(lines % params.ways != 0, "size/ways mismatch");
     sets_ = (unsigned)(lines / params.ways);
     fatal_if(!isPowerOf2(sets_), "cache sets must be 2^n");
+    fatal_if(params.ways > 255, "MRU way hint stores a uint8_t index");
+    mruWay_.assign(sets_, 0);
     fatal_if(params.mshrs == 0, "cache needs at least one MSHR");
     lines_.resize(lines);
     mshrs_.reserve(params.mshrs);
@@ -37,12 +39,21 @@ Cache::tagOf(Addr addr) const
 Cache::Line *
 Cache::findLine(Addr addr)
 {
-    size_t base = setOf(addr) * params_.ways;
+    size_t set = setOf(addr);
+    size_t base = set * params_.ways;
     uint64_t tag = tagOf(addr);
+    // Most-recently-hit way first: at most one way can match the tag,
+    // so the search order cannot change which line is found.
+    unsigned hint = mruWay_[set];
+    Line &hinted = lines_[base + hint];
+    if (hinted.valid && hinted.tag == tag)
+        return &hinted;
     for (unsigned w = 0; w < params_.ways; ++w) {
         Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
+        if (line.valid && line.tag == tag) {
+            mruWay_[set] = (uint8_t)w;
             return &line;
+        }
     }
     return nullptr;
 }
@@ -105,6 +116,8 @@ Cache::missPath(Addr addr, Cycle now, bool isPrefetch)
     // Install the line now; its data only becomes usable at `ready`
     // (accesses that arrive earlier merge with the in-flight fill).
     Line &line = victimLine(addr);
+    mruWay_[setOf(addr)] =
+        (uint8_t)(&line - &lines_[setOf(addr) * params_.ways]);
     line.valid = true;
     line.dirty = false;
     line.wasPrefetched = isPrefetch;
@@ -118,6 +131,13 @@ Cycle
 Cache::access(Addr addr, bool write, Cycle now, bool &hit)
 {
     ++accesses_;
+    Addr lineAddr = lineAddrOf(addr);
+    if (!write && memoHit_ && lineAddr == memoLine_) {
+        hit = true;
+        return now + params_.hitLatency;
+    }
+    memoLine_ = lineAddr;
+    memoHit_ = false;
     if (Line *line = findLine(addr)) {
         line->lastUse = ++useClock_;
         if (write)
@@ -133,6 +153,7 @@ Cache::access(Addr addr, bool write, Cycle now, bool &hit)
             return line->fillReady + params_.hitLatency;
         }
         hit = true;
+        memoHit_ = !write;
         return now + params_.hitLatency;
     }
     hit = false;
@@ -148,6 +169,7 @@ Cache::access(Addr addr, bool write, Cycle now, bool &hit)
 Cycle
 Cache::fill(Addr addr, Cycle now, bool isPrefetch)
 {
+    memoHit_ = false;
     // A request from the level above is a demand access at this level
     // unless it is a prefetch.
     if (!isPrefetch)
@@ -173,6 +195,7 @@ Cache::fill(Addr addr, Cycle now, bool isPrefetch)
 void
 Cache::installPrefetch(Addr addr, Cycle now)
 {
+    memoHit_ = false;
     if (findLine(addr))
         return;
     ++prefetchFills_;

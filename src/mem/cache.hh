@@ -113,6 +113,25 @@ class Cache : public MemLevel
     std::vector<Line> lines_;
     std::vector<Mshr> mshrs_;
 
+    /** Per-set most-recently-hit way, tried first by findLine(). A pure
+     *  search hint: tags are unique within a set, so probe order never
+     *  changes the outcome. */
+    std::vector<uint8_t> mruWay_;
+
+    /**
+     * Clean-hit memo: when the immediately preceding demand access was
+     * a read hit on a line whose fill had completed, a repeat read of
+     * the same line can skip the way scan (the dominant case is
+     * sequential i-fetch walking a line). Valid only back-to-back —
+     * any other access, fill or prefetch invalidates it — so no LRU
+     * decision, stat counter or returned latency can differ from the
+     * unmemoised path (the only skipped effect is a lastUse re-bump of
+     * a line nothing else touched in between, an order-preserving
+     * relabelling; fillReady <= the memoising access's cycle <= now).
+     */
+    Addr memoLine_ = 0;
+    bool memoHit_ = false;
+
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;
     uint64_t writebacks_ = 0;
