@@ -8,9 +8,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
 #include "branch/perceptron.hh"
+#include "common/atomic_file.hh"
 #include "common/bench_util.hh"
 #include "common/bits.hh"
 #include "common/rng.hh"
@@ -312,11 +313,7 @@ writeHostspeed(const char *path)
                  spec.items.size());
     SweepResult sweep = runSweep(spec);
 
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "hostspeed: cannot write %s\n", path);
-        return 1;
-    }
+    std::ostringstream out;
     out << "{\n";
     out << "  \"bench\": \"fig8_hostspeed\",\n";
     out << "  \"measure_insts\": " << measureInsts() << ",\n";
@@ -352,6 +349,14 @@ writeHostspeed(const char *path)
     out << "  \"geomean_kips\": " << geo << ",\n";
     out << "  \"failed_runs\": " << sweep.failed() << "\n";
     out << "}\n";
+    // Atomic publish: the file either has the old contents or the whole
+    // new report, never a truncated mix.
+    std::string error = ::pubs::atomicWriteFile(path, out.str());
+    if (!error.empty()) {
+        std::fprintf(stderr, "hostspeed: cannot write %s: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
     std::fprintf(stderr, "hostspeed: geomean %s KIPS over %zu runs -> %s\n",
                  geo, allKips.size(), path);
     return 0;

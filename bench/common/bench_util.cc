@@ -4,13 +4,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 
+#include "common/atomic_file.hh"
+#include "common/checksum.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/run_codec.hh"
 #include "common/stats.hh"
+#include "common/sweep_journal.hh"
+#include "sim/proc_pool.hh"
 #include "sim/run_pool.hh"
 
 namespace pubs::bench
@@ -33,6 +38,16 @@ envCount(const char *name, uint64_t fallback)
 
 /** Jobs pinned by --jobs / setBenchJobs(); 0 = auto. */
 std::atomic<unsigned> pinnedJobs{0};
+
+/** Worker processes pinned by --procs / setBenchProcs(). */
+std::atomic<unsigned> pinnedProcs{0};
+std::atomic<bool> procsPinned{false};
+
+/** Journal path / resume flag pinned by --journal / --resume. */
+std::mutex journalConfigMutex;
+std::string pinnedJournalPath;
+bool journalPathPinned = false;
+int pinnedResume = -1; ///< -1 = unset, else 0/1
 
 /** Serialises CSV appends across concurrent sweeps in one process. */
 std::mutex csvMutex;
@@ -69,6 +84,63 @@ setBenchJobs(unsigned jobs)
     pinnedJobs.store(jobs, std::memory_order_relaxed);
 }
 
+unsigned
+benchProcs()
+{
+    if (procsPinned.load(std::memory_order_relaxed))
+        return pinnedProcs.load(std::memory_order_relaxed);
+    uint64_t env = envCount("PUBS_BENCH_PROCS", 0x10000);
+    if (env != 0x10000)
+        return (unsigned)env;
+    return 0;
+}
+
+void
+setBenchProcs(unsigned procs)
+{
+    pinnedProcs.store(procs, std::memory_order_relaxed);
+    procsPinned.store(true, std::memory_order_relaxed);
+}
+
+std::string
+journalPath()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (journalPathPinned)
+            return pinnedJournalPath;
+    }
+    const char *env = std::getenv("PUBS_BENCH_JOURNAL");
+    return env ? env : "";
+}
+
+void
+setJournalPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedJournalPath = std::move(path);
+    journalPathPinned = true;
+}
+
+bool
+resumeRequested()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (pinnedResume >= 0)
+            return pinnedResume != 0;
+    }
+    const char *env = std::getenv("PUBS_BENCH_RESUME");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+void
+setResume(bool resume)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedResume = resume ? 1 : 0;
+}
+
 void
 parseBenchArgs(int argc, char **argv)
 {
@@ -77,16 +149,36 @@ parseBenchArgs(int argc, char **argv)
             unsigned long jobs = std::strtoul(argv[++i], nullptr, 10);
             fatal_if(jobs == 0, "--jobs wants a positive thread count");
             setBenchJobs((unsigned)jobs);
+        } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+            unsigned long procs = std::strtoul(argv[++i], nullptr, 10);
+            fatal_if(procs == 0,
+                     "--procs wants a positive process count");
+            setBenchProcs((unsigned)procs);
+        } else if (std::strcmp(argv[i], "--journal") == 0 &&
+                   i + 1 < argc) {
+            setJournalPath(argv[++i]);
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            setResume(true);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--jobs N]\n"
-                         "  --jobs N   parallel simulation runs "
-                         "(default: hardware concurrency, or "
-                         "$PUBS_BENCH_JOBS)\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--jobs N] [--procs N] [--journal PATH] "
+                "[--resume]\n"
+                "  --jobs N       parallel in-process runs (default: "
+                "hardware concurrency, or $PUBS_BENCH_JOBS)\n"
+                "  --procs N      fault-isolated worker processes "
+                "instead of threads (or $PUBS_BENCH_PROCS); crashed or "
+                "hung runs are retried, then skipped\n"
+                "  --journal PATH write-ahead journal of completed runs "
+                "(or $PUBS_BENCH_JOURNAL)\n"
+                "  --resume       serve journaled runs of an "
+                "interrupted sweep (or $PUBS_BENCH_RESUME=1)\n",
+                argv[0]);
             std::exit(std::strcmp(argv[i], "--help") == 0 ? 0 : 2);
         }
     }
+    if (resumeRequested() && journalPath().empty())
+        fatal("--resume needs --journal PATH (or $PUBS_BENCH_JOURNAL)");
 }
 
 TextTable::TextTable(std::vector<std::string> header)
@@ -153,11 +245,7 @@ maybeWriteCsv(const std::string &benchName, const TextTable &table)
     if (!dir || !*dir)
         return false;
     std::string path = std::string(dir) + "/" + benchName + ".csv";
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write CSV to %s", path.c_str());
-        return false;
-    }
+    std::ostringstream out;
     auto emitRow = [&out](const std::vector<std::string> &cells) {
         for (size_t c = 0; c < cells.size(); ++c)
             out << (c ? "," : "") << cells[c];
@@ -166,6 +254,11 @@ maybeWriteCsv(const std::string &benchName, const TextTable &table)
     emitRow(table.header());
     for (const auto &row : table.rows())
         emitRow(row);
+    std::string error = atomicWriteFile(path, out.str());
+    if (!error.empty()) {
+        warn("cannot write CSV: %s", error.c_str());
+        return false;
+    }
     return true;
 }
 
@@ -173,35 +266,44 @@ namespace
 {
 
 /**
- * Append one host-speed record to $PUBS_BENCH_CSV/simspeed.csv (header
- * written on creation), so every bench invocation accumulates a
- * simulator-performance log alongside its model results. Caller holds
- * csvMutex (or is provably single-threaded).
+ * Atomically append @p rows to $PUBS_BENCH_CSV/<name> (creating it
+ * with @p header): a kill mid-write leaves the previous complete file,
+ * never a torn one. Caller holds csvMutex (or is provably
+ * single-threaded); atomicity is per whole file, not per line.
  */
 void
-appendSimSpeedCsv(const sim::RunResult &result,
-                  const cpu::CoreParams &params)
+appendCsvAtomic(const char *name, const char *header,
+                const std::string &rows)
 {
     const char *dir = std::getenv("PUBS_BENCH_CSV");
-    if (!dir || !*dir)
+    if (!dir || !*dir || rows.empty())
         return;
-    std::string path = std::string(dir) + "/simspeed.csv";
-    bool fresh = !std::ifstream(path).good();
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-        warn("cannot write CSV to %s", path.c_str());
-        return;
-    }
-    if (fresh)
-        out << "workload,pubs,instructions,cycles,sim_seconds,kips\n";
+    std::string path = std::string(dir) + "/" + name;
+    std::string error = atomicAppendFile(path, header, rows);
+    if (!error.empty())
+        warn("cannot append CSV: %s", error.c_str());
+}
+
+/**
+ * One host-speed record for $PUBS_BENCH_CSV/simspeed.csv, so every
+ * bench invocation accumulates a simulator-performance log alongside
+ * its model results.
+ */
+std::string
+simSpeedCsvLine(const sim::RunResult &result,
+                const cpu::CoreParams &params)
+{
     char line[192];
     std::snprintf(line, sizeof(line), "%s,%d,%llu,%llu,%.4f,%.1f\n",
                   result.workload.c_str(), params.usePubs ? 1 : 0,
                   (unsigned long long)result.instructions,
                   (unsigned long long)result.cycles, result.simSeconds,
                   result.kips());
-    out << line;
+    return line;
 }
+
+constexpr const char *simSpeedCsvHeader =
+    "workload,pubs,instructions,cycles,sim_seconds,kips\n";
 
 /**
  * Record every skipped item of a finished sweep in
@@ -211,18 +313,9 @@ appendSimSpeedCsv(const sim::RunResult &result,
 void
 appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
 {
-    const char *dir = std::getenv("PUBS_BENCH_CSV");
-    if (!dir || !*dir || result.failed() == 0)
+    if (result.failed() == 0)
         return;
-    std::string path = std::string(dir) + "/skipped.csv";
-    bool fresh = !std::ifstream(path).good();
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-        warn("cannot write CSV to %s", path.c_str());
-        return;
-    }
-    if (fresh)
-        out << "workload,machine,error_kind,error\n";
+    std::ostringstream out;
     for (size_t i = 0; i < result.rows.size(); ++i) {
         const SweepRow &row = result.rows[i];
         if (row.ok())
@@ -237,31 +330,23 @@ appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
             << spec.items[i].machine << ',' << row.errorKind << ",\""
             << message << "\"\n";
     }
+    appendCsvAtomic("skipped.csv", "workload,machine,error_kind,error\n",
+                    out.str());
 }
 
 /** Append one pool-utilization record to sweep_pool.csv. */
 void
 appendPoolCsv(const SweepResult &result)
 {
-    const char *dir = std::getenv("PUBS_BENCH_CSV");
-    if (!dir || !*dir)
-        return;
-    std::string path = std::string(dir) + "/sweep_pool.csv";
-    bool fresh = !std::ifstream(path).good();
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-        warn("cannot write CSV to %s", path.c_str());
-        return;
-    }
-    if (fresh)
-        out << "runs,failed,jobs,wall_seconds,busy_seconds,"
-               "utilization\n";
     char line[160];
     std::snprintf(line, sizeof(line), "%zu,%zu,%u,%.4f,%.4f,%.3f\n",
                   result.rows.size(), result.failed(), result.jobs,
                   result.wallSeconds, result.busySeconds,
                   result.utilization());
-    out << line;
+    appendCsvAtomic("sweep_pool.csv",
+                    "runs,failed,jobs,wall_seconds,busy_seconds,"
+                    "utilization\n",
+                    line);
 }
 
 } // namespace
@@ -274,7 +359,8 @@ runWorkload(const wl::Workload &workload, const cpu::CoreParams &params)
                       measureInsts());
     result.workload = workload.name;
     std::lock_guard<std::mutex> lock(csvMutex);
-    appendSimSpeedCsv(result, params);
+    appendCsvAtomic("simspeed.csv", simSpeedCsvHeader,
+                    simSpeedCsvLine(result, params));
     return result;
 }
 
@@ -328,6 +414,189 @@ SweepResult::statsJson() const
     return out.str();
 }
 
+namespace
+{
+
+/**
+ * Identity of a sweep for journal matching: a resumed journal must come
+ * from the same items (workload, machine, full machine configuration,
+ * seed) with the same budgets, in the same order. Hashes the
+ * human-readable CoreParams description, which covers every field that
+ * shapes a run.
+ */
+uint64_t
+sweepKey(const SweepSpec &spec, uint64_t warmup, uint64_t insts)
+{
+    uint32_t lo = 0, hi = 0x50554253u;
+    auto mix = [&](const std::string &text) {
+        lo = crc32(text, lo);
+        hi = crc32(text, hi ^ 0x9e3779b9u);
+    };
+    mix(std::to_string(warmup) + ":" + std::to_string(insts) + ":" +
+        std::to_string(spec.items.size()));
+    for (const SweepItem &item : spec.items) {
+        mix(item.workload.name);
+        mix(item.machine);
+        mix(std::to_string(item.params.seed));
+        mix(item.params.describe());
+    }
+    return ((uint64_t)hi << 32) | lo;
+}
+
+/** Run one sweep item to a SweepRow (never throws SimError out). */
+SweepRow
+runSweepItem(const SweepItem &item, uint64_t warmup, uint64_t insts)
+{
+    SweepRow row;
+    try {
+        // Each run owns its Simulator (pipeline, emulator, RNG
+        // streams, stats); nothing is shared with siblings, so the
+        // result depends only on the item, never on the schedule.
+        sim::RunResult r = sim::simulate(item.params,
+                                         item.workload.program, warmup,
+                                         insts);
+        r.workload = item.workload.name;
+        r.machine = item.machine;
+        row.result = std::move(r);
+    } catch (const SimError &error) {
+        // Skip-and-continue: one broken run must not sink the batch.
+        row.error = error.what();
+        row.errorKind = SimError::kindName(error.kind());
+        row.result.workload = item.workload.name;
+        row.result.machine = item.machine;
+    }
+    return row;
+}
+
+void
+logSweepRow(const SweepRow &row, const SweepItem &item, size_t done,
+            size_t total)
+{
+    if (row.ok()) {
+        std::fprintf(stderr,
+                     "  [%3zu/%zu] %-18s %-14s ipc=%.3f "
+                     "brMPKI=%.1f llcMPKI=%.1f kips=%.0f\n",
+                     done, total, item.workload.name.c_str(),
+                     item.machine.c_str(), row.result.ipc,
+                     row.result.branchMpki, row.result.llcMpki,
+                     row.result.kips());
+    } else {
+        std::fprintf(stderr,
+                     "  [%3zu/%zu] %-18s %-14s FAILED (%s: %s)\n", done,
+                     total, item.workload.name.c_str(),
+                     item.machine.c_str(), row.errorKind.c_str(),
+                     row.error.c_str());
+    }
+}
+
+/** In-process thread-pool execution of the slots in @p todo. */
+void
+runSweepThreads(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
+                const std::vector<size_t> &todo, SweepResult &result,
+                SweepJournal *journal)
+{
+    sim::RunPool pool(spec.jobs ? spec.jobs : benchJobs());
+    result.jobs = pool.threads();
+
+    std::mutex logMutex;
+    std::atomic<size_t> completed{0};
+    for (size_t slot : todo) {
+        pool.submit([&, slot] {
+            const SweepItem &item = spec.items[slot];
+            SweepRow &row = result.rows[slot];
+            row = runSweepItem(item, warmup, insts);
+            // Write-ahead: the row is durable before the sweep's final
+            // output exists, so a kill from here on cannot lose it.
+            if (journal)
+                journal->record(slot, encodeSweepRow(row));
+            size_t done = completed.fetch_add(1) + 1;
+            if (spec.verbose) {
+                std::lock_guard<std::mutex> lock(logMutex);
+                logSweepRow(row, item, done, todo.size());
+            }
+        });
+    }
+    pool.wait();
+
+    sim::PoolStats stats = pool.stats();
+    result.wallSeconds = stats.wallSeconds;
+    result.busySeconds = stats.busySeconds;
+}
+
+/**
+ * Fault-isolated execution of the slots in @p todo across forked
+ * worker processes: a crashing, hanging, or frame-corrupting run is
+ * retried with backoff and, beyond retry, becomes a "proc" skip row.
+ */
+void
+runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
+              const std::vector<size_t> &todo, SweepResult &result,
+              SweepJournal *journal, unsigned procs)
+{
+    sim::ProcPool::Config config =
+        sim::ProcPool::configFromEnv(sim::ProcPool::Config{});
+    config.procs = procs;
+    config.verbose = spec.verbose;
+    sim::ProcPool pool(config);
+    result.jobs = pool.procs();
+
+    size_t completed = 0;
+    pool.run(
+        todo.size(),
+        [&](size_t index, unsigned attempt) {
+            // Worker process: simulate and ship the row — including a
+            // SimError skip row, which is a result, not a worker
+            // failure — back over the CRC-checked pipe.
+            (void)attempt;
+            return encodeSweepRow(
+                runSweepItem(spec.items[todo[index]], warmup, insts));
+        },
+        [&](size_t index, const sim::ProcResult &outcome) {
+            // Parent, in completion order: decode, journal, report.
+            size_t slot = todo[index];
+            const SweepItem &item = spec.items[slot];
+            SweepRow &row = result.rows[slot];
+            if (outcome.ok && decodeSweepRow(outcome.payload, row)) {
+                if (journal)
+                    journal->record(slot, outcome.payload);
+            } else {
+                row = SweepRow{};
+                row.error = outcome.ok
+                                ? "worker returned an undecodable "
+                                  "result payload"
+                                : outcome.error;
+                row.errorKind =
+                    SimError::kindName(SimError::Kind::Proc);
+                row.result.workload = item.workload.name;
+                row.result.machine = item.machine;
+                // Deliberately not journaled: a --resume rerun retries
+                // the slot instead of resurrecting the failure.
+            }
+            if (spec.verbose)
+                logSweepRow(row, item, ++completed, todo.size());
+        });
+
+    const sim::ProcPoolStats &stats = pool.stats();
+    result.wallSeconds = stats.wallSeconds;
+    result.busySeconds = stats.busySeconds;
+    if (spec.verbose &&
+        (stats.retries || stats.timeouts || stats.crashes ||
+         stats.corruptFrames)) {
+        std::fprintf(stderr,
+                     "  proc pool: %llu launches, %llu crashes, %llu "
+                     "timeouts, %llu corrupt frames, %llu retries, "
+                     "%llu skipped\n",
+                     (unsigned long long)stats.launches,
+                     (unsigned long long)stats.crashes,
+                     (unsigned long long)stats.timeouts,
+                     (unsigned long long)stats.corruptFrames,
+                     (unsigned long long)stats.retries,
+                     (unsigned long long)stats.permanentFailures);
+    }
+}
+
+} // namespace
+
 SweepResult
 runSweep(const SweepSpec &spec)
 {
@@ -339,65 +608,45 @@ runSweep(const SweepSpec &spec)
     SweepResult result;
     result.rows.resize(spec.items.size());
 
-    sim::RunPool pool(spec.jobs ? spec.jobs : benchJobs());
-    result.jobs = pool.threads();
-
-    std::mutex logMutex;
-    std::atomic<size_t> completed{0};
-    for (size_t i = 0; i < spec.items.size(); ++i) {
-        pool.submit([&, i] {
-            const SweepItem &item = spec.items[i];
-            SweepRow &row = result.rows[i];
-            try {
-                // Each run owns its Simulator (pipeline, emulator, RNG
-                // streams, stats); nothing is shared with siblings, so
-                // the result depends only on the item, never on the
-                // schedule.
-                sim::RunResult r =
-                    sim::simulate(item.params, item.workload.program,
-                                  warmup, insts);
-                r.workload = item.workload.name;
-                r.machine = item.machine;
-                row.result = std::move(r);
-            } catch (const SimError &error) {
-                // Skip-and-continue: one broken run must not sink the
-                // batch.
-                row.error = error.what();
-                row.errorKind = SimError::kindName(error.kind());
-                row.result.workload = item.workload.name;
-                row.result.machine = item.machine;
-            }
-            size_t done = completed.fetch_add(1) + 1;
-            if (spec.verbose) {
-                std::lock_guard<std::mutex> lock(logMutex);
-                if (row.ok()) {
-                    std::fprintf(
-                        stderr,
-                        "  [%3zu/%zu] %-18s %-14s ipc=%.3f "
-                        "brMPKI=%.1f llcMPKI=%.1f kips=%.0f\n",
-                        done, spec.items.size(),
-                        item.workload.name.c_str(),
-                        item.machine.c_str(), row.result.ipc,
-                        row.result.branchMpki, row.result.llcMpki,
-                        row.result.kips());
-                } else {
-                    std::fprintf(stderr,
-                                 "  [%3zu/%zu] %-18s %-14s FAILED "
-                                 "(%s: %s)\n",
-                                 done, spec.items.size(),
-                                 item.workload.name.c_str(),
-                                 item.machine.c_str(),
-                                 row.errorKind.c_str(),
-                                 row.error.c_str());
-                }
-            }
-        });
+    // Journal setup: a driver running several sweeps numbers the files
+    // in call order, which is deterministic, so a resumed process finds
+    // each sweep's journal under the same name.
+    std::unique_ptr<SweepJournal> journal;
+    std::vector<size_t> todo;
+    size_t served = 0;
+    std::string basePath = journalPath();
+    if (!basePath.empty()) {
+        static std::atomic<unsigned> sweepCounter{0};
+        unsigned nth = sweepCounter.fetch_add(1);
+        std::string path =
+            nth ? basePath + "." + std::to_string(nth) : basePath;
+        journal = std::make_unique<SweepJournal>(
+            path, sweepKey(spec, warmup, insts), spec.items.size(),
+            resumeRequested());
     }
-    pool.wait();
+    for (size_t i = 0; i < spec.items.size(); ++i) {
+        if (journal && journal->has(i) &&
+            decodeSweepRow(journal->payload(i), result.rows[i])) {
+            ++served;
+        } else {
+            todo.push_back(i);
+        }
+    }
+    if (spec.verbose && served) {
+        std::fprintf(stderr,
+                     "  sweep: %zu of %zu runs served from journal %s\n",
+                     served, spec.items.size(),
+                     journal->path().c_str());
+    }
 
-    sim::PoolStats stats = pool.stats();
-    result.wallSeconds = stats.wallSeconds;
-    result.busySeconds = stats.busySeconds;
+    unsigned procs = spec.procs ? spec.procs : benchProcs();
+    if (procs) {
+        runSweepProcs(spec, warmup, insts, todo, result, journal.get(),
+                      procs);
+    } else {
+        runSweepThreads(spec, warmup, insts, todo, result,
+                        journal.get());
+    }
 
     if (size_t n = result.failed()) {
         warn("%zu of %zu sweep runs failed and were skipped", n,
@@ -405,18 +654,22 @@ runSweep(const SweepSpec &spec)
     }
     if (spec.verbose && spec.items.size() > 1) {
         std::fprintf(stderr,
-                     "  sweep: %zu runs on %u jobs in %.2f s "
+                     "  sweep: %zu runs on %u %s in %.2f s "
                      "(utilization %.0f%%)\n",
-                     spec.items.size(), result.jobs, result.wallSeconds,
+                     spec.items.size(), result.jobs,
+                     procs ? "procs" : "jobs", result.wallSeconds,
                      result.utilization() * 100.0);
     }
 
     // All telemetry CSVs are appended in spec order after the barrier,
     // so their row order is schedule-independent.
     std::lock_guard<std::mutex> lock(csvMutex);
+    std::string speedRows;
     for (size_t i = 0; i < result.rows.size(); ++i)
         if (result.rows[i].ok())
-            appendSimSpeedCsv(result.rows[i].result, spec.items[i].params);
+            speedRows += simSpeedCsvLine(result.rows[i].result,
+                                         spec.items[i].params);
+    appendCsvAtomic("simspeed.csv", simSpeedCsvHeader, speedRows);
     appendSkipCsv(spec, result);
     appendPoolCsv(result);
     return result;

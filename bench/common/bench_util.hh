@@ -15,6 +15,17 @@
  * Host-speed telemetry (simspeed.csv, pool utilization) is appended in
  * spec order too, but its wall-clock columns are inherently
  * host-dependent and excluded from the contract.
+ *
+ * Fault isolation: --procs N (or PUBS_BENCH_PROCS) moves each run into
+ * its own forked worker process (sim/proc_pool.hh) — a segfaulting or
+ * hanging run is retried with backoff and at worst becomes a skip row,
+ * never a dead sweep — and the slot-indexed aggregation keeps the
+ * determinism contract across the process boundary. --journal PATH
+ * write-ahead-journals every completed run (sweep_journal.hh);
+ * --resume serves journaled slots of an interrupted sweep so the rerun
+ * is byte-identical to an uninterrupted one. All CSV/JSON emission goes
+ * through atomic temp-file + rename (common/atomic_file.hh), so no
+ * output is ever observable half-written.
  */
 
 #ifndef PUBS_BENCH_COMMON_BENCH_UTIL_HH
@@ -46,9 +57,36 @@ unsigned benchJobs();
 void setBenchJobs(unsigned jobs);
 
 /**
- * Parse the shared bench-driver command line (currently: --jobs N,
- * --help). Unknown flags print usage and exit(2). Every bench_* main
- * calls this first so the whole harness honours --jobs uniformly.
+ * Worker *processes* used by sweeps whose SweepSpec does not pin a
+ * count: the --procs flag if given, else PUBS_BENCH_PROCS, else 0 —
+ * and 0 means in-process threads (benchJobs()).
+ */
+unsigned benchProcs();
+
+/** Pin the benchProcs() default (what --procs does). */
+void setBenchProcs(unsigned procs);
+
+/**
+ * Write-ahead journal path for sweeps (--journal / PUBS_BENCH_JOURNAL);
+ * empty disables journaling. A driver running several sweeps numbers
+ * them path, path.1, path.2, ... in call order.
+ */
+std::string journalPath();
+
+/** Pin the journal path (what --journal does). Empty disables. */
+void setJournalPath(std::string path);
+
+/** Was --resume (or PUBS_BENCH_RESUME=1) requested? */
+bool resumeRequested();
+
+/** Pin the resume flag (what --resume does). */
+void setResume(bool resume);
+
+/**
+ * Parse the shared bench-driver command line (--jobs N, --procs N,
+ * --journal PATH, --resume, --help). Unknown flags print usage and
+ * exit(2). Every bench_* main calls this first so the whole harness
+ * honours the flags uniformly.
  */
 void parseBenchArgs(int argc, char **argv);
 
@@ -114,7 +152,9 @@ struct SweepSpec
     std::vector<SweepItem> items;
     uint64_t warmup = envBudget;
     uint64_t insts = envBudget;
-    unsigned jobs = 0; ///< worker threads; 0 = benchJobs()
+    unsigned jobs = 0;  ///< worker threads; 0 = benchJobs()
+    /** Worker processes; 0 = benchProcs() (whose 0 = use threads). */
+    unsigned procs = 0;
     bool verbose = true;
 
     /** Append one run; @return its index (== result slot). */
@@ -170,11 +210,17 @@ struct SweepResult
 };
 
 /**
- * Run every item of @p spec across a work-stealing pool. An item that
+ * Run every item of @p spec across a work-stealing thread pool, or —
+ * when a process count is configured (spec.procs / --procs /
+ * PUBS_BENCH_PROCS) — across fault-isolated worker processes with
+ * per-run timeout, retry, and skip-after-N-failures. An item that
  * throws SimError is recorded as a skipped row (and in
- * $PUBS_BENCH_CSV/skipped.csv) without sinking the batch; host-speed
- * rows go to simspeed.csv and pool utilization to sweep_pool.csv, all
- * in spec order.
+ * $PUBS_BENCH_CSV/skipped.csv) without sinking the batch, and a worker
+ * process that crashes or hangs beyond retry becomes a "proc" skip row
+ * the same way; host-speed rows go to simspeed.csv and pool utilization
+ * to sweep_pool.csv, all in spec order. With a journal configured,
+ * completed runs are write-ahead journaled and --resume serves them
+ * back byte-identically after an interruption.
  */
 SweepResult runSweep(const SweepSpec &spec);
 

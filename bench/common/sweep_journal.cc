@@ -1,0 +1,219 @@
+#include "common/sweep_journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/checksum.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace pubs::bench
+{
+
+namespace
+{
+
+constexpr char journalMagic[8] = {'P', 'U', 'B', 'S', 'J', 'N', 'L', '1'};
+constexpr uint32_t journalVersion = 1;
+constexpr uint32_t recordMagic = 0x43455242u; // "BREC" little-endian
+constexpr size_t headerBytes = 32;
+constexpr size_t recordHeaderBytes = 20;
+
+void
+pack32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = (v >> (8 * i)) & 0xff;
+}
+
+void
+pack64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = (v >> (8 * i)) & 0xff;
+}
+
+uint32_t
+unpack32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= (uint32_t)in[i] << (8 * i);
+    return v;
+}
+
+uint64_t
+unpack64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= (uint64_t)in[i] << (8 * i);
+    return v;
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string path, uint64_t specKey,
+                           uint64_t slots, bool resume)
+    : path_(std::move(path)), specKey_(specKey), slots_(slots),
+      payloads_(slots), present_(slots, false),
+      faults_(proc::faultPlanFromEnv())
+{
+    load(resume);
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+SweepJournal::load(bool resume)
+{
+    // Recover the valid prefix of an existing journal (resume mode).
+    long validBytes = headerBytes;
+    bool keep = false;
+    if (resume) {
+        std::FILE *in = std::fopen(path_.c_str(), "rb");
+        if (in) {
+            uint8_t header[headerBytes];
+            if (std::fread(header, 1, sizeof(header), in) ==
+                    sizeof(header) &&
+                std::memcmp(header, journalMagic, sizeof(journalMagic)) ==
+                    0 &&
+                unpack32(header + 8) == journalVersion &&
+                unpack64(header + 16) == specKey_ &&
+                unpack64(header + 24) == slots_) {
+                keep = true;
+                for (;;) {
+                    uint8_t rec[recordHeaderBytes];
+                    if (std::fread(rec, 1, sizeof(rec), in) != sizeof(rec))
+                        break; // torn tail: header cut short
+                    if (unpack32(rec + 0) != recordMagic)
+                        break;
+                    uint64_t slot = unpack64(rec + 4);
+                    uint32_t length = unpack32(rec + 12);
+                    uint32_t crc = unpack32(rec + 16);
+                    if (slot >= slots_ || length > (64u << 20))
+                        break;
+                    std::string payload(length, '\0');
+                    if (length &&
+                        std::fread(payload.data(), 1, length, in) !=
+                            length) {
+                        break; // torn tail: payload cut short
+                    }
+                    if (crc32(payload) != crc)
+                        break; // bit rot or torn write
+                    if (!present_[(size_t)slot])
+                        ++loaded_;
+                    present_[(size_t)slot] = true;
+                    payloads_[(size_t)slot] = std::move(payload);
+                    validBytes += (long)(recordHeaderBytes + length);
+                }
+                long end = -1;
+                if (std::fseek(in, 0, SEEK_END) == 0)
+                    end = std::ftell(in);
+                if (end >= 0 && end != validBytes) {
+                    warn("sweep journal '%s': discarding %ld bytes of "
+                         "torn/corrupt tail after %zu valid records",
+                         path_.c_str(), end - validBytes, loaded_);
+                }
+            } else {
+                warn("sweep journal '%s' does not match this sweep "
+                     "(different spec, budgets, or format); starting "
+                     "fresh",
+                     path_.c_str());
+            }
+            std::fclose(in);
+        }
+    }
+
+    if (keep) {
+        // Drop the torn tail, then append after the valid prefix.
+        if (::truncate(path_.c_str(), validBytes) != 0) {
+            warn("sweep journal '%s': cannot truncate torn tail: %s",
+                 path_.c_str(), std::strerror(errno));
+        }
+        file_ = std::fopen(path_.c_str(), "ab");
+        if (!file_) {
+            throw SimError(SimError::Kind::Fatal,
+                           "cannot reopen sweep journal '" + path_ +
+                               "': " + std::strerror(errno));
+        }
+        return;
+    }
+
+    loaded_ = 0;
+    std::fill(present_.begin(), present_.end(), false);
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_) {
+        throw SimError(SimError::Kind::Fatal,
+                       "cannot create sweep journal '" + path_ +
+                           "': " + std::strerror(errno));
+    }
+    uint8_t header[headerBytes] = {};
+    std::memcpy(header, journalMagic, sizeof(journalMagic));
+    pack32(header + 8, journalVersion);
+    pack64(header + 16, specKey_);
+    pack64(header + 24, slots_);
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+        std::fflush(file_) != 0) {
+        warn("sweep journal '%s': cannot write header: %s (journaling "
+             "disabled)",
+             path_.c_str(), std::strerror(errno));
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+SweepJournal::has(size_t slot) const
+{
+    return slot < present_.size() && present_[slot];
+}
+
+const std::string &
+SweepJournal::payload(size_t slot) const
+{
+    return payloads_.at(slot);
+}
+
+void
+SweepJournal::record(size_t slot, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_ || slot >= slots_)
+        return;
+    std::string rec(recordHeaderBytes, '\0');
+    pack32((uint8_t *)rec.data() + 0, recordMagic);
+    pack64((uint8_t *)rec.data() + 4, slot);
+    pack32((uint8_t *)rec.data() + 12, (uint32_t)payload.size());
+    pack32((uint8_t *)rec.data() + 16, crc32(payload));
+    rec += payload;
+    // One fwrite per record, then flush + fdatasync: the record is
+    // durable before the sweep moves on, and a torn append is confined
+    // to the (CRC-guarded) tail.
+    if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size() ||
+        std::fflush(file_) != 0) {
+        warn("sweep journal '%s': append failed: %s (resumability lost "
+             "from here)",
+             path_.c_str(), std::strerror(errno));
+        std::fclose(file_);
+        file_ = nullptr;
+        return;
+    }
+    ::fdatasync(::fileno(file_));
+
+    ++commits_;
+    if (faults_.killAfter && commits_ >= faults_.killAfter) {
+        // Deterministic mid-sweep kill -9 for tests and CI: the record
+        // just committed survives, everything in flight is lost.
+        ::raise(SIGKILL);
+    }
+}
+
+} // namespace pubs::bench

@@ -29,11 +29,18 @@
  *       --heartbeat <cycles>         heartbeat interval (0 disables)
  *       --jobs <n>                   worker threads for --check lockstep
  *                                    (default: hardware concurrency)
+ *       --procs <n>                  fault-isolated worker *processes*
+ *                                    for --check lockstep: a crashing or
+ *                                    hanging workload is retried and at
+ *                                    worst reported FAIL, never takes
+ *                                    down the verifier (see PUBS_FAULT,
+ *                                    PUBS_PROC_TIMEOUT, PUBS_PROC_RETRIES)
  *       --list                       list suite workloads and exit
  *
  * Prints the full pipeline stat group. Recoverable failures (bad
  * configuration, corrupt trace, checker divergence under --check throw)
- * print "error: ..." and exit 1 instead of aborting.
+ * print "error: ..." and exit 1 instead of aborting; so do workloads
+ * whose worker process fails beyond retry under --procs.
  */
 
 #include <cstdio>
@@ -45,6 +52,7 @@
 #include "cpu/telemetry.hh"
 #include "emu/emulator.hh"
 #include "sim/config.hh"
+#include "sim/proc_pool.hh"
 #include "sim/run_pool.hh"
 #include "sim/simulator.hh"
 #include "trace/pipeview.hh"
@@ -68,7 +76,8 @@ usage(const char *argv0)
                  "          [--check off|warn|throw|abort|lockstep]\n"
                  "          [--audit-interval N]\n"
                  "          [--stats-json PATH] [--pipeview PATH]\n"
-                 "          [--telemetry] [--heartbeat N] [--jobs N]\n",
+                 "          [--telemetry] [--heartbeat N] [--jobs N]\n"
+                 "          [--procs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -121,6 +130,61 @@ endsWith(const std::string &s, const std::string &suffix)
 }
 
 /**
+ * Run one suite workload with the lockstep checker and structural
+ * auditor; on success fills @p line with the PASS report row, on
+ * SimError fills the FAIL row plus @p error. Shared by the thread- and
+ * process-backed verifiers so both report identically.
+ */
+void
+lockstepOne(const std::string &name, const cpu::CoreParams &params,
+            uint64_t warmup, uint64_t insts, uint64_t seed,
+            std::string &line, std::string &error)
+{
+    char buf[96];
+    try {
+        wl::Workload w = wl::makeWorkload(name, seed);
+        sim::Simulator simulator(
+            params, std::make_unique<emu::Emulator>(w.program));
+        simulator.run(warmup, insts);
+        const cpu::PipelineStats &s = simulator.pipeline().stats();
+        std::snprintf(buf, sizeof(buf), "%-18s %-6s %12llu %12llu",
+                      name.c_str(), "PASS",
+                      (unsigned long long)s.checkerCommits,
+                      (unsigned long long)s.auditsRun);
+        error.clear();
+    } catch (const SimError &e) {
+        std::snprintf(buf, sizeof(buf), "%-18s %-6s", name.c_str(),
+                      "FAIL");
+        error = std::string(SimError::kindName(e.kind())) +
+                " error in " + name + ":\n" + e.what();
+    }
+    line = buf;
+}
+
+/** Print the per-workload report rows and verdict; @return failures. */
+int
+reportLockstep(const std::vector<std::string> &lines,
+               const std::vector<std::string> &errors, unsigned workers,
+               const char *workerNoun)
+{
+    std::printf("%-18s %-6s %12s %12s\n", "workload", "result",
+                "checked", "audits");
+    int failures = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::printf("%s\n", lines[i].c_str());
+        if (!errors[i].empty()) {
+            ++failures;
+            std::fprintf(stderr, "%s\n", errors[i].c_str());
+        }
+    }
+    std::printf("lockstep verification: %s (%d failing workload%s, "
+                "%u %s)\n",
+                failures ? "FAIL" : "PASS", failures,
+                failures == 1 ? "" : "s", workers, workerNoun);
+    return failures;
+}
+
+/**
  * Run every suite workload with the lockstep checker and the structural
  * auditor set to throw, spread across @p jobs worker threads. Each run
  * is independent (own emulator, pipeline, and RNG), so the report lines
@@ -140,42 +204,66 @@ runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
 
     sim::RunPool pool(jobs);
     sim::parallelFor(pool, names.size(), [&](size_t i) {
-        char buf[96];
-        try {
-            wl::Workload w = wl::makeWorkload(names[i], seed);
-            sim::Simulator simulator(
-                params, std::make_unique<emu::Emulator>(w.program));
-            simulator.run(warmup, insts);
-            const cpu::PipelineStats &s = simulator.pipeline().stats();
-            std::snprintf(buf, sizeof(buf), "%-18s %-6s %12llu %12llu",
-                          names[i].c_str(), "PASS",
-                          (unsigned long long)s.checkerCommits,
-                          (unsigned long long)s.auditsRun);
-        } catch (const SimError &error) {
-            std::snprintf(buf, sizeof(buf), "%-18s %-6s",
-                          names[i].c_str(), "FAIL");
-            errors[i] = std::string(SimError::kindName(error.kind())) +
-                        " error in " + names[i] + ":\n" + error.what();
-        }
-        lines[i] = buf;
+        lockstepOne(names[i], params, warmup, insts, seed, lines[i],
+                    errors[i]);
     });
     pool.wait();
+    return reportLockstep(lines, errors, pool.threads(), "jobs");
+}
 
-    std::printf("%-18s %-6s %12s %12s\n", "workload", "result",
-                "checked", "audits");
-    int failures = 0;
+/**
+ * Process-isolated variant of runLockstep: every workload verifies in a
+ * forked worker, so a segfault or hang in one workload is retried and
+ * at worst reported FAIL instead of killing the verifier. The worker
+ * ships "P<row>" or "F<row>\n<error>" over the CRC-checked pipe; rows
+ * print in suite order either way.
+ */
+int
+runLockstepProcs(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
+                 uint64_t seed, unsigned procs)
+{
+    params.checkPolicy = CheckPolicy::Throw;
+    params.auditPolicy = CheckPolicy::Throw;
+
+    const std::vector<std::string> names = wl::suiteNames();
+    std::vector<std::string> lines(names.size());
+    std::vector<std::string> errors(names.size());
+
+    sim::ProcPool::Config config =
+        sim::ProcPool::configFromEnv(sim::ProcPool::Config());
+    config.procs = procs;
+    sim::ProcPool pool(config);
+    std::vector<sim::ProcResult> results = pool.run(
+        names.size(), [&](size_t i, unsigned) {
+            std::string line, error;
+            lockstepOne(names[i], params, warmup, insts, seed, line,
+                        error);
+            return (error.empty() ? "P" : "F") + line +
+                   (error.empty() ? "" : "\n" + error);
+        });
+
     for (size_t i = 0; i < names.size(); ++i) {
-        std::printf("%s\n", lines[i].c_str());
-        if (!errors[i].empty()) {
-            ++failures;
-            std::fprintf(stderr, "%s\n", errors[i].c_str());
+        const sim::ProcResult &r = results[i];
+        if (!r.ok || r.payload.empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%-18s %-6s",
+                          names[i].c_str(), "FAIL");
+            lines[i] = buf;
+            errors[i] = "proc error in " + names[i] + ":\n" +
+                        (r.ok ? "empty result payload" : r.error);
+            continue;
+        }
+        size_t newline = r.payload.find('\n');
+        lines[i] = r.payload.substr(1, newline == std::string::npos
+                                           ? std::string::npos
+                                           : newline - 1);
+        if (r.payload[0] == 'F') {
+            errors[i] = newline == std::string::npos
+                            ? "worker reported failure without detail"
+                            : r.payload.substr(newline + 1);
         }
     }
-    std::printf("lockstep verification: %s (%d failing workload%s, "
-                "%u jobs)\n",
-                failures ? "FAIL" : "PASS", failures,
-                failures == 1 ? "" : "s", pool.threads());
-    return failures;
+    return reportLockstep(lines, errors, pool.procs(), "procs");
 }
 
 } // namespace
@@ -208,7 +296,8 @@ run(int argc, char **argv)
     bool telemetry = false;
     bool setHeartbeat = false;
     unsigned heartbeat = 0;
-    unsigned jobs = 0; // 0 = hardware concurrency
+    unsigned jobs = 0;  // 0 = hardware concurrency
+    unsigned procs = 0; // 0 = in-process threads
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -263,6 +352,10 @@ run(int argc, char **argv)
             jobs = (unsigned)std::stoul(next());
             if (jobs == 0)
                 fatal("--jobs must be at least 1");
+        } else if (arg == "--procs") {
+            procs = (unsigned)std::stoul(next());
+            if (procs == 0)
+                fatal("--procs must be at least 1");
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -293,8 +386,12 @@ run(int argc, char **argv)
     if (setHeartbeat)
         params.heartbeatInterval = heartbeat;
 
-    if (checkArg == "lockstep")
-        return runLockstep(params, warmup, insts, seed, jobs) ? 1 : 0;
+    if (checkArg == "lockstep") {
+        int failures =
+            procs ? runLockstepProcs(params, warmup, insts, seed, procs)
+                  : runLockstep(params, warmup, insts, seed, jobs);
+        return failures ? 1 : 0;
+    }
     if (!checkArg.empty()) {
         CheckPolicy policy;
         if (!parseCheckPolicy(checkArg, policy)) {

@@ -1,0 +1,108 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace pubs
+{
+
+namespace
+{
+
+std::string
+errnoText(const char *what, const std::string &path)
+{
+    return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+std::string
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + ".tmp." + std::to_string((long)::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return errnoText("cannot create temp file", tmp);
+
+    size_t written = 0;
+    while (written < contents.size()) {
+        ssize_t n = ::write(fd, contents.data() + written,
+                            contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::string error = errnoText("cannot write", tmp);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return error;
+        }
+        written += (size_t)n;
+    }
+
+    // The rename only commits bytes that are durable; without the fsync
+    // a crash could publish a correctly named but truncated file.
+    if (::fsync(fd) != 0) {
+        std::string error = errnoText("cannot fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return error;
+    }
+    if (::close(fd) != 0) {
+        std::string error = errnoText("cannot close", tmp);
+        ::unlink(tmp.c_str());
+        return error;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::string error =
+            errnoText(("cannot rename over '" + path + "' from").c_str(),
+                      tmp);
+        ::unlink(tmp.c_str());
+        return error;
+    }
+    return "";
+}
+
+void
+atomicWriteFileOrThrow(const std::string &path, const std::string &contents)
+{
+    std::string error = atomicWriteFile(path, contents);
+    if (!error.empty())
+        throw SimError(SimError::Kind::Fatal, error);
+}
+
+std::string
+atomicAppendFile(const std::string &path, const std::string &header,
+                 const std::string &tail)
+{
+    std::string contents;
+    if (!readWholeFile(path, contents))
+        contents = header;
+    contents += tail;
+    return atomicWriteFile(path, contents);
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    out.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = buffer.str();
+    return true;
+}
+
+} // namespace pubs

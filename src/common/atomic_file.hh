@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Crash-safe file emission: every stats/CSV/JSON output is staged into a
+ * temporary file in the destination directory, flushed to disk, and
+ * renamed over the target in one atomic step. A reader (or a sweep
+ * resumed after a kill) therefore sees either the previous complete
+ * file or the new complete file — never a half-written one.
+ */
+
+#ifndef PUBS_COMMON_ATOMIC_FILE_HH
+#define PUBS_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace pubs
+{
+
+/**
+ * Replace @p path with @p contents via write-temp-then-rename (temp file
+ * `<path>.tmp.<pid>` in the same directory, fsync'd before the rename).
+ * @return empty string on success, a human-readable error otherwise;
+ * the temp file is removed on failure.
+ */
+std::string atomicWriteFile(const std::string &path,
+                            const std::string &contents);
+
+/**
+ * atomicWriteFile() that throws SimError (Kind::Fatal) on failure, for
+ * callers whose output is the point of the run (stats JSON export).
+ */
+void atomicWriteFileOrThrow(const std::string &path,
+                            const std::string &contents);
+
+/**
+ * Append @p tail to @p path atomically: read the existing file (absent
+ * counts as empty, and @p header is prepended then), concatenate, and
+ * atomicWriteFile() the result. Serialise concurrent appenders yourself;
+ * this guards against torn files, not lost updates.
+ * @return empty string on success, error text otherwise.
+ */
+std::string atomicAppendFile(const std::string &path,
+                             const std::string &header,
+                             const std::string &tail);
+
+/**
+ * Read the whole of @p path into @p out.
+ * @return true on success; false (with @p out cleared) if the file does
+ * not exist or cannot be read.
+ */
+bool readWholeFile(const std::string &path, std::string &out);
+
+} // namespace pubs
+
+#endif // PUBS_COMMON_ATOMIC_FILE_HH

@@ -1,0 +1,37 @@
+#include "common/checksum.hh"
+
+#include <array>
+
+namespace pubs
+{
+
+namespace
+{
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace pubs

@@ -17,6 +17,7 @@ SimError::kindName(Kind kind)
       case Kind::Trace: return "trace";
       case Kind::Check: return "check";
       case Kind::Audit: return "audit";
+      case Kind::Proc: return "proc";
     }
     return "unknown";
 }

@@ -36,6 +36,7 @@ class SimError : public std::runtime_error
         Trace,  ///< malformed or corrupt trace file
         Check,  ///< lockstep commit-checker divergence
         Audit,  ///< structural pipeline invariant violated
+        Proc,   ///< worker process failed (crash, hang, corrupt frame)
     };
 
     SimError(Kind kind, const std::string &message)
@@ -83,6 +84,19 @@ class AuditError : public SimError
   public:
     explicit AuditError(const std::string &message)
         : SimError(Kind::Audit, message)
+    {}
+};
+
+/**
+ * A worker process failed beyond recovery: it crashed, hung past its
+ * timeout, or returned a corrupt result frame on every allowed attempt.
+ * The run it carried is skipped; the sweep continues.
+ */
+class ProcError : public SimError
+{
+  public:
+    explicit ProcError(const std::string &message)
+        : SimError(Kind::Proc, message)
     {}
 };
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 
@@ -25,6 +26,20 @@ Histogram::reset()
     std::fill(counts_.begin(), counts_.end(), 0);
     sum_ = 0;
     total_ = 0;
+}
+
+void
+Histogram::restore(uint64_t width, BucketScale scale,
+                   std::vector<uint64_t> counts, uint64_t sum,
+                   uint64_t total)
+{
+    panic_if(counts.empty(), "histogram needs at least one bucket");
+    panic_if(width == 0, "histogram bucket width must be positive");
+    width_ = width;
+    scale_ = scale;
+    counts_ = std::move(counts);
+    sum_ = sum;
+    total_ = total;
 }
 
 size_t
@@ -312,11 +327,9 @@ StatRegistry::renderJson() const
 void
 StatRegistry::writeJson(const std::string &path) const
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot open stats JSON file '%s'", path.c_str());
-    out << renderJson();
-    out.flush();
-    fatal_if(!out, "error writing stats JSON file '%s'", path.c_str());
+    // Temp-file + rename: a crash or kill mid-export leaves either the
+    // previous complete JSON or the new one, never a truncated file.
+    atomicWriteFileOrThrow(path, renderJson());
 }
 
 std::string

@@ -114,6 +114,16 @@ class Histogram
     double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
     uint64_t bucketWidth() const { return width_; }
     BucketScale scale() const { return scale_; }
+    uint64_t sum() const { return sum_; }
+
+    /**
+     * Replace the whole state from serialized raw form, bit-identical
+     * to the histogram it was captured from (proc-pool result frames
+     * and the sweep journal round-trip histograms this way).
+     */
+    void restore(uint64_t width, BucketScale scale,
+                 std::vector<uint64_t> counts, uint64_t sum,
+                 uint64_t total);
 
     /** Bucket index a value of @p v lands in. */
     size_t bucketOf(uint64_t v) const;

@@ -218,6 +218,12 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
         traceFail(path_, "not a PUBS trace file (bad magic)");
     }
 
+    // A bit-flipped count could make total_ * recordBytes_ wrap and
+    // collide with the real file size; reject it before the multiply.
+    if (total_ > (UINT64_MAX - headerBytes) / recordBytes_)
+        traceFail(path_, "implausible record count " +
+                             std::to_string(total_) + " (corrupt header)");
+
     // The header's record count must agree with what is actually on
     // disk; a mismatch means a truncated copy or an unfinalised writer.
     long size = fileSize(file_);

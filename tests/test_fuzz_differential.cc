@@ -19,16 +19,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "emu/emulator.hh"
 #include "isa/builder.hh"
 #include "sim/config.hh"
 #include "sim/run_pool.hh"
 #include "sim/simulator.hh"
+#include "trace/trace.hh"
 
 namespace pubs
 {
@@ -246,6 +251,58 @@ TEST(FuzzDifferential, GeneratorIsDeterministic)
     isa::Program b = makeRandomProgram(7, p);
     EXPECT_EQ(a.listing(), b.listing());
     EXPECT_NE(a.listing(), makeRandomProgram(8, p).listing());
+}
+
+TEST(FuzzDifferential, CorruptedTracesNeverCrashTheReader)
+{
+    // Corruption mode: a well-formed trace, then seeded truncations and
+    // bit flips. Every mutation must either read back cleanly or throw
+    // a structured SimError — never crash, hang, or misdecode into an
+    // out-of-bounds access.
+    std::string path =
+        (std::filesystem::temp_directory_path() / "pubs_fuzz_corrupt.trc")
+            .string();
+    isa::Program program = makeRandomProgram(11, FuzzParams{});
+    {
+        trace::TraceWriter writer(path);
+        emu::Emulator emu(program);
+        trace::DynInst di;
+        for (int i = 0; i < 200 && emu.step(di); ++i)
+            writer.write(di);
+        writer.close();
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string pristine((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    ASSERT_GT(pristine.size(), 64u);
+
+    Rng rng(0xc0221);
+    const uint64_t rounds = envOr("PUBS_FUZZ_CORRUPT_ROUNDS", 300);
+    for (uint64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        std::string mutated = pristine;
+        if (rng.chance(0.5)) {
+            mutated.resize(rng.below(mutated.size()));
+        } else {
+            for (uint64_t flips = 1 + rng.below(4); flips; --flips) {
+                size_t at = (size_t)rng.below(mutated.size());
+                mutated[at] = (char)(mutated[at] ^ (1u << rng.below(8)));
+            }
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(mutated.data(), (std::streamsize)mutated.size());
+        out.close();
+
+        try {
+            trace::TraceReader reader(path);
+            trace::DynInst di;
+            while (reader.next(di)) {
+            }
+        } catch (const SimError &) {
+            // Structured rejection is exactly the contract.
+        }
+    }
+    std::remove(path.c_str());
 }
 
 TEST(FuzzDifferential, RandomProgramsMatchEmulatorInLockstep)
