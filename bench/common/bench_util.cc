@@ -12,6 +12,9 @@
 #include "common/checksum.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
+#include "common/progress.hh"
+#include "common/report.hh"
 #include "common/run_codec.hh"
 #include "common/stats.hh"
 #include "common/sweep_journal.hh"
@@ -48,6 +51,13 @@ std::mutex journalConfigMutex;
 std::string pinnedJournalPath;
 bool journalPathPinned = false;
 int pinnedResume = -1; ///< -1 = unset, else 0/1
+
+/** Observability flags pinned by --trace-events / --report / --progress. */
+std::string pinnedTracePath;
+bool tracePathPinned = false;
+std::string pinnedReportPath;
+bool reportPathPinned = false;
+int pinnedProgress = -1; ///< -1 = unset, else 0/1
 
 /** Serialises CSV appends across concurrent sweeps in one process. */
 std::mutex csvMutex;
@@ -141,6 +151,79 @@ setResume(bool resume)
     pinnedResume = resume ? 1 : 0;
 }
 
+std::string
+traceEventsPath()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (tracePathPinned)
+            return pinnedTracePath;
+    }
+    const char *env = std::getenv("PUBS_TRACE_EVENTS");
+    return env ? env : "";
+}
+
+void
+setTraceEventsPath(std::string path)
+{
+    bool enable = !path.empty();
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        pinnedTracePath = std::move(path);
+        tracePathPinned = true;
+    }
+    if (enable)
+        prof::enable();
+    else
+        prof::disable();
+}
+
+std::string
+reportPath()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (reportPathPinned)
+            return pinnedReportPath;
+    }
+    const char *env = std::getenv("PUBS_BENCH_REPORT");
+    return env ? env : "";
+}
+
+void
+setReportPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedReportPath = std::move(path);
+    reportPathPinned = true;
+}
+
+bool
+progressRequested()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (pinnedProgress >= 0)
+            return pinnedProgress != 0;
+    }
+    const char *env = std::getenv("PUBS_PROGRESS");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+void
+setProgress(bool progress)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedProgress = progress ? 1 : 0;
+}
+
+std::string
+progressJsonPath()
+{
+    const char *env = std::getenv("PUBS_PROGRESS_JSON");
+    return env && *env ? env : "progress.json";
+}
+
 void
 parseBenchArgs(int argc, char **argv)
 {
@@ -159,11 +242,19 @@ parseBenchArgs(int argc, char **argv)
             setJournalPath(argv[++i]);
         } else if (std::strcmp(argv[i], "--resume") == 0) {
             setResume(true);
+        } else if (std::strcmp(argv[i], "--trace-events") == 0 &&
+                   i + 1 < argc) {
+            setTraceEventsPath(argv[++i]);
+        } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+            setReportPath(argv[++i]);
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            setProgress(true);
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--jobs N] [--procs N] [--journal PATH] "
-                "[--resume]\n"
+                "[--resume] [--trace-events PATH] [--report PATH] "
+                "[--progress]\n"
                 "  --jobs N       parallel in-process runs (default: "
                 "hardware concurrency, or $PUBS_BENCH_JOBS)\n"
                 "  --procs N      fault-isolated worker processes "
@@ -172,13 +263,24 @@ parseBenchArgs(int argc, char **argv)
                 "  --journal PATH write-ahead journal of completed runs "
                 "(or $PUBS_BENCH_JOURNAL)\n"
                 "  --resume       serve journaled runs of an "
-                "interrupted sweep (or $PUBS_BENCH_RESUME=1)\n",
+                "interrupted sweep (or $PUBS_BENCH_RESUME=1)\n"
+                "  --trace-events PATH  host-phase profile as Chrome "
+                "trace-event JSON (or $PUBS_TRACE_EVENTS)\n"
+                "  --report PATH  self-contained HTML dashboard "
+                "(or $PUBS_BENCH_REPORT)\n"
+                "  --progress     live progress meter + progress.json "
+                "(or $PUBS_PROGRESS=1; $PUBS_PROGRESS_JSON sets the "
+                "path)\n",
                 argv[0]);
             std::exit(std::strcmp(argv[i], "--help") == 0 ? 0 : 2);
         }
     }
     if (resumeRequested() && journalPath().empty())
         fatal("--resume needs --journal PATH (or $PUBS_BENCH_JOURNAL)");
+    // Environment-only activation (no --trace-events flag on the
+    // command line) still has to switch the profiler on.
+    if (!traceEventsPath().empty())
+        prof::enable();
 }
 
 TextTable::TextTable(std::vector<std::string> header)
@@ -334,18 +436,30 @@ appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
                     out.str());
 }
 
-/** Append one pool-utilization record to sweep_pool.csv. */
+/** Append one pool-utilization + farm-health record to sweep_pool.csv. */
 void
 appendPoolCsv(const SweepResult &result)
 {
-    char line[160];
-    std::snprintf(line, sizeof(line), "%zu,%zu,%u,%.4f,%.4f,%.3f\n",
+    const FarmStats &farm = result.farm;
+    char line[288];
+    std::snprintf(line, sizeof(line),
+                  "%zu,%zu,%u,%.4f,%.4f,%.3f,%llu,%llu,%llu,%llu,%llu,"
+                  "%llu,%llu,%llu\n",
                   result.rows.size(), result.failed(), result.jobs,
                   result.wallSeconds, result.busySeconds,
-                  result.utilization());
+                  result.utilization(),
+                  (unsigned long long)farm.launches,
+                  (unsigned long long)farm.crashes,
+                  (unsigned long long)farm.timeouts,
+                  (unsigned long long)farm.staleKills,
+                  (unsigned long long)farm.corruptFrames,
+                  (unsigned long long)farm.retries,
+                  (unsigned long long)farm.skips,
+                  (unsigned long long)farm.journalServed);
     appendCsvAtomic("sweep_pool.csv",
                     "runs,failed,jobs,wall_seconds,busy_seconds,"
-                    "utilization\n",
+                    "utilization,launches,crashes,timeouts,stale_kills,"
+                    "corrupt_frames,retries,skips,journal_served\n",
                     line);
 }
 
@@ -374,7 +488,7 @@ SweepSpec::add(wl::Workload workload, cpu::CoreParams params,
 }
 
 std::string
-SweepResult::statsJson() const
+SweepResult::statsJson(bool includeFarm) const
 {
     auto quoted = [](const std::string &s) {
         return '"' + jsonEscape(s) + '"';
@@ -410,7 +524,18 @@ SweepResult::statsJson() const
         }
         out << "}";
     }
-    out << "\n]}\n";
+    out << "\n]";
+    if (includeFarm) {
+        out << ",\n\"farm\": {\"launches\": " << farm.launches
+            << ", \"crashes\": " << farm.crashes
+            << ", \"timeouts\": " << farm.timeouts
+            << ", \"stale_kills\": " << farm.staleKills
+            << ", \"corrupt_frames\": " << farm.corruptFrames
+            << ", \"retries\": " << farm.retries
+            << ", \"skips\": " << farm.skips
+            << ", \"journal_served\": " << farm.journalServed << "}";
+    }
+    out << "}\n";
     return out.str();
 }
 
@@ -493,10 +618,20 @@ logSweepRow(const SweepRow &row, const SweepItem &item, size_t done,
 void
 runSweepThreads(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
                 const std::vector<size_t> &todo, SweepResult &result,
-                SweepJournal *journal)
+                SweepJournal *journal, progress::Meter *meter)
 {
     sim::RunPool pool(spec.jobs ? spec.jobs : benchJobs());
     result.jobs = pool.threads();
+
+    // Worker threads report straight into the meter; the sink is global
+    // (one live sweep at a time), cleared once the pool drains.
+    if (meter) {
+        progress::setCallbackSink(
+            [meter](const progress::Sample &sample) {
+                meter->update(sample);
+            },
+            250);
+    }
 
     std::mutex logMutex;
     std::atomic<size_t> completed{0};
@@ -504,11 +639,18 @@ runSweepThreads(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
         pool.submit([&, slot] {
             const SweepItem &item = spec.items[slot];
             SweepRow &row = result.rows[slot];
+            progress::beginTask(slot, item.workload.name,
+                                warmup + insts);
             row = runSweepItem(item, warmup, insts);
+            progress::endTask();
             // Write-ahead: the row is durable before the sweep's final
             // output exists, so a kill from here on cannot lose it.
-            if (journal)
+            if (journal) {
+                prof::Scope span("journal/commit");
                 journal->record(slot, encodeSweepRow(row));
+            }
+            if (meter)
+                meter->runFinished(slot, row.ok());
             size_t done = completed.fetch_add(1) + 1;
             if (spec.verbose) {
                 std::lock_guard<std::mutex> lock(logMutex);
@@ -517,6 +659,8 @@ runSweepThreads(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
         });
     }
     pool.wait();
+    if (meter)
+        progress::clearSink();
 
     sim::PoolStats stats = pool.stats();
     result.wallSeconds = stats.wallSeconds;
@@ -531,12 +675,26 @@ runSweepThreads(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
 void
 runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
               const std::vector<size_t> &todo, SweepResult &result,
-              SweepJournal *journal, unsigned procs)
+              SweepJournal *journal, unsigned procs,
+              progress::Meter *meter)
 {
     sim::ProcPool::Config config =
         sim::ProcPool::configFromEnv(sim::ProcPool::Config{});
     config.procs = procs;
     config.verbose = spec.verbose;
+    if (meter) {
+        // Typed-frame protocol: workers interleave progress heartbeats
+        // with the final result frame, and a heartbeat stream that goes
+        // quiet gets the worker SIGKILLed + retried well before the
+        // coarse per-run timeout. PUBS_PROC_STALE overrides; negative
+        // disables.
+        config.progressFrames = true;
+        if (config.staleSeconds == 0.0)
+            config.staleSeconds = 30.0;
+        config.onProgress = [meter](const progress::Sample &sample) {
+            meter->update(sample);
+        };
+    }
     sim::ProcPool pool(config);
     result.jobs = pool.procs();
 
@@ -548,8 +706,14 @@ runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
             // SimError skip row, which is a result, not a worker
             // failure — back over the CRC-checked pipe.
             (void)attempt;
-            return encodeSweepRow(
-                runSweepItem(spec.items[todo[index]], warmup, insts));
+            size_t slot = todo[index];
+            const SweepItem &item = spec.items[slot];
+            progress::beginTask(slot, item.workload.name,
+                                warmup + insts);
+            std::string payload =
+                encodeSweepRow(runSweepItem(item, warmup, insts));
+            progress::endTask();
+            return payload;
         },
         [&](size_t index, const sim::ProcResult &outcome) {
             // Parent, in completion order: decode, journal, report.
@@ -557,8 +721,10 @@ runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
             const SweepItem &item = spec.items[slot];
             SweepRow &row = result.rows[slot];
             if (outcome.ok && decodeSweepRow(outcome.payload, row)) {
-                if (journal)
+                if (journal) {
+                    prof::Scope span("journal/commit");
                     journal->record(slot, outcome.payload);
+                }
             } else {
                 row = SweepRow{};
                 row.error = outcome.ok
@@ -572,6 +738,12 @@ runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
                 // Deliberately not journaled: a --resume rerun retries
                 // the slot instead of resurrecting the failure.
             }
+            if (meter) {
+                meter->setFarmTotals(pool.stats().retries,
+                                     pool.stats().timeouts,
+                                     pool.stats().staleKills);
+                meter->runFinished(slot, row.ok());
+            }
             if (spec.verbose)
                 logSweepRow(row, item, ++completed, todo.size());
         });
@@ -579,16 +751,24 @@ runSweepProcs(const SweepSpec &spec, uint64_t warmup, uint64_t insts,
     const sim::ProcPoolStats &stats = pool.stats();
     result.wallSeconds = stats.wallSeconds;
     result.busySeconds = stats.busySeconds;
+    result.farm.launches = stats.launches;
+    result.farm.crashes = stats.crashes;
+    result.farm.timeouts = stats.timeouts;
+    result.farm.staleKills = stats.staleKills;
+    result.farm.corruptFrames = stats.corruptFrames;
+    result.farm.retries = stats.retries;
+    result.farm.skips = stats.permanentFailures;
     if (spec.verbose &&
-        (stats.retries || stats.timeouts || stats.crashes ||
-         stats.corruptFrames)) {
+        (stats.retries || stats.timeouts || stats.staleKills ||
+         stats.crashes || stats.corruptFrames)) {
         std::fprintf(stderr,
                      "  proc pool: %llu launches, %llu crashes, %llu "
-                     "timeouts, %llu corrupt frames, %llu retries, "
-                     "%llu skipped\n",
+                     "timeouts, %llu stale kills, %llu corrupt frames, "
+                     "%llu retries, %llu skipped\n",
                      (unsigned long long)stats.launches,
                      (unsigned long long)stats.crashes,
                      (unsigned long long)stats.timeouts,
+                     (unsigned long long)stats.staleKills,
                      (unsigned long long)stats.corruptFrames,
                      (unsigned long long)stats.retries,
                      (unsigned long long)stats.permanentFailures);
@@ -639,13 +819,29 @@ runSweep(const SweepSpec &spec)
                      journal->path().c_str());
     }
 
+    result.farm.journalServed = served;
+
+    // Live progress plane: per-worker heartbeats -> one meter.
+    std::unique_ptr<progress::Meter> meter;
+    if (progressRequested()) {
+        progress::Meter::Config meterConfig;
+        meterConfig.totalRuns = todo.size();
+        meterConfig.jsonPath = progressJsonPath();
+        meter = std::make_unique<progress::Meter>(meterConfig);
+    }
+
     unsigned procs = spec.procs ? spec.procs : benchProcs();
     if (procs) {
         runSweepProcs(spec, warmup, insts, todo, result, journal.get(),
-                      procs);
+                      procs, meter.get());
     } else {
-        runSweepThreads(spec, warmup, insts, todo, result,
-                        journal.get());
+        runSweepThreads(spec, warmup, insts, todo, result, journal.get(),
+                        meter.get());
+    }
+    if (meter) {
+        meter->setFarmTotals(result.farm.retries, result.farm.timeouts,
+                             result.farm.staleKills);
+        meter->finish();
     }
 
     if (size_t n = result.failed()) {
@@ -672,6 +868,27 @@ runSweep(const SweepSpec &spec)
     appendCsvAtomic("simspeed.csv", simSpeedCsvHeader, speedRows);
     appendSkipCsv(spec, result);
     appendPoolCsv(result);
+
+    // Observability outputs, rewritten (atomically) after every sweep so
+    // a driver that runs several sweeps leaves them cumulative and a
+    // kill mid-driver leaves the last complete version.
+    if (!reportPath().empty()) {
+        globalReport().addSweep(spec, result);
+        std::string error = globalReport().writeHtml(reportPath());
+        if (!error.empty())
+            warn("cannot write dashboard: %s", error.c_str());
+    }
+    {
+        prof::Scope span("sweep/trace_export");
+        std::string trace = traceEventsPath();
+        if (!trace.empty()) {
+            try {
+                prof::writeTrace(trace);
+            } catch (const SimError &error) {
+                warn("cannot write trace events: %s", error.what());
+            }
+        }
+    }
     return result;
 }
 

@@ -83,10 +83,43 @@ bool resumeRequested();
 void setResume(bool resume);
 
 /**
+ * Chrome trace-event output path (--trace-events / PUBS_TRACE_EVENTS);
+ * empty disables host-phase profiling. When set, the profiler is
+ * enabled and each runSweep() rewrites the trace file atomically.
+ */
+std::string traceEventsPath();
+
+/** Pin the trace path and enable the profiler. Empty disables. */
+void setTraceEventsPath(std::string path);
+
+/**
+ * Dashboard output path (--report / PUBS_BENCH_REPORT); empty disables.
+ * When set, every runSweep() feeds the global report builder
+ * (bench/common/report.hh) and rewrites the self-contained HTML.
+ */
+std::string reportPath();
+
+/** Pin the dashboard path (what --report does). Empty disables. */
+void setReportPath(std::string path);
+
+/** Was --progress (or PUBS_PROGRESS=1) requested? */
+bool progressRequested();
+
+/** Pin the progress flag (what --progress does). */
+void setProgress(bool progress);
+
+/**
+ * Where the live progress document goes when --progress is on:
+ * $PUBS_PROGRESS_JSON if set, else "progress.json".
+ */
+std::string progressJsonPath();
+
+/**
  * Parse the shared bench-driver command line (--jobs N, --procs N,
- * --journal PATH, --resume, --help). Unknown flags print usage and
- * exit(2). Every bench_* main calls this first so the whole harness
- * honours the flags uniformly.
+ * --journal PATH, --resume, --trace-events PATH, --report PATH,
+ * --progress, --help). Unknown flags print usage and exit(2). Every
+ * bench_* main calls this first so the whole harness honours the flags
+ * uniformly.
  */
 void parseBenchArgs(int argc, char **argv);
 
@@ -172,6 +205,24 @@ struct SweepRow
     bool ok() const { return error.empty(); }
 };
 
+/**
+ * Farm-health counters of one sweep: how hard the recovery machinery
+ * had to work. All zero for an in-process (threads) sweep except
+ * journalServed. Host-dependent, so excluded from statsJson()'s
+ * determinism contract unless explicitly requested.
+ */
+struct FarmStats
+{
+    uint64_t launches = 0;
+    uint64_t crashes = 0;
+    uint64_t timeouts = 0;
+    uint64_t staleKills = 0;
+    uint64_t corruptFrames = 0;
+    uint64_t retries = 0;
+    uint64_t skips = 0;         ///< permanently failed tasks
+    uint64_t journalServed = 0; ///< slots replayed from a --resume journal
+};
+
 /** Deterministically aggregated results of one sweep. */
 struct SweepResult
 {
@@ -181,6 +232,7 @@ struct SweepResult
     unsigned jobs = 1;        ///< worker threads actually used
     double wallSeconds = 0.0; ///< host wall clock of the whole sweep
     double busySeconds = 0.0; ///< summed per-run simulation time
+    FarmStats farm;           ///< recovery-machinery counters
 
     /** Fraction of thread-seconds spent simulating. */
     double
@@ -205,8 +257,11 @@ struct SweepResult
     /**
      * The whole sweep as one JSON object containing only deterministic
      * fields (no wall-clock / KIPS): byte-identical at any job count.
+     * @p includeFarm additionally emits the farm-health counters, which
+     * are host-dependent (retries, timeouts) and therefore off by
+     * default to preserve the byte-exactness contract.
      */
-    std::string statsJson() const;
+    std::string statsJson(bool includeFarm = false) const;
 };
 
 /**

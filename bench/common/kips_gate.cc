@@ -1,0 +1,233 @@
+#include "common/kips_gate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/json.hh"
+
+namespace pubs::bench
+{
+
+namespace
+{
+
+struct SpeedRun
+{
+    std::string workload;
+    std::string machine;
+    double kips = 0.0;
+};
+
+/** Extract the runs[] rows of one parsed hostspeed document. */
+std::string
+extractRuns(const json::Value &doc, std::vector<SpeedRun> &out)
+{
+    if (!doc.isObject())
+        return "top-level value is not an object";
+    const json::Value *runs = doc.find("runs");
+    if (!runs || !runs->isArray())
+        return "missing \"runs\" array";
+    for (const json::Value &row : runs->array()) {
+        if (!row.isObject())
+            return "\"runs\" element is not an object";
+        SpeedRun run;
+        run.workload = row.stringOr("workload", "");
+        run.machine = row.stringOr("machine", "");
+        run.kips = row.numberOr("kips", 0.0);
+        if (run.workload.empty())
+            return "run row without a \"workload\"";
+        if (run.kips <= 0.0)
+            continue; // failed / unmeasured runs carry no speed signal
+        out.push_back(std::move(run));
+    }
+    if (out.empty())
+        return "no usable runs (all rows failed or kips <= 0)";
+    return "";
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log = 0.0;
+    for (double v : values)
+        log += std::log(v);
+    return std::exp(log / (double)values.size());
+}
+
+std::string
+fmt(const char *format, double a, double b = 0.0, double c = 0.0)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, a, b, c);
+    return buf;
+}
+
+} // namespace
+
+size_t
+GateResult::regressions() const
+{
+    size_t n = 0;
+    for (const GateDelta &d : deltas)
+        n += d.regressed ? 1 : 0;
+    return n;
+}
+
+std::string
+GateResult::report() const
+{
+    std::ostringstream out;
+    if (!error.empty()) {
+        out << "kips_gate: ERROR: " << error << "\n";
+        return out.str();
+    }
+    std::vector<GateDelta> sorted = deltas;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const GateDelta &a, const GateDelta &b) {
+                  return a.ratio < b.ratio;
+              });
+    out << "kips_gate: " << deltas.size() << " matched runs, tolerance "
+        << fmt("%.0f%% per workload / %.0f%% geomean\n",
+               100.0 * config.perWorkloadTolerance,
+               100.0 * config.geomeanTolerance);
+    for (const GateDelta &d : sorted) {
+        out << "  " << (d.regressed ? "FAIL" : " ok ") << "  "
+            << d.workload << "/" << d.machine << ": "
+            << fmt("%.0f -> %.0f KIPS (%+.1f%%)\n", d.baselineKips,
+                   d.freshKips, 100.0 * (d.ratio - 1.0));
+    }
+    for (const std::string &name : missing)
+        out << "  MISS  " << name << ": in baseline, absent from fresh\n";
+    out << "  " << (geomeanRegressed ? "FAIL" : " ok ") << "  geomean: "
+        << fmt("%.0f -> %.0f KIPS (%+.1f%%)\n", baselineGeomean,
+               freshGeomean,
+               100.0 * (geomeanRatio - 1.0));
+    out << "kips_gate: " << (pass ? "PASS" : "FAIL");
+    if (!pass)
+        out << " (" << regressions() << " workload regressions"
+            << (geomeanRegressed ? ", geomean regressed" : "")
+            << (missing.empty() ? "" : ", missing runs") << ")";
+    out << "\n";
+    return out.str();
+}
+
+std::string
+GateResult::ledgerRow(const std::string &label) const
+{
+    if (!error.empty())
+        return "| " + label + " | - | - | - | ERROR: " + error + " |\n";
+    std::ostringstream out;
+    out << "| " << label << " | "
+        << fmt("%.0f | %.0f | %+.1f%% | ", baselineGeomean, freshGeomean,
+               100.0 * (geomeanRatio - 1.0))
+        << (pass ? "pass" : "**FAIL**") << " |\n";
+    return out.str();
+}
+
+GateResult
+runKipsGate(const std::string &baselineJson, const std::string &freshJson,
+            const GateConfig &config)
+{
+    GateResult result;
+    result.config = config;
+
+    json::Value baseDoc, freshDoc;
+    std::string error;
+    if (!json::parse(baselineJson, baseDoc, error)) {
+        result.error = "baseline: " + error;
+        return result;
+    }
+    if (!json::parse(freshJson, freshDoc, error)) {
+        result.error = "fresh: " + error;
+        return result;
+    }
+    std::vector<SpeedRun> baseRuns, freshRuns;
+    error = extractRuns(baseDoc, baseRuns);
+    if (!error.empty()) {
+        result.error = "baseline: " + error;
+        return result;
+    }
+    error = extractRuns(freshDoc, freshRuns);
+    if (!error.empty()) {
+        result.error = "fresh: " + error;
+        return result;
+    }
+
+    std::vector<double> baseKips, freshKips;
+    for (const SpeedRun &base : baseRuns) {
+        const SpeedRun *fresh = nullptr;
+        for (const SpeedRun &f : freshRuns) {
+            if (f.workload == base.workload && f.machine == base.machine) {
+                fresh = &f;
+                break;
+            }
+        }
+        if (!fresh) {
+            result.missing.push_back(base.workload + "/" + base.machine);
+            continue;
+        }
+        GateDelta delta;
+        delta.workload = base.workload;
+        delta.machine = base.machine;
+        delta.baselineKips = base.kips;
+        delta.freshKips = fresh->kips;
+        delta.ratio = fresh->kips / base.kips;
+        delta.regressed =
+            delta.ratio < 1.0 - config.perWorkloadTolerance;
+        baseKips.push_back(base.kips);
+        freshKips.push_back(fresh->kips);
+        result.deltas.push_back(std::move(delta));
+    }
+    if (result.deltas.empty()) {
+        result.error = "no (workload, machine) pairs match between "
+                       "baseline and fresh";
+        return result;
+    }
+
+    result.baselineGeomean = geomean(baseKips);
+    result.freshGeomean = geomean(freshKips);
+    result.geomeanRatio = result.freshGeomean / result.baselineGeomean;
+    result.geomeanRegressed =
+        result.geomeanRatio < 1.0 - config.geomeanTolerance;
+    result.pass = !result.geomeanRegressed && result.regressions() == 0 &&
+                  result.missing.empty();
+    return result;
+}
+
+GateResult
+runKipsGateFiles(const std::string &baselinePath,
+                 const std::string &freshPath, const GateConfig &config)
+{
+    GateResult result;
+    result.config = config;
+    std::string baseline, fresh;
+    if (!readWholeFile(baselinePath, baseline)) {
+        result.error = "cannot read baseline " + baselinePath;
+        return result;
+    }
+    if (!readWholeFile(freshPath, fresh)) {
+        result.error = "cannot read fresh record " + freshPath;
+        return result;
+    }
+    return runKipsGate(baseline, fresh, config);
+}
+
+std::string
+appendLedger(const std::string &path, const GateResult &r,
+             const std::string &label)
+{
+    static const char *header =
+        "# Host-speed ledger\n\n"
+        "Appended by `ci/kips_gate --ledger`; baseline vs fresh "
+        "geomean KIPS per evaluation.\n\n"
+        "| run | baseline | fresh | delta | verdict |\n"
+        "|---|---|---|---|---|\n";
+    return atomicAppendFile(path, header, r.ledgerRow(label));
+}
+
+} // namespace pubs::bench

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * KIPS regression gate: compare a fresh hostspeed record against the
+ * committed baseline.
+ *
+ * The hostspeed record (BENCH_hostspeed.json, written by
+ * `bench_micro_components --hostspeed`) captures per-run simulation
+ * speed in KIPS. The gate strict-parses both documents (common/json.hh),
+ * joins runs on (workload, machine), and flags a regression when a
+ * fresh run is more than the per-workload tolerance below its baseline
+ * or the geomean drops by more than the geomean tolerance. Improvements
+ * never fail the gate — the baseline is a floor, not a pin.
+ *
+ * Every evaluation can be appended to a markdown ledger
+ * (BENCH_LEDGER.md) so the speed history survives in-repo. The ledger
+ * is append-only and written through atomicAppendFile.
+ */
+
+#ifndef PUBS_BENCH_COMMON_KIPS_GATE_HH
+#define PUBS_BENCH_COMMON_KIPS_GATE_HH
+
+#include <string>
+#include <vector>
+
+namespace pubs::bench
+{
+
+/** Gate tolerances; defaults match the CI policy. */
+struct GateConfig
+{
+    /** A run may be this fraction below baseline before failing. */
+    double perWorkloadTolerance = 0.15;
+    /** The geomean may be this fraction below baseline before failing. */
+    double geomeanTolerance = 0.07;
+};
+
+/** One (workload, machine) pair present in both records. */
+struct GateDelta
+{
+    std::string workload;
+    std::string machine;
+    double baselineKips = 0.0;
+    double freshKips = 0.0;
+    double ratio = 0.0; ///< fresh / baseline
+    bool regressed = false;
+};
+
+/** Outcome of one gate evaluation. */
+struct GateResult
+{
+    /** Non-empty when the inputs could not be read/parsed/joined. */
+    std::string error;
+
+    bool pass = false;
+    std::vector<GateDelta> deltas;
+    /** Baseline (workload, machine) pairs absent from the fresh run. */
+    std::vector<std::string> missing;
+    double baselineGeomean = 0.0;
+    double freshGeomean = 0.0;
+    double geomeanRatio = 0.0; ///< fresh / baseline
+    bool geomeanRegressed = false;
+    GateConfig config;
+
+    /** Count of per-workload regressions. */
+    size_t regressions() const;
+
+    /** Human-readable multi-line report (worst deltas first). */
+    std::string report() const;
+
+    /** One markdown ledger row: | label | geomean | ratio | verdict |. */
+    std::string ledgerRow(const std::string &label) const;
+};
+
+/**
+ * Evaluate @p fresh against @p baseline (both parsed hostspeed JSON
+ * documents as text). Pure function of its inputs — file IO lives in
+ * runKipsGateFiles().
+ */
+GateResult runKipsGate(const std::string &baselineJson,
+                       const std::string &freshJson,
+                       const GateConfig &config = {});
+
+/** Evaluate two hostspeed files. */
+GateResult runKipsGateFiles(const std::string &baselinePath,
+                            const std::string &freshPath,
+                            const GateConfig &config = {});
+
+/**
+ * Append result @p r as one row to the markdown ledger at @p path,
+ * creating the file with its table header when absent. @p label names
+ * the evaluation (e.g. a date or CI run id).
+ * @return empty on success, error text otherwise.
+ */
+std::string appendLedger(const std::string &path, const GateResult &r,
+                         const std::string &label);
+
+} // namespace pubs::bench
+
+#endif // PUBS_BENCH_COMMON_KIPS_GATE_HH

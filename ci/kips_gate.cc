@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CI entry point of the KIPS regression gate.
+ *
+ *   kips_gate --baseline BENCH_hostspeed.json --fresh fresh.json \
+ *             [--ledger BENCH_LEDGER.md] [--label NAME] \
+ *             [--per-workload-tol 0.15] [--geomean-tol 0.07] \
+ *             [--warn-only]
+ *
+ * Exit status: 0 = pass (or --warn-only), 1 = regression, 2 = bad
+ * invocation or unreadable/invalid input. --warn-only still prints the
+ * full report and writes the ledger, but never fails the build — for
+ * shared CI runners whose wall-clock speed is not trustworthy.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/kips_gate.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --baseline FILE --fresh FILE\n"
+                 "          [--ledger FILE] [--label NAME]\n"
+                 "          [--per-workload-tol FRAC] [--geomean-tol FRAC]\n"
+                 "          [--warn-only]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ::pubs::bench;
+
+    std::string baseline, fresh, ledger, label = "local";
+    GateConfig config;
+    bool warnOnly = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--baseline"))
+            baseline = next("--baseline");
+        else if (!std::strcmp(argv[i], "--fresh"))
+            fresh = next("--fresh");
+        else if (!std::strcmp(argv[i], "--ledger"))
+            ledger = next("--ledger");
+        else if (!std::strcmp(argv[i], "--label"))
+            label = next("--label");
+        else if (!std::strcmp(argv[i], "--per-workload-tol"))
+            config.perWorkloadTolerance =
+                std::strtod(next("--per-workload-tol"), nullptr);
+        else if (!std::strcmp(argv[i], "--geomean-tol"))
+            config.geomeanTolerance =
+                std::strtod(next("--geomean-tol"), nullptr);
+        else if (!std::strcmp(argv[i], "--warn-only"))
+            warnOnly = true;
+        else if (!std::strcmp(argv[i], "--help"))
+            usage(argv[0]);
+        else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0]);
+        }
+    }
+    if (baseline.empty() || fresh.empty())
+        usage(argv[0]);
+
+    GateResult result = runKipsGateFiles(baseline, fresh, config);
+    std::fputs(result.report().c_str(), stdout);
+    if (!ledger.empty()) {
+        std::string error = appendLedger(ledger, result, label);
+        if (!error.empty())
+            std::fprintf(stderr, "kips_gate: cannot append %s: %s\n",
+                         ledger.c_str(), error.c_str());
+    }
+    if (!result.error.empty())
+        return 2;
+    if (!result.pass && warnOnly) {
+        std::fputs("kips_gate: regression DOWNGRADED to warning "
+                   "(--warn-only)\n",
+                   stdout);
+        return 0;
+    }
+    return result.pass ? 0 : 1;
+}

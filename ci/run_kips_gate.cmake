@@ -1,0 +1,18 @@
+# Driver for the perf-labelled KIPS gate test: run a fresh hostspeed
+# sweep, then gate it against the committed baseline. Invoked by ctest
+# via cmake -P (see ci/CMakeLists.txt); hard-fails on regression, which
+# is the intended local behaviour — CI shared runners use the gate
+# binary directly with --warn-only instead.
+execute_process(
+    COMMAND ${HOSTSPEED_BIN} --hostspeed ${FRESH}
+    RESULT_VARIABLE sweep_rc)
+if(NOT sweep_rc EQUAL 0)
+    message(FATAL_ERROR "hostspeed sweep failed (rc=${sweep_rc})")
+endif()
+execute_process(
+    COMMAND ${GATE_BIN} --baseline ${BASELINE} --fresh ${FRESH}
+            --label "ctest-perf"
+    RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 0)
+    message(FATAL_ERROR "kips_gate failed (rc=${gate_rc})")
+endif()

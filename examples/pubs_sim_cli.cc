@@ -27,6 +27,14 @@
  *       --telemetry                  collect PUBS slice telemetry and the
  *                                    branch-site profile
  *       --heartbeat <cycles>         heartbeat interval (0 disables)
+ *       --progress                   live progress readout (TTY meter,
+ *                                    machine-readable lines otherwise)
+ *                                    + progress.json; PUBS_PROGRESS=1
+ *                                    enables it too
+ *       --trace-events <path>        host-phase profile as Chrome trace
+ *                                    events (open in Perfetto)
+ *       --report <path>              self-contained HTML dashboard of
+ *                                    this run (implies --telemetry)
  *       --jobs <n>                   worker threads for --check lockstep
  *                                    (default: hardware concurrency)
  *       --procs <n>                  fault-isolated worker *processes*
@@ -47,8 +55,14 @@
 #include <cstring>
 #include <string>
 
+#include <cstdlib>
+
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
+#include "common/progress.hh"
+#include "common/report.hh"
+#include "common/stats.hh"
 #include "cpu/telemetry.hh"
 #include "emu/emulator.hh"
 #include "sim/config.hh"
@@ -77,7 +91,8 @@ usage(const char *argv0)
                  "          [--audit-interval N]\n"
                  "          [--stats-json PATH] [--pipeview PATH]\n"
                  "          [--telemetry] [--heartbeat N] [--jobs N]\n"
-                 "          [--procs N]\n",
+                 "          [--procs N] [--progress]\n"
+                 "          [--trace-events PATH] [--report PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -193,7 +208,7 @@ reportLockstep(const std::vector<std::string> &lines,
  */
 int
 runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
-            uint64_t seed, unsigned jobs)
+            uint64_t seed, unsigned jobs, progress::Meter *meter)
 {
     params.checkPolicy = CheckPolicy::Throw;
     params.auditPolicy = CheckPolicy::Throw;
@@ -202,12 +217,25 @@ runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
     std::vector<std::string> lines(names.size());
     std::vector<std::string> errors(names.size());
 
+    if (meter) {
+        progress::setCallbackSink(
+            [meter](const progress::Sample &s) { meter->update(s); },
+            250);
+    }
     sim::RunPool pool(jobs);
     sim::parallelFor(pool, names.size(), [&](size_t i) {
+        if (meter)
+            progress::beginTask(i, names[i], warmup + insts);
         lockstepOne(names[i], params, warmup, insts, seed, lines[i],
                     errors[i]);
+        if (meter) {
+            progress::endTask();
+            meter->runFinished(i, errors[i].empty());
+        }
     });
     pool.wait();
+    if (meter)
+        progress::clearSink();
     return reportLockstep(lines, errors, pool.threads(), "jobs");
 }
 
@@ -220,7 +248,7 @@ runLockstep(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
  */
 int
 runLockstepProcs(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
-                 uint64_t seed, unsigned procs)
+                 uint64_t seed, unsigned procs, progress::Meter *meter)
 {
     params.checkPolicy = CheckPolicy::Throw;
     params.auditPolicy = CheckPolicy::Throw;
@@ -232,14 +260,35 @@ runLockstepProcs(cpu::CoreParams params, uint64_t warmup, uint64_t insts,
     sim::ProcPool::Config config =
         sim::ProcPool::configFromEnv(sim::ProcPool::Config());
     config.procs = procs;
+    if (meter) {
+        config.progressFrames = true;
+        if (config.staleSeconds == 0.0)
+            config.staleSeconds = 30.0;
+        config.onProgress = [meter](const progress::Sample &s) {
+            meter->update(s);
+        };
+    }
     sim::ProcPool pool(config);
     std::vector<sim::ProcResult> results = pool.run(
-        names.size(), [&](size_t i, unsigned) {
+        names.size(),
+        [&](size_t i, unsigned) {
+            if (meter)
+                progress::beginTask(i, names[i], warmup + insts);
             std::string line, error;
             lockstepOne(names[i], params, warmup, insts, seed, line,
                         error);
+            if (meter)
+                progress::endTask();
             return (error.empty() ? "P" : "F") + line +
                    (error.empty() ? "" : "\n" + error);
+        },
+        [&](size_t i, const sim::ProcResult &r) {
+            if (!meter)
+                return;
+            meter->setFarmTotals(pool.stats().retries,
+                                 pool.stats().timeouts,
+                                 pool.stats().staleKills);
+            meter->runFinished(i, r.ok);
         });
 
     for (size_t i = 0; i < names.size(); ++i) {
@@ -298,6 +347,10 @@ run(int argc, char **argv)
     unsigned heartbeat = 0;
     unsigned jobs = 0;  // 0 = hardware concurrency
     unsigned procs = 0; // 0 = in-process threads
+    const char *progressEnv = std::getenv("PUBS_PROGRESS");
+    bool progressOn = progressEnv && *progressEnv && *progressEnv != '0';
+    std::string tracePath;
+    std::string reportPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -356,6 +409,13 @@ run(int argc, char **argv)
             procs = (unsigned)std::stoul(next());
             if (procs == 0)
                 fatal("--procs must be at least 1");
+        } else if (arg == "--progress") {
+            progressOn = true;
+        } else if (arg == "--trace-events") {
+            tracePath = next();
+        } else if (arg == "--report") {
+            reportPath = next();
+            telemetry = true;
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -386,10 +446,37 @@ run(int argc, char **argv)
     if (setHeartbeat)
         params.heartbeatInterval = heartbeat;
 
+    if (!tracePath.empty())
+        prof::enable();
+    auto writeTraceIfAsked = [&]() {
+        if (tracePath.empty())
+            return;
+        prof::writeTrace(tracePath);
+        std::printf("trace events written to %s (open in Perfetto)\n",
+                    tracePath.c_str());
+    };
+    auto makeMeter = [&](size_t totalRuns) {
+        std::unique_ptr<progress::Meter> meter;
+        if (!progressOn)
+            return meter;
+        progress::Meter::Config mc;
+        mc.totalRuns = totalRuns;
+        const char *jsonEnv = std::getenv("PUBS_PROGRESS_JSON");
+        mc.jsonPath = jsonEnv && *jsonEnv ? jsonEnv : "progress.json";
+        meter = std::make_unique<progress::Meter>(mc);
+        return meter;
+    };
+
     if (checkArg == "lockstep") {
+        auto meter = makeMeter(wl::suiteNames().size());
         int failures =
-            procs ? runLockstepProcs(params, warmup, insts, seed, procs)
-                  : runLockstep(params, warmup, insts, seed, jobs);
+            procs ? runLockstepProcs(params, warmup, insts, seed, procs,
+                                     meter.get())
+                  : runLockstep(params, warmup, insts, seed, jobs,
+                                meter.get());
+        if (meter)
+            meter->finish();
+        writeTraceIfAsked();
         return failures ? 1 : 0;
     }
     if (!checkArg.empty()) {
@@ -420,7 +507,20 @@ run(int argc, char **argv)
         simulator.pipeline().attachPipeView(
             std::make_unique<trace::PipeViewWriter>(pipeviewPath));
     }
+    auto meter = makeMeter(1);
+    if (meter) {
+        progress::setCallbackSink(
+            [&meter](const progress::Sample &s) { meter->update(s); },
+            250);
+        progress::beginTask(0, workload, warmup + insts);
+    }
     sim::RunResult result = simulator.run(warmup, insts);
+    if (meter) {
+        progress::endTask();
+        progress::clearSink();
+        meter->runFinished(0, true);
+        meter->finish();
+    }
 
     StatGroup group(workload);
     simulator.pipeline().fillStats(group);
@@ -431,7 +531,7 @@ run(int argc, char **argv)
     if (const cpu::CoreTelemetry *t = simulator.pipeline().telemetry())
         std::printf("%s", t->formatBranchProfile().c_str());
 
-    if (!statsJsonPath.empty()) {
+    if (!statsJsonPath.empty() || !reportPath.empty()) {
         StatRegistry registry;
         StatGroup &run = registry.group("run");
         run.addString("workload", workload);
@@ -445,14 +545,42 @@ run(int argc, char **argv)
         run.add("kips", result.kips(),
                 "kilo-instructions committed per host second");
         simulator.pipeline().fillRegistry(registry);
-        registry.writeJson(statsJsonPath);
-        std::printf("stats written to %s\n", statsJsonPath.c_str());
+        if (!statsJsonPath.empty()) {
+            registry.writeJson(statsJsonPath);
+            std::printf("stats written to %s\n", statsJsonPath.c_str());
+        }
+        if (!reportPath.empty()) {
+            bench::ReportBuilder report;
+            report.setTitle("pubs_sim_cli: " + workload + " on " +
+                            sim::machineName(machine));
+            bench::ReportBuilder::Run row;
+            row.workload = workload;
+            row.machine = sim::machineName(machine);
+            row.ok = true;
+            row.instructions = result.instructions;
+            row.cycles = result.cycles;
+            row.ipc = result.ipc;
+            row.kips = result.kips();
+            row.branchMpki = result.branchMpki;
+            row.llcMpki = result.llcMpki;
+            row.unconfidentRate = result.unconfidentBranchRate;
+            report.addRun(row);
+            report.setStatsJson(registry.renderJson());
+            std::string error = report.writeHtml(reportPath);
+            if (!error.empty())
+                warn("cannot write dashboard %s: %s", reportPath.c_str(),
+                     error.c_str());
+            else
+                std::printf("dashboard written to %s\n",
+                            reportPath.c_str());
+        }
     }
     if (const trace::PipeViewWriter *pv = simulator.pipeline().pipeView()) {
         std::printf("pipeview trace: %s (%llu records; open with Konata)\n",
                     pv->path().c_str(),
                     (unsigned long long)pv->records());
     }
+    writeTraceIfAsked();
     return 0;
 }
 

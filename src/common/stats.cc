@@ -332,12 +332,59 @@ StatRegistry::writeJson(const std::string &path) const
     atomicWriteFileOrThrow(path, renderJson());
 }
 
+namespace
+{
+
+/**
+ * Length of the valid UTF-8 sequence starting at s[i], or 0 if the
+ * bytes there are not well-formed (invalid lead, truncated or overlong
+ * sequence, surrogate, out of range). RFC 8259 interchange requires
+ * valid UTF-8, and strict consumers (browsers, Perfetto, json.load)
+ * reject documents carrying raw invalid bytes.
+ */
+size_t
+utf8SequenceLength(const std::string &s, size_t i)
+{
+    unsigned char lead = (unsigned char)s[i];
+    size_t extra;
+    unsigned cp;
+    if ((lead & 0xe0) == 0xc0) {
+        extra = 1;
+        cp = lead & 0x1f;
+    } else if ((lead & 0xf0) == 0xe0) {
+        extra = 2;
+        cp = lead & 0x0f;
+    } else if ((lead & 0xf8) == 0xf0) {
+        extra = 3;
+        cp = lead & 0x07;
+    } else {
+        return 0;
+    }
+    if (i + extra >= s.size())
+        return 0;
+    for (size_t k = 1; k <= extra; ++k) {
+        unsigned char c = (unsigned char)s[i + k];
+        if ((c & 0xc0) != 0x80)
+            return 0;
+        cp = cp << 6 | (c & 0x3f);
+    }
+    static constexpr unsigned minByLen[4] = {0, 0x80, 0x800, 0x10000};
+    if (cp < minByLen[extra] || (cp >= 0xd800 && cp <= 0xdfff) ||
+        cp > 0x10ffff) {
+        return 0;
+    }
+    return extra + 1;
+}
+
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
-    for (unsigned char c : s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+        unsigned char c = (unsigned char)s[i];
         switch (c) {
           case '"':
             out += "\\\"";
@@ -365,8 +412,15 @@ jsonEscape(const std::string &s)
                 char buffer[8];
                 std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
                 out += buffer;
-            } else {
+            } else if (c < 0x80) {
                 out += (char)c;
+            } else if (size_t len = utf8SequenceLength(s, i)) {
+                out.append(s, i, len);
+                i += len - 1;
+            } else {
+                // Invalid UTF-8 byte: substitute U+FFFD rather than emit
+                // a document strict parsers reject.
+                out += "\\ufffd";
             }
         }
     }

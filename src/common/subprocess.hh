@@ -59,6 +59,18 @@ enum class FrameStatus
  */
 FrameStatus decodeFrame(const std::string &buffer, std::string &payload);
 
+/**
+ * Incremental variant for streams carrying several frames (a worker
+ * interleaving progress frames with its final result): decode the frame
+ * at the start of @p buffer and, on Ok, consume it from @p buffer so the
+ * next call sees the following frame. Unlike decodeFrame(), bytes after
+ * a complete frame are the next frame, not corruption. Truncated leaves
+ * @p buffer untouched (more bytes may arrive); Corrupt leaves it
+ * untouched too — nothing downstream of a bad header can be trusted, so
+ * callers should discard the stream and retry the worker.
+ */
+FrameStatus nextFrame(std::string &buffer, std::string &payload);
+
 // --- child process helpers -------------------------------------------
 
 /** A forked worker and the read end of its result pipe. */

@@ -6,6 +6,8 @@
 #include "common/bits.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
+#include "common/progress.hh"
 #include "cpu/audit.hh"
 #include "cpu/telemetry.hh"
 #include "isa/program.hh"
@@ -465,6 +467,12 @@ Pipeline::run(uint64_t maxInsts)
     uint64_t lastCommitted = stats_.committed;
     Cycle lastProgress = now_;
 
+    // Progress heartbeats are strided by committed instructions so the
+    // per-cycle cost of an enabled sink stays one integer compare; the
+    // sink applies its own wall-clock rate limit on top.
+    constexpr uint64_t progressStride = 1 << 16;
+    uint64_t nextProgressAt = startCommitted + progressStride;
+
     while (stats_.committed < target && !drained()) {
         // Event-driven advance: when no stage can possibly do work next
         // cycle, jump straight to the next scheduled event, bulk-
@@ -475,6 +483,11 @@ Pipeline::run(uint64_t maxInsts)
         ++now_;
         ++stats_.cycles;
         cycle();
+
+        if (stats_.committed >= nextProgressAt) {
+            progress::tick(stats_.committed - startCommitted);
+            nextProgressAt = stats_.committed + progressStride;
+        }
 
         if (stats_.committed != lastCommitted) {
             lastCommitted = stats_.committed;
@@ -500,18 +513,34 @@ Pipeline::resetStats()
 void
 Pipeline::cycle()
 {
+    // Host-phase profiling is sampled: most cycles pay one predictable
+    // branch, and every sampleInterval()-th cycle times each stage.
+    // The lambda indirection inlines; the timed and untimed paths run
+    // the same stage code, so profiling cannot perturb simulation.
+    const bool sampled = prof::sampleCycle(now_);
+    auto stage = [sampled](const char *name, auto &&body) {
+        if (sampled) {
+            prof::Scope span(name);
+            body();
+        } else {
+            body();
+        }
+    };
+
     // Deliver this cycle's wakeup events before any stage runs, so the
     // ready bitmaps the select logic reads match what a full rescan of
     // regReadyCycle would conclude at this cycle.
-    wheel_.drain(now_, [this](const EventWheel::Event &event) {
-        onWheelEvent(event.kind, event.a, event.b);
+    stage("sim/wakeup", [&] {
+        wheel_.drain(now_, [this](const EventWheel::Event &event) {
+            onWheelEvent(event.kind, event.a, event.b);
+        });
+        applyConfEvents();
+        processSquashes();
     });
-    applyConfEvents();
-    processSquashes();
-    doCommit();
-    doIssue();
-    doDispatch();
-    doFetch();
+    stage("sim/commit", [&] { doCommit(); });
+    stage("sim/select", [&] { doIssue(); });
+    stage("sim/rename", [&] { doDispatch(); });
+    stage("sim/fetch", [&] { doFetch(); });
 
     size_t occupancy = 0;
     for (const auto &queue : iqs_)

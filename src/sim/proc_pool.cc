@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "sim/run_pool.hh"
 
 namespace pubs::sim
@@ -74,6 +75,12 @@ struct Running
     Clock::time_point deadline;
     bool hasDeadline;
     std::string buffer; ///< frame bytes read so far
+    // Typed-frame (progressFrames) stream state:
+    Clock::time_point lastByte;  ///< heartbeat for staleness
+    bool sawBytes = false;       ///< heartbeat only arms after 1st byte
+    std::string result;          ///< decoded 'R' payload, if any
+    bool haveResult = false;
+    bool corrupt = false;        ///< stream had an untrustworthy frame
 };
 
 } // namespace
@@ -89,6 +96,7 @@ ProcPool::configFromEnv(Config base)
     double backoff = envDouble("PUBS_PROC_BACKOFF_MS", base.backoffBaseMs);
     if (backoff >= 0.0)
         base.backoffBaseMs = (unsigned)backoff;
+    base.staleSeconds = envDouble("PUBS_PROC_STALE", base.staleSeconds);
     return base;
 }
 
@@ -118,7 +126,9 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
     std::vector<Running> running;
     size_t outstanding = n; ///< tasks without a final outcome yet
 
+    const bool typed = config_.progressFrames;
     auto launch = [&](const Ready &task) {
+        prof::Scope span("sweep/launch");
         proc::Child child = proc::spawnChild([&, task](int wfd) {
             // --- worker process ---
             if (faults.injectCrash(task.index, task.attempt)) {
@@ -132,8 +142,18 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
                 for (;;)
                     ::pause();
             }
-            std::string frame =
-                proc::encodeFrame(fn(task.index, task.attempt));
+            if (typed) {
+                progress::setFrameSink(wfd,
+                                       config_.progressIntervalMs);
+            }
+            std::string payload = fn(task.index, task.attempt);
+            if (typed) {
+                // Stop heartbeats before the result frame so nothing
+                // interleaves after it.
+                progress::clearSink();
+                payload.insert(payload.begin(), 'R');
+            }
+            std::string frame = proc::encodeFrame(payload);
             if (faults.injectCorrupt(task.index, task.attempt) &&
                 frame.size() > proc::frameHeaderBytes) {
                 size_t victim = proc::frameHeaderBytes +
@@ -149,6 +169,7 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
         r.index = task.index;
         r.attempt = task.attempt;
         r.start = Clock::now();
+        r.lastByte = r.start;
         r.hasDeadline = config_.timeoutSeconds > 0.0;
         if (r.hasDeadline) {
             r.deadline =
@@ -195,8 +216,49 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
         }
     };
 
-    /** Reap a finished worker and judge its frame. */
+    /**
+     * Typed mode: drain complete frames out of r.buffer, dispatching
+     * progress samples and capturing the result. A bad frame or an
+     * unknown type byte poisons the whole stream (r.corrupt) — retry is
+     * the only safe answer once framing is lost.
+     */
+    auto drainFrames = [&](Running &r) {
+        std::string payload;
+        while (!r.corrupt) {
+            proc::FrameStatus status = proc::nextFrame(r.buffer, payload);
+            if (status == proc::FrameStatus::Truncated)
+                return;
+            if (status == proc::FrameStatus::Corrupt) {
+                r.corrupt = true;
+                return;
+            }
+            if (payload.empty()) {
+                r.corrupt = true;
+                return;
+            }
+            char type = payload[0];
+            payload.erase(0, 1);
+            if (type == 'R') {
+                r.result = std::move(payload);
+                r.haveResult = true;
+            } else if (type == 'P') {
+                progress::Sample sample;
+                if (!progress::decodeSample(payload, sample)) {
+                    r.corrupt = true;
+                    return;
+                }
+                if (config_.onProgress)
+                    config_.onProgress(sample);
+            } else {
+                r.corrupt = true;
+                return;
+            }
+        }
+    };
+
+    /** Reap a finished worker and judge its frame(s). */
     auto reap = [&](Running &r) {
+        prof::Scope span("sweep/reap");
         int status = 0;
         pid_t waited;
         do {
@@ -208,6 +270,35 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
 
         bool cleanExit = waited == r.child.pid && WIFEXITED(status) &&
                          WEXITSTATUS(status) == 0;
+        if (typed) {
+            drainFrames(r);
+            // Leftover bytes after EOF are a partial frame the worker
+            // never finished: treat like a truncated legacy frame.
+            if (cleanExit && !r.corrupt && r.haveResult &&
+                r.buffer.empty()) {
+                ProcResult outcome;
+                outcome.ok = true;
+                outcome.attempts = r.attempt;
+                outcome.payload = std::move(r.result);
+                finish(r.index, std::move(outcome));
+                return;
+            }
+            if (!cleanExit) {
+                ++stats_.crashes;
+                fail(r, proc::describeStatus(status));
+            } else {
+                ++stats_.corruptFrames;
+                fail(r, r.corrupt
+                            ? "corrupt frame in worker stream "
+                              "(CRC/framing mismatch)"
+                            : !r.haveResult
+                                  ? "worker stream ended without a "
+                                    "result frame"
+                                  : "trailing partial frame after the "
+                                    "result");
+            }
+            return;
+        }
         std::string payload;
         proc::FrameStatus frame = proc::decodeFrame(r.buffer, payload);
         if (cleanExit && frame == proc::FrameStatus::Ok) {
@@ -288,11 +379,41 @@ ProcPool::run(size_t n, const ChildFn &fn, const ResultHook &onResult)
                 ssize_t got = ::read(r.child.fd, chunk, sizeof(chunk));
                 if (got > 0) {
                     r.buffer.append(chunk, (size_t)got);
+                    r.lastByte = now;
+                    r.sawBytes = true;
+                    if (typed)
+                        drainFrames(r); // deliver progress as it lands
                 } else if (got == 0 ||
                            (got < 0 && errno != EINTR &&
                             errno != EAGAIN)) {
                     done = true; // EOF: worker closed its pipe end
                 }
+            }
+            if (!done && typed && config_.staleSeconds > 0.0 &&
+                r.sawBytes &&
+                std::chrono::duration<double>(now - r.lastByte).count() >
+                    config_.staleSeconds) {
+                // The heartbeat stream went quiet: presume the worker is
+                // wedged and recycle it through the retry machinery.
+                ::kill(r.child.pid, SIGKILL);
+                ++stats_.staleKills;
+                int status = 0;
+                pid_t waited;
+                do {
+                    waited = ::waitpid(r.child.pid, &status, 0);
+                } while (waited < 0 && errno == EINTR);
+                (void)waited;
+                ::close(r.child.fd);
+                stats_.busySeconds +=
+                    std::chrono::duration<double>(now - r.start).count();
+                char why[80];
+                std::snprintf(why, sizeof(why),
+                              "stale heartbeat: no pipe bytes for %.1f s "
+                              "(SIGKILL)",
+                              config_.staleSeconds);
+                fail(r, why);
+                running.erase(running.begin() + (long)i);
+                continue;
             }
             if (!done && r.hasDeadline && now >= r.deadline) {
                 ::kill(r.child.pid, SIGKILL);

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/progress.hh"
 #include "common/subprocess.hh"
 
 namespace pubs::sim
@@ -56,6 +57,7 @@ struct ProcPoolStats
     uint64_t corruptFrames = 0; ///< frames rejected by CRC/framing
     uint64_t retries = 0;
     uint64_t permanentFailures = 0; ///< tasks skipped after maxAttempts
+    uint64_t staleKills = 0;    ///< workers SIGKILLed for a silent pipe
     double busySeconds = 0.0;   ///< summed worker wall time
     double wallSeconds = 0.0;
 };
@@ -73,12 +75,38 @@ class ProcPool
         /** Injected faults; defaults to faultPlanFromEnv() in run(). */
         proc::FaultPlan faults;
         bool faultsFromEnv = true;  ///< overwrite `faults` from PUBS_FAULT
+
+        /**
+         * Typed-frame protocol v2: workers get a progress frame sink on
+         * their result pipe (common/progress.hh) and prefix every frame
+         * payload with a type byte — 'P' carries a progress sample, 'R'
+         * the final result. Off by default: legacy workers write one
+         * untyped result frame, and both sides must agree.
+         */
+        bool progressFrames = false;
+        unsigned progressIntervalMs = 250; ///< per-worker sample period
+
+        /**
+         * With progressFrames: a worker whose pipe stays silent this
+         * long (after its first byte, so slow starts don't count) is
+         * presumed wedged — SIGKILLed and retried like a timeout. The
+         * heartbeat stream makes "alive" observable, so this can be far
+         * tighter than timeoutSeconds. <=0 disables.
+         */
+        double staleSeconds = 0.0;
+
+        /**
+         * Parent-side callback for each decoded progress sample, called
+         * from the run() poll loop (single-threaded). Feed a
+         * progress::Meter here.
+         */
+        std::function<void(const progress::Sample &)> onProgress;
     };
 
     /**
      * Apply the PUBS_PROC_TIMEOUT (seconds), PUBS_PROC_RETRIES
-     * (attempts) and PUBS_PROC_BACKOFF_MS environment overrides to
-     * @p base.
+     * (attempts), PUBS_PROC_BACKOFF_MS and PUBS_PROC_STALE (seconds)
+     * environment overrides to @p base.
      */
     static Config configFromEnv(Config base);
 

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
+#include "common/progress.hh"
 
 namespace pubs::sim
 {
@@ -29,13 +31,19 @@ RunResult
 Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
 {
     if (warmupInsts > 0) {
+        prof::Scope span("sim/warmup");
         pipeline_->run(warmupInsts);
         pipeline_->resetStats();
+        progress::phaseDone();
     }
     auto wallStart = std::chrono::steady_clock::now();
-    pipeline_->run(measureInsts);
+    {
+        prof::Scope span("sim/measure");
+        pipeline_->run(measureInsts);
+    }
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wallStart;
+    progress::phaseDone();
 
     const cpu::PipelineStats &s = pipeline_->stats();
     RunResult result;

@@ -172,7 +172,9 @@ TEST(BenchUtil, SweepRecordsSkippedConfigsInCsv)
     ASSERT_TRUE(poolCsv.good());
     std::getline(poolCsv, line);
     EXPECT_EQ(line,
-              "runs,failed,jobs,wall_seconds,busy_seconds,utilization");
+              "runs,failed,jobs,wall_seconds,busy_seconds,utilization,"
+              "launches,crashes,timeouts,stale_kills,corrupt_frames,"
+              "retries,skips,journal_served");
     std::getline(poolCsv, line);
     EXPECT_NE(line.find("2,1,1,"), std::string::npos);
 
