@@ -1,5 +1,6 @@
 #include "common/bench_util.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +59,16 @@ bool tracePathPinned = false;
 std::string pinnedReportPath;
 bool reportPathPinned = false;
 int pinnedProgress = -1; ///< -1 = unset, else 0/1
+
+/** Sampling knobs pinned by --sample / --sample-period. */
+std::atomic<unsigned> pinnedSampleWindows{0};
+std::atomic<bool> sampleWindowsPinned{false};
+std::atomic<uint64_t> pinnedSamplePeriod{0};
+std::atomic<bool> samplePeriodPinned{false};
+
+/** Checkpoint cache directory pinned by --checkpoint-dir. */
+std::string pinnedCheckpointDir;
+bool checkpointDirPinned = false;
 
 /** Serialises CSV appends across concurrent sweeps in one process. */
 std::mutex csvMutex;
@@ -224,6 +235,76 @@ progressJsonPath()
     return env && *env ? env : "progress.json";
 }
 
+unsigned
+sampleWindows()
+{
+    if (sampleWindowsPinned.load(std::memory_order_relaxed))
+        return pinnedSampleWindows.load(std::memory_order_relaxed);
+    uint64_t env = envCount("PUBS_BENCH_SAMPLE", 0x10000);
+    return env != 0x10000 ? (unsigned)env : 0;
+}
+
+void
+setSampleWindows(unsigned windows)
+{
+    pinnedSampleWindows.store(windows, std::memory_order_relaxed);
+    sampleWindowsPinned.store(true, std::memory_order_relaxed);
+}
+
+uint64_t
+samplePeriod()
+{
+    if (samplePeriodPinned.load(std::memory_order_relaxed))
+        return pinnedSamplePeriod.load(std::memory_order_relaxed);
+    uint64_t env = envCount("PUBS_BENCH_SAMPLE_PERIOD", 0x10000);
+    return env != 0x10000 ? env : 0;
+}
+
+void
+setSamplePeriod(uint64_t period)
+{
+    pinnedSamplePeriod.store(period, std::memory_order_relaxed);
+    samplePeriodPinned.store(true, std::memory_order_relaxed);
+}
+
+std::string
+checkpointDir()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (checkpointDirPinned)
+            return pinnedCheckpointDir;
+    }
+    const char *env = std::getenv("PUBS_CHECKPOINT_DIR");
+    return env ? env : "";
+}
+
+void
+setCheckpointDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedCheckpointDir = std::move(dir);
+    checkpointDirPinned = true;
+}
+
+sim::SamplePlan
+benchSamplePlan(uint64_t warmup, uint64_t insts)
+{
+    sim::SamplePlan plan;
+    plan.windows = sampleWindows();
+    if (!plan.windows)
+        return plan;
+    plan.measureInsts = std::max<uint64_t>(1, insts / plan.windows);
+    plan.warmupInsts = warmup / plan.windows;
+    uint64_t period = samplePeriod();
+    // Default to contiguous windows: the stitched run then covers the
+    // same instruction stream as a straight-through run of the same
+    // total budget, which is what EXPERIMENTS.md compares against.
+    plan.periodInsts =
+        period ? period : plan.warmupInsts + plan.measureInsts;
+    return plan;
+}
+
 void
 parseBenchArgs(int argc, char **argv)
 {
@@ -249,12 +330,29 @@ parseBenchArgs(int argc, char **argv)
             setReportPath(argv[++i]);
         } else if (std::strcmp(argv[i], "--progress") == 0) {
             setProgress(true);
+        } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+            unsigned long windows = std::strtoul(argv[++i], nullptr, 10);
+            fatal_if(windows == 0,
+                     "--sample wants a positive window count");
+            setSampleWindows((unsigned)windows);
+        } else if (std::strcmp(argv[i], "--sample-period") == 0 &&
+                   i + 1 < argc) {
+            unsigned long long period =
+                std::strtoull(argv[++i], nullptr, 10);
+            fatal_if(period == 0,
+                     "--sample-period wants a positive instruction "
+                     "count");
+            setSamplePeriod((uint64_t)period);
+        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                   i + 1 < argc) {
+            setCheckpointDir(argv[++i]);
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--jobs N] [--procs N] [--journal PATH] "
                 "[--resume] [--trace-events PATH] [--report PATH] "
-                "[--progress]\n"
+                "[--progress] [--sample N] [--sample-period N] "
+                "[--checkpoint-dir PATH]\n"
                 "  --jobs N       parallel in-process runs (default: "
                 "hardware concurrency, or $PUBS_BENCH_JOBS)\n"
                 "  --procs N      fault-isolated worker processes "
@@ -270,7 +368,15 @@ parseBenchArgs(int argc, char **argv)
                 "(or $PUBS_BENCH_REPORT)\n"
                 "  --progress     live progress meter + progress.json "
                 "(or $PUBS_PROGRESS=1; $PUBS_PROGRESS_JSON sets the "
-                "path)\n",
+                "path)\n"
+                "  --sample N     sampled simulation with N measurement "
+                "windows per run (or $PUBS_BENCH_SAMPLE); budgets are "
+                "split across the windows\n"
+                "  --sample-period N  instructions between window "
+                "starts (or $PUBS_BENCH_SAMPLE_PERIOD; default: "
+                "contiguous windows)\n"
+                "  --checkpoint-dir PATH  content-addressed checkpoint "
+                "cache shared across runs (or $PUBS_CHECKPOINT_DIR)\n",
                 argv[0]);
             std::exit(std::strcmp(argv[i], "--help") == 0 ? 0 : 2);
         }
@@ -429,10 +535,11 @@ appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
             if (c == '\n' || c == '\r' || c == '"')
                 c = ' ';
         out << spec.items[i].workload.name << ','
-            << spec.items[i].machine << ',' << row.errorKind << ",\""
-            << message << "\"\n";
+            << spec.items[i].machine << ',' << row.errorKind << ','
+            << row.phase << ",\"" << message << "\"\n";
     }
-    appendCsvAtomic("skipped.csv", "workload,machine,error_kind,error\n",
+    appendCsvAtomic("skipped.csv",
+                    "workload,machine,error_kind,phase,error\n",
                     out.str());
 }
 
@@ -518,9 +625,20 @@ SweepResult::statsJson(bool includeFarm) const
                 << jsonNumber(r.pubsEnabledFraction)
                 << ", \"priority_stall_cycles\": "
                 << r.priorityStallCycles;
+            if (r.sampled) {
+                out << ", \"sampled\": true, \"windows\": " << r.windows
+                    << ", \"skipped_insts\": " << r.skippedInsts
+                    << ", \"ipc_ci95\": " << jsonNumber(r.ipcCi95)
+                    << ", \"branch_mpki_ci95\": "
+                    << jsonNumber(r.branchMpkiCi95)
+                    << ", \"llc_mpki_ci95\": "
+                    << jsonNumber(r.llcMpkiCi95);
+            }
         } else {
             out << ", \"error_kind\": " << quoted(row.errorKind)
                 << ", \"error\": " << quoted(row.error);
+            if (!row.phase.empty())
+                out << ", \"phase\": " << quoted(row.phase);
         }
         out << "}";
     }
@@ -559,6 +677,13 @@ sweepKey(const SweepSpec &spec, uint64_t warmup, uint64_t insts)
     };
     mix(std::to_string(warmup) + ":" + std::to_string(insts) + ":" +
         std::to_string(spec.items.size()));
+    // A sampled sweep's rows are not interchangeable with a
+    // straight-through sweep's: mixing the plan keeps a --resume from
+    // serving one to the other. Disabled sampling leaves the key
+    // unchanged, so existing journals stay valid.
+    sim::SamplePlan plan = benchSamplePlan(warmup, insts);
+    if (plan.enabled())
+        mix("sample:" + plan.describe());
     for (const SweepItem &item : spec.items) {
         mix(item.workload.name);
         mix(item.machine);
@@ -573,13 +698,23 @@ SweepRow
 runSweepItem(const SweepItem &item, uint64_t warmup, uint64_t insts)
 {
     SweepRow row;
+    sim::clearFailedPhase();
     try {
         // Each run owns its Simulator (pipeline, emulator, RNG
         // streams, stats); nothing is shared with siblings, so the
         // result depends only on the item, never on the schedule.
-        sim::RunResult r = sim::simulate(item.params,
-                                         item.workload.program, warmup,
-                                         insts);
+        sim::SamplePlan plan = benchSamplePlan(warmup, insts);
+        sim::RunResult r;
+        if (plan.enabled()) {
+            std::string dir = checkpointDir();
+            sim::CheckpointStore store(dir);
+            r = sim::simulateSampled(item.params, item.workload.program,
+                                     plan, dir.empty() ? nullptr : &store,
+                                     item.machine);
+        } else {
+            r = sim::simulate(item.params, item.workload.program, warmup,
+                              insts);
+        }
         r.workload = item.workload.name;
         r.machine = item.machine;
         row.result = std::move(r);
@@ -587,6 +722,7 @@ runSweepItem(const SweepItem &item, uint64_t warmup, uint64_t insts)
         // Skip-and-continue: one broken run must not sink the batch.
         row.error = error.what();
         row.errorKind = SimError::kindName(error.kind());
+        row.phase = sim::simPhaseName(sim::lastFailedPhase());
         row.result.workload = item.workload.name;
         row.result.machine = item.machine;
     }

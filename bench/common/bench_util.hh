@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/sampling.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
 
@@ -109,6 +110,44 @@ bool progressRequested();
 void setProgress(bool progress);
 
 /**
+ * Sampled-simulation windows per run (--sample / PUBS_BENCH_SAMPLE);
+ * 0 (the default) runs every sweep item straight through.
+ */
+unsigned sampleWindows();
+
+/** Pin the window count (what --sample does). 0 disables sampling. */
+void setSampleWindows(unsigned windows);
+
+/**
+ * Instructions between sampled-window starts (--sample-period /
+ * PUBS_BENCH_SAMPLE_PERIOD); 0 derives a contiguous period from the
+ * per-window budgets (warmup + measure).
+ */
+uint64_t samplePeriod();
+
+/** Pin the sampling period (what --sample-period does). */
+void setSamplePeriod(uint64_t period);
+
+/**
+ * Content-addressed checkpoint artifact directory (--checkpoint-dir /
+ * PUBS_CHECKPOINT_DIR); empty disables the cache. Sampled sweep runs
+ * serve window fast-forward state from here and publish what they
+ * compute, so workers (and --resume reruns) share the work.
+ */
+std::string checkpointDir();
+
+/** Pin the checkpoint directory (what --checkpoint-dir does). */
+void setCheckpointDir(std::string dir);
+
+/**
+ * The sampling plan sweeps run under, built from sampleWindows() /
+ * samplePeriod() and the sweep budgets: the measurement and warmup
+ * budgets are split evenly across the windows. Disabled (windows == 0)
+ * unless --sample is in effect.
+ */
+sim::SamplePlan benchSamplePlan(uint64_t warmup, uint64_t insts);
+
+/**
  * Where the live progress document goes when --progress is on:
  * $PUBS_PROGRESS_JSON if set, else "progress.json".
  */
@@ -117,7 +156,8 @@ std::string progressJsonPath();
 /**
  * Parse the shared bench-driver command line (--jobs N, --procs N,
  * --journal PATH, --resume, --trace-events PATH, --report PATH,
- * --progress, --help). Unknown flags print usage and exit(2). Every
+ * --progress, --sample N, --sample-period N, --checkpoint-dir PATH,
+ * --help). Unknown flags print usage and exit(2). Every
  * bench_* main calls this first so the whole harness honours the flags
  * uniformly.
  */
@@ -201,6 +241,13 @@ struct SweepRow
     sim::RunResult result;
     std::string error;     ///< empty = ran clean
     std::string errorKind; ///< SimError kind name when failed
+    /**
+     * Simulation phase the failure escaped from ("fastforward",
+     * "warmup", "measure", "checkpoint_io"; empty when the run never
+     * entered a phase or ran clean) — so skipped.csv distinguishes a
+     * fast-forward fault from a measurement fault.
+     */
+    std::string phase;
 
     bool ok() const { return error.empty(); }
 };

@@ -12,7 +12,9 @@ namespace
 // Bump when the payload layout changes; decodeSweepRow rejects other
 // versions, which turns stale journals into clean recompute-from-scratch
 // instead of silent misdecodes.
-constexpr uint8_t codecVersion = 1;
+// v2: + failure phase, + sampled-simulation fields (windows, skipped
+//     instructions, CI half-widths).
+constexpr uint8_t codecVersion = 2;
 
 class Encoder
 {
@@ -165,6 +167,7 @@ encodeSweepRow(const SweepRow &row)
     enc.put8(codecVersion);
     enc.putString(row.error);
     enc.putString(row.errorKind);
+    enc.putString(row.phase);
 
     const sim::RunResult &r = row.result;
     enc.putString(r.workload);
@@ -180,6 +183,12 @@ encodeSweepRow(const SweepRow &row)
     enc.putDouble(r.pubsEnabledFraction);
     enc.put64(r.priorityStallCycles);
     enc.putDouble(r.simSeconds);
+    enc.put8(r.sampled ? 1 : 0);
+    enc.put32(r.windows);
+    enc.put64(r.skippedInsts);
+    enc.putDouble(r.ipcCi95);
+    enc.putDouble(r.branchMpkiCi95);
+    enc.putDouble(r.llcMpkiCi95);
 
     // PipelineStats scalar counters, in declaration order. Extend both
     // sides together and bump codecVersion.
@@ -237,7 +246,9 @@ decodeSweepRow(const std::string &payload, SweepRow &row,
     row = SweepRow{};
     sim::RunResult &r = row.result;
     cpu::PipelineStats &p = r.pipeline;
+    uint8_t sampled = 0;
     bool ok = dec.getString(row.error) && dec.getString(row.errorKind) &&
+              dec.getString(row.phase) &&
               dec.getString(r.workload) && dec.getString(r.machine) &&
               dec.get64(r.instructions) && dec.get64(r.cycles) &&
               dec.getDouble(r.ipc) && dec.getDouble(r.branchMpki) &&
@@ -247,7 +258,11 @@ decodeSweepRow(const std::string &payload, SweepRow &row,
               dec.getDouble(r.unconfidentBranchRate) &&
               dec.getDouble(r.pubsEnabledFraction) &&
               dec.get64(r.priorityStallCycles) &&
-              dec.getDouble(r.simSeconds) && dec.get64(p.cycles) &&
+              dec.getDouble(r.simSeconds) && dec.get8(sampled) &&
+              dec.get32(r.windows) && dec.get64(r.skippedInsts) &&
+              dec.getDouble(r.ipcCi95) &&
+              dec.getDouble(r.branchMpkiCi95) &&
+              dec.getDouble(r.llcMpkiCi95) && dec.get64(p.cycles) &&
               dec.get64(p.committed) && dec.get64(p.fetched) &&
               dec.get64(p.condBranches) && dec.get64(p.condMispredicts) &&
               dec.get64(p.indirectJumps) &&
@@ -271,6 +286,9 @@ decodeSweepRow(const std::string &payload, SweepRow &row,
               dec.getHistogram(p.iqWait);
     if (!ok)
         return failWith("short or malformed sweep-row payload");
+    if (sampled > 1)
+        return failWith("malformed sampled flag in sweep-row payload");
+    r.sampled = sampled != 0;
     if (!dec.exhausted())
         return failWith("trailing bytes after sweep-row payload");
     return true;

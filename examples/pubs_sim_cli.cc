@@ -43,6 +43,18 @@
  *                                    worst reported FAIL, never takes
  *                                    down the verifier (see PUBS_FAULT,
  *                                    PUBS_PROC_TIMEOUT, PUBS_PROC_RETRIES)
+ *       --skip <n>                   functionally fast-forward n
+ *                                    instructions before the run
+ *       --save-checkpoint <path>     fast-forward (--skip), write a
+ *                                    checkpoint, and exit
+ *       --restore-checkpoint <path>  start from a checkpoint instead of
+ *                                    from reset
+ *       --sample <n>                 sampled simulation: n measurement
+ *                                    windows stitched with 95% CIs
+ *       --sample-period <n>          instructions between window starts
+ *                                    (default: contiguous windows)
+ *       --checkpoint-dir <dir>       content-addressed checkpoint cache
+ *                                    reused across sampled runs
  *       --list                       list suite workloads and exit
  *
  * Prints the full pipeline stat group. Recoverable failures (bad
@@ -51,6 +63,7 @@
  * whose worker process fails beyond retry under --procs.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -68,6 +81,7 @@
 #include "sim/config.hh"
 #include "sim/proc_pool.hh"
 #include "sim/run_pool.hh"
+#include "sim/sampling.hh"
 #include "sim/simulator.hh"
 #include "trace/pipeview.hh"
 #include "trace/trace.hh"
@@ -92,7 +106,10 @@ usage(const char *argv0)
                  "          [--stats-json PATH] [--pipeview PATH]\n"
                  "          [--telemetry] [--heartbeat N] [--jobs N]\n"
                  "          [--procs N] [--progress]\n"
-                 "          [--trace-events PATH] [--report PATH]\n",
+                 "          [--trace-events PATH] [--report PATH]\n"
+                 "          [--skip N] [--save-checkpoint PATH]\n"
+                 "          [--restore-checkpoint PATH] [--sample N]\n"
+                 "          [--sample-period N] [--checkpoint-dir DIR]\n",
                  argv0);
     std::exit(2);
 }
@@ -351,6 +368,12 @@ run(int argc, char **argv)
     bool progressOn = progressEnv && *progressEnv && *progressEnv != '0';
     std::string tracePath;
     std::string reportPath;
+    uint64_t skip = 0;
+    std::string saveCkptPath;
+    std::string restoreCkptPath;
+    std::string checkpointDir;
+    unsigned sampleWindows = 0;
+    uint64_t samplePeriodArg = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -416,6 +439,22 @@ run(int argc, char **argv)
         } else if (arg == "--report") {
             reportPath = next();
             telemetry = true;
+        } else if (arg == "--skip") {
+            skip = std::stoull(next());
+        } else if (arg == "--save-checkpoint") {
+            saveCkptPath = next();
+        } else if (arg == "--restore-checkpoint") {
+            restoreCkptPath = next();
+        } else if (arg == "--checkpoint-dir") {
+            checkpointDir = next();
+        } else if (arg == "--sample") {
+            sampleWindows = (unsigned)std::stoul(next());
+            if (sampleWindows == 0)
+                fatal("--sample must be at least 1 window");
+        } else if (arg == "--sample-period") {
+            samplePeriodArg = std::stoull(next());
+            if (samplePeriodArg == 0)
+                fatal("--sample-period must be positive");
         } else if (arg == "--list") {
             for (const auto &name : wl::suiteNames())
                 std::printf("%s\n", name.c_str());
@@ -492,6 +531,66 @@ run(int argc, char **argv)
     std::printf("machine: %s (%s)\n%s\n", sim::machineName(machine),
                 cpu::sizeClassName(size), params.describe().c_str());
 
+    if (sampleWindows) {
+        if (endsWith(workload, ".trc")) {
+            fatal("--sample needs a suite workload; trace replay cannot "
+                  "be checkpointed");
+        }
+        wl::Workload w = wl::makeWorkload(workload, seed);
+        sim::SamplePlan plan;
+        plan.windows = sampleWindows;
+        plan.measureInsts = std::max<uint64_t>(1, insts / sampleWindows);
+        plan.warmupInsts = warmup / sampleWindows;
+        plan.periodInsts = samplePeriodArg
+                               ? samplePeriodArg
+                               : plan.warmupInsts + plan.measureInsts;
+        sim::CheckpointStore store(checkpointDir);
+        sim::RunResult result = sim::simulateSampled(
+            params, w.program, plan,
+            checkpointDir.empty() ? nullptr : &store,
+            sim::machineName(machine));
+        std::printf("sampled run: %s (%u windows, %llu insts "
+                    "fast-forwarded)\n",
+                    plan.describe().c_str(), result.windows,
+                    (unsigned long long)result.skippedInsts);
+        std::printf("ipc: %.4f +/- %.4f (95%% CI)\n", result.ipc,
+                    result.ipcCi95);
+        std::printf("branch MPKI: %.3f +/- %.3f\n", result.branchMpki,
+                    result.branchMpkiCi95);
+        std::printf("LLC MPKI: %.3f +/- %.3f\n", result.llcMpki,
+                    result.llcMpkiCi95);
+        std::printf("host speed: %.2f s, %.1f KIPS\n", result.simSeconds,
+                    result.kips());
+        if (!checkpointDir.empty()) {
+            std::printf("checkpoint cache: %s\n", checkpointDir.c_str());
+        }
+        if (!statsJsonPath.empty()) {
+            StatRegistry registry;
+            StatGroup &run = registry.group("run");
+            run.addString("workload", workload);
+            run.addString("machine", sim::machineName(machine));
+            run.addString("size", cpu::sizeClassName(size));
+            run.add("instructions", (double)result.instructions);
+            run.add("sampled", 1.0);
+            run.add("windows", (double)result.windows);
+            run.add("skipped_insts", (double)result.skippedInsts);
+            run.add("ipc", result.ipc);
+            run.add("ipc_ci95", result.ipcCi95,
+                    "95% confidence half-width on ipc");
+            run.add("branch_mpki", result.branchMpki);
+            run.add("branch_mpki_ci95", result.branchMpkiCi95,
+                    "95% confidence half-width on branch_mpki");
+            run.add("llc_mpki", result.llcMpki);
+            run.add("llc_mpki_ci95", result.llcMpkiCi95,
+                    "95% confidence half-width on llc_mpki");
+            run.add("sim_seconds", result.simSeconds);
+            registry.writeJson(statsJsonPath);
+            std::printf("stats written to %s\n", statsJsonPath.c_str());
+        }
+        writeTraceIfAsked();
+        return 0;
+    }
+
     std::unique_ptr<trace::InstSource> source;
     isa::Program program;
     if (endsWith(workload, ".trc")) {
@@ -503,6 +602,28 @@ run(int argc, char **argv)
     }
 
     sim::Simulator simulator(params, std::move(source));
+    if (!restoreCkptPath.empty()) {
+        simulator.restoreCheckpointFile(restoreCkptPath);
+        std::printf("checkpoint restored from %s (%llu insts "
+                    "fast-forwarded)\n",
+                    restoreCkptPath.c_str(),
+                    (unsigned long long)simulator.fastForwarded());
+    } else if (skip) {
+        uint64_t consumed = simulator.fastForward(skip);
+        if (consumed < skip) {
+            fatal("program ended after %llu of %llu skipped instructions",
+                  (unsigned long long)consumed, (unsigned long long)skip);
+        }
+        std::printf("fast-forwarded %llu instructions\n",
+                    (unsigned long long)consumed);
+    }
+    if (!saveCkptPath.empty()) {
+        simulator.saveCheckpointFile(saveCkptPath,
+                                     sim::machineName(machine));
+        std::printf("checkpoint written to %s\n", saveCkptPath.c_str());
+        writeTraceIfAsked();
+        return 0;
+    }
     if (!pipeviewPath.empty()) {
         simulator.pipeline().attachPipeView(
             std::make_unique<trace::PipeViewWriter>(pipeviewPath));

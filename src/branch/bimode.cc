@@ -73,4 +73,26 @@ Bimode::costBits() const
            notTakenBank_.size() * 2 + directionBits_;
 }
 
+void
+Bimode::serialize(Serializer &s) const
+{
+    s.beginObject("bimode");
+    s.u64(history_);
+    writeTable(s, choice_);
+    writeTable(s, takenBank_);
+    writeTable(s, notTakenBank_);
+    s.endObject("bimode");
+}
+
+void
+Bimode::unserialize(Deserializer &d)
+{
+    d.beginObject("bimode");
+    history_ = d.u64();
+    readTable(d, choice_, "bimode choice");
+    readTable(d, takenBank_, "bimode taken bank");
+    readTable(d, notTakenBank_, "bimode not-taken bank");
+    d.endObject("bimode");
+}
+
 } // namespace pubs::branch

@@ -30,6 +30,9 @@ class Bimode : public BranchPredictor
     uint64_t costBits() const override;
     const char *name() const override { return "bimode"; }
 
+    void serialize(Serializer &s) const override;
+    void unserialize(Deserializer &d) override;
+
   private:
     size_t choiceIndex(Pc pc) const;
     size_t directionIndex(Pc pc) const;

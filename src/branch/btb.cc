@@ -1,6 +1,7 @@
 #include "branch/btb.hh"
 
 #include "common/bits.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pubs::branch
@@ -69,6 +70,47 @@ Btb::costBits() const
 {
     // Per entry: valid + tag (model 20 bits) + target (48 bits).
     return (uint64_t)sets_ * ways_ * (1 + 20 + 48);
+}
+
+void
+Btb::serialize(Serializer &s) const
+{
+    s.beginObject("btb");
+    s.u32(sets_);
+    s.u32(ways_);
+    s.u64(useClock_);
+    s.u64(hits_);
+    s.u64(misses_);
+    for (const Entry &e : entries_) {
+        s.boolean(e.valid);
+        s.u64(e.tag);
+        s.u64(e.target);
+        s.u64(e.lastUse);
+    }
+    s.endObject("btb");
+}
+
+void
+Btb::unserialize(Deserializer &d)
+{
+    d.beginObject("btb");
+    uint32_t sets = d.u32(), ways = d.u32();
+    if (sets != sets_ || ways != ways_) {
+        throw CheckpointError("checkpoint BTB is " + std::to_string(sets) +
+                              "x" + std::to_string(ways) + ", expected " +
+                              std::to_string(sets_) + "x" +
+                              std::to_string(ways_));
+    }
+    useClock_ = d.u64();
+    hits_ = d.u64();
+    misses_ = d.u64();
+    for (Entry &e : entries_) {
+        e.valid = d.boolean();
+        e.tag = d.u64();
+        e.target = d.u64();
+        e.lastUse = d.u64();
+    }
+    d.endObject("btb");
 }
 
 } // namespace pubs::branch

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::branch
@@ -30,6 +31,9 @@ class Btb
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
 
   private:
     struct Entry

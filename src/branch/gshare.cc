@@ -41,4 +41,22 @@ Gshare::costBits() const
     return counters_.size() * 2 + indexBits_;
 }
 
+void
+Gshare::serialize(Serializer &s) const
+{
+    s.beginObject("gshare");
+    s.u64(history_);
+    writeTable(s, counters_);
+    s.endObject("gshare");
+}
+
+void
+Gshare::unserialize(Deserializer &d)
+{
+    d.beginObject("gshare");
+    history_ = d.u64();
+    readTable(d, counters_, "gshare counters");
+    d.endObject("gshare");
+}
+
 } // namespace pubs::branch

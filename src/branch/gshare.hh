@@ -26,6 +26,9 @@ class Gshare : public BranchPredictor
     uint64_t costBits() const override;
     const char *name() const override { return "gshare"; }
 
+    void serialize(Serializer &s) const override;
+    void unserialize(Deserializer &d) override;
+
   private:
     size_t indexOf(Pc pc) const;
 

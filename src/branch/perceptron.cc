@@ -85,4 +85,23 @@ Perceptron::costBits() const
            historyBits_;
 }
 
+void
+Perceptron::serialize(Serializer &s) const
+{
+    s.beginObject("perceptron");
+    s.u64(history_);
+    writeTable(s, weights_);
+    s.endObject("perceptron");
+}
+
+void
+Perceptron::unserialize(Deserializer &d)
+{
+    d.beginObject("perceptron");
+    history_ = d.u64();
+    readTable(d, weights_, "perceptron weights");
+    memoValid_ = false;
+    d.endObject("perceptron");
+}
+
 } // namespace pubs::branch

@@ -30,6 +30,10 @@ class Perceptron : public BranchPredictor
     uint64_t costBits() const override;
     const char *name() const override { return "perceptron"; }
 
+    /** The predict/update memo is a pure cache and is not serialized. */
+    void serialize(Serializer &s) const override;
+    void unserialize(Deserializer &d) override;
+
     unsigned historyBits() const { return historyBits_; }
     unsigned tableEntries() const { return tableEntries_; }
 

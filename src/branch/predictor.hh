@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::branch
@@ -35,6 +36,14 @@ class BranchPredictor
     virtual uint64_t costBits() const = 0;
 
     virtual const char *name() const = 0;
+
+    /**
+     * Checkpoint the warm tables and history. Default: stateless
+     * (StaticPredictor). Implementations must guard their geometry so
+     * restoring into a differently-sized predictor fails loudly.
+     */
+    virtual void serialize(Serializer &) const {}
+    virtual void unserialize(Deserializer &) {}
 
     /** Cost in kilobytes. */
     double costKB() const { return (double)costBits() / 8.0 / 1024.0; }

@@ -1,5 +1,6 @@
 #include "branch/ras.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pubs::branch
@@ -27,6 +28,28 @@ Ras::pop()
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     --size_;
     return stack_[top_];
+}
+
+void
+Ras::serialize(Serializer &s) const
+{
+    s.beginObject("ras");
+    s.u32(top_);
+    s.u32(size_);
+    writeTable(s, stack_);
+    s.endObject("ras");
+}
+
+void
+Ras::unserialize(Deserializer &d)
+{
+    d.beginObject("ras");
+    top_ = d.u32();
+    size_ = d.u32();
+    if (top_ >= stack_.size() || size_ > stack_.size())
+        throw CheckpointError("checkpoint RAS indices out of range");
+    readTable(d, stack_, "ras stack");
+    d.endObject("ras");
 }
 
 } // namespace pubs::branch

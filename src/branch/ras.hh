@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::branch
@@ -27,6 +28,9 @@ class Ras
     bool empty() const { return size_ == 0; }
     unsigned size() const { return size_; }
     unsigned depth() const { return (unsigned)stack_.size(); }
+
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
 
   private:
     std::vector<Pc> stack_;

@@ -78,4 +78,28 @@ Tournament::costBits() const
            chooser_.size() * 2 + globalBits_;
 }
 
+void
+Tournament::serialize(Serializer &s) const
+{
+    s.beginObject("tournament");
+    s.u64(globalHistory_);
+    writeTable(s, localHistory_);
+    writeTable(s, localCounters_);
+    writeTable(s, globalCounters_);
+    writeTable(s, chooser_);
+    s.endObject("tournament");
+}
+
+void
+Tournament::unserialize(Deserializer &d)
+{
+    d.beginObject("tournament");
+    globalHistory_ = d.u64();
+    readTable(d, localHistory_, "tournament local history");
+    readTable(d, localCounters_, "tournament local counters");
+    readTable(d, globalCounters_, "tournament global counters");
+    readTable(d, chooser_, "tournament chooser");
+    d.endObject("tournament");
+}
+
 } // namespace pubs::branch

@@ -32,6 +32,9 @@ class Tournament : public BranchPredictor
     uint64_t costBits() const override;
     const char *name() const override { return "tournament"; }
 
+    void serialize(Serializer &s) const override;
+    void unserialize(Deserializer &d) override;
+
   private:
     unsigned localHistBits_;
     unsigned localEntriesLog2_;

@@ -18,6 +18,7 @@ SimError::kindName(Kind kind)
       case Kind::Check: return "check";
       case Kind::Audit: return "audit";
       case Kind::Proc: return "proc";
+      case Kind::Checkpoint: return "checkpoint";
     }
     return "unknown";
 }

@@ -37,6 +37,7 @@ class SimError : public std::runtime_error
         Check,  ///< lockstep commit-checker divergence
         Audit,  ///< structural pipeline invariant violated
         Proc,   ///< worker process failed (crash, hang, corrupt frame)
+        Checkpoint, ///< corrupt/incompatible checkpoint, or bad save point
     };
 
     SimError(Kind kind, const std::string &message)
@@ -97,6 +98,19 @@ class ProcError : public SimError
   public:
     explicit ProcError(const std::string &message)
         : SimError(Kind::Proc, message)
+    {}
+};
+
+/**
+ * A checkpoint that cannot be trusted (truncated, bit-flipped, produced
+ * by another format version or an incompatible machine/workload), or a
+ * save/restore request at a point the simulator cannot honour.
+ */
+class CheckpointError : public SimError
+{
+  public:
+    explicit CheckpointError(const std::string &message)
+        : SimError(Kind::Checkpoint, message)
     {}
 };
 

@@ -503,6 +503,120 @@ Pipeline::run(uint64_t maxInsts)
 }
 
 void
+Pipeline::requirePristine(const char *what) const
+{
+    if (now_ != 0 || fetchCounter_ != 0 || havePending_ ||
+        !frontendQueue_.empty() || !rob_.empty()) {
+        throw CheckpointError(std::string(what) +
+                              " requires a pristine pipeline (nothing "
+                              "fetched, cycle 0); run detailed simulation "
+                              "only after fast-forward and restore");
+    }
+}
+
+uint64_t
+Pipeline::functionalFastForward(uint64_t insts)
+{
+    requirePristine("functional fast-forward");
+
+    // Mirrors the training the detailed model performs in its in-order
+    // front end (fetchControl) and at commit, minus anything coupled to
+    // cycle time. One deliberate difference: confidence training that
+    // the detailed path defers to branch completion (confEvents_) is
+    // applied immediately here — with no timing there is no completion
+    // cycle, and the table sees the same updates in the same order.
+    uint64_t consumed = 0;
+    trace::DynInst di;
+    while (consumed < insts && source_.next(di)) {
+        ++consumed;
+        mem_->warmFetch(di.pc);
+
+        if (di.isMem()) {
+            if (staticProgram_)
+                lastMemAddr_[staticProgram_->indexOf(di.pc)] = di.effAddr;
+            mem::DataAccess res = mem_->warmData(di.effAddr, di.isStore());
+            if (res.llcMiss && modeSwitch_)
+                modeSwitch_->noteLlcMiss();
+        }
+
+        if (sliceUnit_)
+            sliceUnit_->decode(di);
+
+        if (di.isCondBranch()) {
+            bool predTaken = predictor_->predict(di.pc);
+            predictor_->update(di.pc, di.taken);
+            if (di.taken)
+                btb_->update(di.pc, di.nextPc);
+            if (sliceUnit_)
+                sliceUnit_->branchResolved(di.pc, predTaken == di.taken);
+        } else if (di.op == Opcode::J || di.op == Opcode::Jal) {
+            btb_->update(di.pc, di.nextPc);
+            if (di.op == Opcode::Jal)
+                ras_->push(di.pc + instBytes);
+        } else if (di.op == Opcode::Jr) {
+            ras_->pop();
+        }
+
+        if (modeSwitch_)
+            modeSwitch_->noteCommit();
+    }
+    return consumed;
+}
+
+void
+Pipeline::serialize(Serializer &s) const
+{
+    requirePristine("checkpoint save");
+    s.beginObject("pipeline");
+    mem_->serialize(s);
+    predictor_->serialize(s);
+    btb_->serialize(s);
+    ras_->serialize(s);
+    s.boolean(sliceUnit_ != nullptr);
+    if (sliceUnit_)
+        sliceUnit_->serialize(s);
+    s.boolean(modeSwitch_ != nullptr);
+    if (modeSwitch_)
+        modeSwitch_->serialize(s);
+    writeTable(s, lastMemAddr_);
+    s.endObject("pipeline");
+}
+
+void
+Pipeline::unserialize(Deserializer &d)
+{
+    requirePristine("checkpoint restore");
+    d.beginObject("pipeline");
+    mem_->unserialize(d);
+    predictor_->unserialize(d);
+    btb_->unserialize(d);
+    ras_->unserialize(d);
+    bool hasSlice = d.boolean();
+    if (hasSlice != (sliceUnit_ != nullptr)) {
+        throw CheckpointError("checkpoint PUBS slice-unit presence does "
+                              "not match this configuration");
+    }
+    if (sliceUnit_)
+        sliceUnit_->unserialize(d);
+    bool hasMode = d.boolean();
+    if (hasMode != (modeSwitch_ != nullptr)) {
+        throw CheckpointError("checkpoint mode-switch presence does not "
+                              "match this configuration");
+    }
+    if (modeSwitch_)
+        modeSwitch_->unserialize(d);
+    readTable(d, lastMemAddr_, "wrong-path address approximations");
+    d.endObject("pipeline");
+}
+
+void
+Pipeline::resyncChecker(const emu::Emulator &ref)
+{
+    if (checker_)
+        checker_->resyncFrom(ref);
+}
+
+void
 Pipeline::resetStats()
 {
     stats_ = PipelineStats{};

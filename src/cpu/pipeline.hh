@@ -28,6 +28,7 @@
 #include "branch/predictor.hh"
 #include "branch/ras.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/slab.hh"
 #include "common/stats.hh"
 #include "cpu/event_wheel.hh"
@@ -47,6 +48,11 @@ namespace pubs::sim
 {
 class CommitChecker;
 } // namespace pubs::sim
+
+namespace pubs::emu
+{
+class Emulator;
+} // namespace pubs::emu
 
 namespace pubs::trace
 {
@@ -154,6 +160,44 @@ class Pipeline
      * @return instructions committed by this call.
      */
     uint64_t run(uint64_t maxInsts);
+
+    /**
+     * Consume up to @p insts instructions from the source without
+     * simulating any timing, while functionally warming the
+     * microarchitectural state the detailed model trains in its in-order
+     * front end: caches (via the cycle-free warm-access path), the
+     * branch predictor, BTB, RAS, and — when PUBS is configured — the
+     * slice unit tables and the mode switch.
+     *
+     * Only legal on a pristine pipeline (nothing fetched, cycle 0):
+     * the warm path deliberately creates no cycle-coupled state, so
+     * fast-forwarding a+b instructions is byte-identical to
+     * fast-forwarding a, checkpointing, restoring, and fast-forwarding
+     * b. Throws CheckpointError if the pipeline has already run.
+     *
+     * @return instructions consumed (less than @p insts only when the
+     *         source is exhausted).
+     */
+    uint64_t functionalFastForward(uint64_t insts);
+
+    /**
+     * Serialize the warm microarchitectural state (memory hierarchy,
+     * predictor, BTB, RAS, PUBS tables, wrong-path address
+     * approximations). Architectural state lives in the emulator and is
+     * serialized by the checkpoint container, not here. Only legal on a
+     * pristine pipeline — see functionalFastForward.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state captured by serialize(). Same pristine rule. */
+    void unserialize(Deserializer &d);
+
+    /**
+     * Re-seed the lockstep checker's private emulator from @p ref after
+     * a fast-forward or checkpoint restore, so commit checking resumes
+     * from the restored architectural state. No-op without a checker.
+     */
+    void resyncChecker(const emu::Emulator &ref);
 
     /** Zero the measurement counters (tables stay trained): warmup. */
     void resetStats();
@@ -448,6 +492,7 @@ class Pipeline
     bool fetchCanProgress() const;
     Cycle nextWorkCycle() const;
     void fastForward(Cycle to);
+    void requirePristine(const char *what) const;
     const iq::IssueQueue &queueFor(const trace::DynInst &di) const;
     uint32_t &regProducer(isa::RegClass cls, PhysRegId reg);
     SeqNum &regProducerSeq(isa::RegClass cls, PhysRegId reg);

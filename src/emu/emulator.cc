@@ -1,7 +1,9 @@
 #include "emu/emulator.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pubs::emu
@@ -71,6 +73,50 @@ SparseMemory::writeF64(Addr addr, double value)
     uint64_t bits;
     std::memcpy(&bits, &value, sizeof(bits));
     write(addr, bits, 8);
+}
+
+void
+SparseMemory::serialize(Serializer &s) const
+{
+    s.beginObject("sparse_memory");
+    std::vector<Addr> pageNums;
+    pageNums.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        pageNums.push_back(entry.first);
+    std::sort(pageNums.begin(), pageNums.end());
+    s.u64(pageNums.size());
+    for (Addr num : pageNums) {
+        s.u64(num);
+        s.bytes(pages_.at(num)->data(), pageBytes);
+    }
+    s.endObject("sparse_memory");
+}
+
+void
+SparseMemory::unserialize(Deserializer &d)
+{
+    d.beginObject("sparse_memory");
+    pages_.clear();
+    uint64_t count = d.u64();
+    Addr prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        Addr num = d.u64();
+        if (i > 0 && num <= prev)
+            throw CheckpointError("checkpoint memory pages out of order");
+        prev = num;
+        auto page = std::make_unique<Page>();
+        d.bytes(page->data(), pageBytes);
+        pages_[num] = std::move(page);
+    }
+    d.endObject("sparse_memory");
+}
+
+void
+SparseMemory::copyFrom(const SparseMemory &other)
+{
+    pages_.clear();
+    for (const auto &entry : other.pages_)
+        pages_[entry.first] = std::make_unique<Page>(*entry.second);
 }
 
 Emulator::Emulator(const isa::Program &program) : prog_(program)
@@ -354,6 +400,49 @@ Emulator::step(trace::DynInst &out)
     pc_ = nextPc;
     ++seq_;
     return true;
+}
+
+void
+Emulator::serialize(Serializer &s) const
+{
+    s.beginObject("emulator");
+    for (int64_t r : intRegs_)
+        s.i64(r);
+    for (double r : fpRegs_)
+        s.f64(r);
+    s.u64(pc_);
+    s.u64(seq_);
+    s.boolean(halted_);
+    mem_.serialize(s);
+    s.endObject("emulator");
+}
+
+void
+Emulator::unserialize(Deserializer &d)
+{
+    d.beginObject("emulator");
+    for (int64_t &r : intRegs_)
+        r = d.i64();
+    for (double &r : fpRegs_)
+        r = d.f64();
+    pc_ = d.u64();
+    seq_ = d.u64();
+    halted_ = d.boolean();
+    if (!halted_ && !prog_.contains(pc_))
+        throw CheckpointError("checkpoint PC outside the program");
+    mem_.unserialize(d);
+    d.endObject("emulator");
+}
+
+void
+Emulator::copyArchState(const Emulator &other)
+{
+    intRegs_ = other.intRegs_;
+    fpRegs_ = other.fpRegs_;
+    pc_ = other.pc_;
+    seq_ = other.seq_;
+    halted_ = other.halted_;
+    mem_.copyFrom(other.mem_);
 }
 
 } // namespace pubs::emu

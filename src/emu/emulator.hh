@@ -13,6 +13,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
 #include "trace/dyninst.hh"
@@ -41,6 +42,17 @@ class SparseMemory
 
     /** Number of pages currently allocated. */
     size_t pagesAllocated() const { return pages_.size(); }
+
+    /**
+     * Checkpoint the page set. Pages are emitted sorted by page number,
+     * so the byte stream is independent of hash-map iteration order and
+     * of the access pattern that allocated the pages.
+     */
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
+    /** Deep-copy another memory's page set (checker resync). */
+    void copyFrom(const SparseMemory &other);
 
   private:
     using Page = std::array<uint8_t, pageBytes>;
@@ -83,6 +95,17 @@ class Emulator : public trace::InstSource
 
     SparseMemory &memory() { return mem_; }
     const SparseMemory &memory() const { return mem_; }
+
+    /** Checkpoint the full architectural state (regs + PC + memory). */
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
+    /**
+     * Copy @p other's architectural state wholesale. Both emulators must
+     * run the same program; used to resync the lockstep checker's
+     * private emulator after a fast-forward or restore.
+     */
+    void copyArchState(const Emulator &other);
 
   private:
     Pc executeBranch(const isa::Inst &inst, bool &taken);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pubs::mem
@@ -202,10 +203,150 @@ Cache::installPrefetch(Addr addr, Cycle now)
     missPath(addr, now, true);
 }
 
+void
+Cache::warmMissPath(Addr addr, bool isPrefetch)
+{
+    // Same install as missPath(), minus every cycle-coupled effect:
+    // no MSHR entry, no fill-in-flight window, and the level below is
+    // warmed instead of timed.
+    next_->warmFill(lineAddrOf(addr), isPrefetch);
+    Line &line = victimLine(addr);
+    mruWay_[setOf(addr)] =
+        (uint8_t)(&line - &lines_[setOf(addr) * params_.ways]);
+    line.valid = true;
+    line.dirty = false;
+    line.wasPrefetched = isPrefetch;
+    line.tag = tagOf(addr);
+    line.lastUse = ++useClock_;
+    line.fillReady = 0;
+}
+
+bool
+Cache::warmAccess(Addr addr, bool write)
+{
+    ++accesses_;
+    memoHit_ = false;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = ++useClock_;
+        if (write)
+            line->dirty = true;
+        if (line->wasPrefetched) {
+            ++usefulPrefetches_;
+            line->wasPrefetched = false;
+        }
+        return true;
+    }
+    ++misses_;
+    warmMissPath(addr, false);
+    if (write) {
+        if (Line *line = findLine(addr))
+            line->dirty = true;
+    }
+    return false;
+}
+
+void
+Cache::warmFill(Addr addr, bool isPrefetch)
+{
+    memoHit_ = false;
+    if (!isPrefetch)
+        ++accesses_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = ++useClock_;
+        if (line->wasPrefetched && !isPrefetch) {
+            ++usefulPrefetches_;
+            line->wasPrefetched = false;
+        }
+        return;
+    }
+    if (!isPrefetch)
+        ++misses_;
+    warmMissPath(addr, isPrefetch);
+}
+
+void
+Cache::warmInstallPrefetch(Addr addr)
+{
+    memoHit_ = false;
+    if (findLine(addr))
+        return;
+    ++prefetchFills_;
+    warmMissPath(addr, true);
+}
+
 bool
 Cache::contains(Addr addr) const
 {
     return findLine(addr) != nullptr;
+}
+
+void
+Cache::serialize(Serializer &s) const
+{
+    s.beginObject("cache");
+    s.str(params_.name);
+    s.u32(sets_);
+    s.u32(params_.ways);
+    s.u32(params_.lineBytes);
+    s.u64(useClock_);
+    for (const Line &line : lines_) {
+        uint8_t flags = (line.valid ? 1 : 0) | (line.dirty ? 2 : 0) |
+                        (line.wasPrefetched ? 4 : 0);
+        s.u8(flags);
+        s.u64(line.tag);
+        s.u64(line.lastUse);
+    }
+    for (uint8_t way : mruWay_)
+        s.u8(way);
+    s.u64(accesses_);
+    s.u64(misses_);
+    s.u64(writebacks_);
+    s.u64(prefetchFills_);
+    s.u64(usefulPrefetches_);
+    s.u64(mshrHits_);
+    s.endObject("cache");
+}
+
+void
+Cache::unserialize(Deserializer &d)
+{
+    d.beginObject("cache");
+    std::string name = d.str();
+    uint32_t sets = d.u32(), ways = d.u32(), lineBytes = d.u32();
+    if (name != params_.name || sets != sets_ || ways != params_.ways ||
+        lineBytes != params_.lineBytes) {
+        throw CheckpointError(
+            "checkpoint cache '" + name + "' (" + std::to_string(sets) +
+            "x" + std::to_string(ways) + "x" + std::to_string(lineBytes) +
+            ") does not match configured '" + params_.name + "'");
+    }
+    useClock_ = d.u64();
+    for (Line &line : lines_) {
+        uint8_t flags = d.u8();
+        if (flags & ~7u)
+            throw CheckpointError("checkpoint cache line flags corrupt");
+        line.valid = flags & 1;
+        line.dirty = flags & 2;
+        line.wasPrefetched = flags & 4;
+        line.tag = d.u64();
+        line.lastUse = d.u64();
+        line.fillReady = 0;
+    }
+    for (uint8_t &way : mruWay_) {
+        way = d.u8();
+        if (way >= params_.ways)
+            throw CheckpointError("checkpoint cache MRU way out of range");
+    }
+    accesses_ = d.u64();
+    misses_ = d.u64();
+    writebacks_ = d.u64();
+    prefetchFills_ = d.u64();
+    usefulPrefetches_ = d.u64();
+    mshrHits_ = d.u64();
+    mshrs_.clear();
+    memoLine_ = 0;
+    memoHit_ = false;
+    d.endObject("cache");
 }
 
 MainMemory::MainMemory(unsigned latency, unsigned bytesPerCycle,
@@ -223,6 +364,29 @@ MainMemory::fill(Addr, Cycle now, bool)
     Cycle start = std::max(now, channelFree_);
     channelFree_ = start + cyclesPerLine_;
     return start + latency_;
+}
+
+void
+MainMemory::warmFill(Addr, bool)
+{
+    ++requests_;
+}
+
+void
+MainMemory::serialize(Serializer &s) const
+{
+    s.beginObject("main_memory");
+    s.u64(requests_);
+    s.endObject("main_memory");
+}
+
+void
+MainMemory::unserialize(Deserializer &d)
+{
+    d.beginObject("main_memory");
+    requests_ = d.u64();
+    channelFree_ = 0;
+    d.endObject("main_memory");
 }
 
 } // namespace pubs::mem

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::mem
@@ -41,6 +42,16 @@ class MemLevel
      * @return the cycle the line arrives.
      */
     virtual Cycle fill(Addr addr, Cycle now, bool isPrefetch) = 0;
+
+    /**
+     * Functional-warming fill: update contents, replacement state and
+     * counters exactly like fill() at an idle instant, but create no
+     * cycle-coupled state (no MSHR, no in-flight fill, no channel
+     * reservation). Warming is therefore a pure fold over the access
+     * stream — warming A then B leaves the same state as warming A+B in
+     * one pass, which is what makes checkpoint chaining bit-exact.
+     */
+    virtual void warmFill(Addr addr, bool isPrefetch) = 0;
 };
 
 class Cache : public MemLevel
@@ -61,6 +72,27 @@ class Cache : public MemLevel
 
     /** Install a line without a demand request (prefetch landing here). */
     void installPrefetch(Addr addr, Cycle now);
+
+    /**
+     * Functional-warming demand access: same contents/LRU/counter
+     * effects as access() with no timing state. @return hit?
+     */
+    bool warmAccess(Addr addr, bool write);
+
+    /** MemLevel interface, warming flavour. */
+    void warmFill(Addr addr, bool isPrefetch) override;
+
+    /** Warming counterpart of installPrefetch(). */
+    void warmInstallPrefetch(Addr addr);
+
+    /**
+     * Checkpoint the warm state: contents, LRU clocks and counters.
+     * Cycle-coupled state (MSHRs, in-flight fills) must be idle — the
+     * pipeline is pristine whenever a checkpoint is taken — so it is
+     * not serialized and is re-zeroed on restore.
+     */
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
 
     /** Does the cache currently hold the line containing @p addr? */
     bool contains(Addr addr) const;
@@ -105,6 +137,7 @@ class Cache : public MemLevel
     const Line *findLine(Addr addr) const;
     Line &victimLine(Addr addr);
     Cycle missPath(Addr addr, Cycle now, bool isPrefetch);
+    void warmMissPath(Addr addr, bool isPrefetch);
 
     CacheParams params_;
     MemLevel *next_;
@@ -149,7 +182,12 @@ class MainMemory : public MemLevel
 
     Cycle fill(Addr addr, Cycle now, bool isPrefetch) override;
 
+    void warmFill(Addr addr, bool isPrefetch) override;
+
     uint64_t requests() const { return requests_; }
+
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
 
   private:
     unsigned latency_;

@@ -48,6 +48,17 @@ class MemorySystem
     /** Load/store data access. */
     DataAccess dataAccess(Addr addr, bool write, Cycle now);
 
+    /** Functional-warming fetch: same contents/counter effects, no
+     *  timing state (readyCycle of the warming DataAccess is 0). */
+    void warmFetch(Pc pc);
+
+    /** Functional-warming data access. */
+    DataAccess warmData(Addr addr, bool write);
+
+    /** Checkpoint every level plus the prefetcher and LLC-miss count. */
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
     const Cache &l1i() const { return *l1i_; }
     const Cache &l1d() const { return *l1d_; }
     const Cache &l2() const { return *l2_; }

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "mem/cache.hh"
 
@@ -54,6 +55,18 @@ StreamPrefetcher::allocateStream(uint64_t line)
 void
 StreamPrefetcher::observeMiss(Addr addr, Cycle now)
 {
+    observe(addr, now, false);
+}
+
+void
+StreamPrefetcher::warmObserveMiss(Addr addr)
+{
+    observe(addr, 0, true);
+}
+
+void
+StreamPrefetcher::observe(Addr addr, Cycle now, bool warm)
+{
     uint64_t line = addr / params_.lineBytes;
     Stream *stream = findStream(line);
     if (!stream) {
@@ -85,9 +98,56 @@ StreamPrefetcher::observeMiss(Addr addr, Cycle now)
         if (targetLine < 0)
             continue;
         Addr prefetchAddr = (Addr)targetLine * params_.lineBytes;
-        target_->installPrefetch(prefetchAddr, now);
+        if (warm)
+            target_->warmInstallPrefetch(prefetchAddr);
+        else
+            target_->installPrefetch(prefetchAddr, now);
         ++issued_;
     }
+}
+
+void
+StreamPrefetcher::serialize(Serializer &s) const
+{
+    s.beginObject("stream_prefetcher");
+    s.u32((uint32_t)streams_.size());
+    s.u64(useClock_);
+    s.u64(issued_);
+    s.u64(allocated_);
+    for (const Stream &st : streams_) {
+        s.boolean(st.valid);
+        s.boolean(st.confirmed);
+        s.i64(st.direction);
+        s.u64(st.lastLine);
+        s.u64(st.lastUse);
+    }
+    s.endObject("stream_prefetcher");
+}
+
+void
+StreamPrefetcher::unserialize(Deserializer &d)
+{
+    d.beginObject("stream_prefetcher");
+    uint32_t count = d.u32();
+    if (count != streams_.size()) {
+        throw CheckpointError("checkpoint prefetcher has " +
+                              std::to_string(count) + " streams, expected " +
+                              std::to_string(streams_.size()));
+    }
+    useClock_ = d.u64();
+    issued_ = d.u64();
+    allocated_ = d.u64();
+    for (Stream &st : streams_) {
+        st.valid = d.boolean();
+        st.confirmed = d.boolean();
+        int64_t direction = d.i64();
+        if (direction != 1 && direction != -1)
+            throw CheckpointError("checkpoint prefetcher direction corrupt");
+        st.direction = (int)direction;
+        st.lastLine = d.u64();
+        st.lastUse = d.u64();
+    }
+    d.endObject("stream_prefetcher");
 }
 
 } // namespace pubs::mem

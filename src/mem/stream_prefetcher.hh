@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::mem
@@ -36,10 +37,17 @@ class StreamPrefetcher
     /** Observe a demand miss at @p addr; may issue prefetches. */
     void observeMiss(Addr addr, Cycle now);
 
+    /** Warming flavour: prefetches land via warmInstallPrefetch(). */
+    void warmObserveMiss(Addr addr);
+
     uint64_t prefetchesIssued() const { return issued_; }
     uint64_t streamsAllocated() const { return allocated_; }
 
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
   private:
+    void observe(Addr addr, Cycle now, bool warm);
     struct Stream
     {
         bool valid = false;

@@ -55,4 +55,26 @@ BrsliceTab::costBits() const
     return (uint64_t)table_.capacity() * perEntry;
 }
 
+void
+BrsliceTab::serialize(Serializer &s) const
+{
+    s.beginObject("brslice_tab");
+    table_.serialize(s, [](Serializer &out, const Pointer &p) {
+        out.u32(p.confKey.index);
+        out.u32(p.confKey.tag);
+    });
+    s.endObject("brslice_tab");
+}
+
+void
+BrsliceTab::unserialize(Deserializer &d)
+{
+    d.beginObject("brslice_tab");
+    table_.unserialize(d, [](Deserializer &in, Pointer &p) {
+        p.confKey.index = in.u32();
+        p.confKey.tag = in.u32();
+    });
+    d.endObject("brslice_tab");
+}
+
 } // namespace pubs::pubs

@@ -41,6 +41,9 @@ class BrsliceTab
     /** Per Fig. 6: each entry stores (tag t_b, pointer d_c) + valid. */
     uint64_t costBits() const;
 
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
   private:
     /** Pointer into the conf_tab (d_c = i_c || t_c). */
     struct Pointer

@@ -115,4 +115,47 @@ ConfTab::costBits() const
     return (uint64_t)table_.capacity() * perEntry;
 }
 
+void
+ConfTab::serialize(Serializer &s) const
+{
+    s.beginObject("conf_tab");
+    s.u32(counterBits_);
+    s.u8((uint8_t)shape_);
+    s.u64(dynamics_.updates);
+    s.u64(dynamics_.allocations);
+    s.u64(dynamics_.increments);
+    s.u64(dynamics_.resets);
+    s.u64(dynamics_.decrements);
+    s.u64(dynamics_.saturations);
+    table_.serialize(s, [](Serializer &out, const ConfEntry &e) {
+        out.u32(e.counter);
+    });
+    s.endObject("conf_tab");
+}
+
+void
+ConfTab::unserialize(Deserializer &d)
+{
+    d.beginObject("conf_tab");
+    uint32_t counterBits = d.u32();
+    uint8_t shape = d.u8();
+    if (counterBits != counterBits_ || shape != (uint8_t)shape_) {
+        throw CheckpointError(
+            "checkpoint conf_tab counter geometry does not match");
+    }
+    dynamics_.updates = d.u64();
+    dynamics_.allocations = d.u64();
+    dynamics_.increments = d.u64();
+    dynamics_.resets = d.u64();
+    dynamics_.decrements = d.u64();
+    dynamics_.saturations = d.u64();
+    uint32_t counterMax = counterMax_;
+    table_.unserialize(d, [counterMax](Deserializer &in, ConfEntry &e) {
+        e.counter = in.u32();
+        if (e.counter > counterMax)
+            throw CheckpointError("checkpoint conf_tab counter overflows");
+    });
+    d.endObject("conf_tab");
+}
+
 } // namespace pubs::pubs

@@ -77,6 +77,9 @@ class ConfTab
     /** Publish dynamics + occupancy + value distribution into @p group. */
     void fillStats(StatGroup &group) const;
 
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
   private:
     struct ConfEntry
     {

@@ -41,4 +41,28 @@ DefTab::costBits() const
     return (uint64_t)numLogicalRegs * perRow;
 }
 
+void
+DefTab::serialize(Serializer &s) const
+{
+    s.beginObject("def_tab");
+    for (const Row &row : rows_) {
+        s.boolean(row.valid);
+        s.u32(row.key.index);
+        s.u32(row.key.tag);
+    }
+    s.endObject("def_tab");
+}
+
+void
+DefTab::unserialize(Deserializer &d)
+{
+    d.beginObject("def_tab");
+    for (Row &row : rows_) {
+        row.valid = d.boolean();
+        row.key.index = d.u32();
+        row.key.tag = d.u32();
+    }
+    d.endObject("def_tab");
+}
+
 } // namespace pubs::pubs

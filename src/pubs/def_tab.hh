@@ -37,6 +37,9 @@ class DefTab
     /** Storage cost in bits: 64 x (valid + index + tag). */
     uint64_t costBits() const;
 
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
   private:
     struct Row
     {

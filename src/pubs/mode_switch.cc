@@ -49,4 +49,28 @@ ModeSwitch::enabledFraction()  const
     return (double)enabledIntervals_ / (double)intervals_;
 }
 
+void
+ModeSwitch::serialize(Serializer &s) const
+{
+    s.beginObject("mode_switch");
+    s.boolean(enabled_);
+    s.u64(commits_);
+    s.u64(misses_);
+    s.u64(intervals_);
+    s.u64(enabledIntervals_);
+    s.endObject("mode_switch");
+}
+
+void
+ModeSwitch::unserialize(Deserializer &d)
+{
+    d.beginObject("mode_switch");
+    enabled_ = d.boolean();
+    commits_ = d.u64();
+    misses_ = d.u64();
+    intervals_ = d.u64();
+    enabledIntervals_ = d.u64();
+    d.endObject("mode_switch");
+}
+
 } // namespace pubs::pubs

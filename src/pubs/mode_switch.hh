@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "pubs/params.hh"
 
 namespace pubs::pubs
@@ -38,6 +39,9 @@ class ModeSwitch
     /** Fraction of completed intervals with PUBS enabled (1.0 before the
      *  first interval completes). */
     double enabledFraction() const;
+
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
 
   private:
     void rollInterval();

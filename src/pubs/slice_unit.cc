@@ -93,4 +93,32 @@ SliceUnit::branchResolved(Pc pc, bool correctPrediction)
     confTab_.update(confTab_.keyOf(pc), correctPrediction);
 }
 
+void
+SliceUnit::serialize(Serializer &s) const
+{
+    s.beginObject("slice_unit");
+    brsliceTab_.serialize(s);
+    confTab_.serialize(s);
+    defTab_.serialize(s);
+    s.u64(dynamicBranches_);
+    s.u64(unconfidentBranches_);
+    s.u64(sliceInsts_);
+    s.u64(unconfidentSliceInsts_);
+    s.endObject("slice_unit");
+}
+
+void
+SliceUnit::unserialize(Deserializer &d)
+{
+    d.beginObject("slice_unit");
+    brsliceTab_.unserialize(d);
+    confTab_.unserialize(d);
+    defTab_.unserialize(d);
+    dynamicBranches_ = d.u64();
+    unconfidentBranches_ = d.u64();
+    sliceInsts_ = d.u64();
+    unconfidentSliceInsts_ = d.u64();
+    d.endObject("slice_unit");
+}
+
 } // namespace pubs::pubs

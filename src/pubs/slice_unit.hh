@@ -64,6 +64,10 @@ class SliceUnit
     ConfTab &confTab() { return confTab_; }
     const ConfTab &confTab() const { return confTab_; }
 
+    /** Checkpoint all three tables plus the slice statistics. */
+    void serialize(Serializer &s) const;
+    void unserialize(Deserializer &d);
+
   private:
     /** Propagate the conf pointer to the producers of @p inst's sources. */
     void linkProducers(const trace::DynInst &inst, const TableKey &confPtr);

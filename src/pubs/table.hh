@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/bits.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace pubs::pubs
@@ -165,6 +167,50 @@ class HashedTagTable
             if (e.valid)
                 visit(e.payload);
         }
+    }
+
+    /**
+     * Checkpoint the table; @p writePayload emits one payload as
+     * `(Serializer &, const Payload &)`.
+     */
+    template <typename WriteP>
+    void
+    serialize(Serializer &s, WriteP &&writePayload) const
+    {
+        s.beginObject("hashed_tag_table");
+        s.u32(sets_);
+        s.u32(ways_);
+        s.u64(useClock_);
+        for (const Entry &e : entries_) {
+            s.boolean(e.valid);
+            s.u32(e.tag);
+            s.u64(e.lastUse);
+            writePayload(s, e.payload);
+        }
+        s.endObject("hashed_tag_table");
+    }
+
+    /** Restore; @p readPayload is `(Deserializer &, Payload &)`. */
+    template <typename ReadP>
+    void
+    unserialize(Deserializer &d, ReadP &&readPayload)
+    {
+        d.beginObject("hashed_tag_table");
+        uint32_t sets = d.u32(), ways = d.u32();
+        if (sets != sets_ || ways != ways_) {
+            throw CheckpointError(
+                "checkpoint table is " + std::to_string(sets) + "x" +
+                std::to_string(ways) + ", expected " +
+                std::to_string(sets_) + "x" + std::to_string(ways_));
+        }
+        useClock_ = d.u64();
+        for (Entry &e : entries_) {
+            e.valid = d.boolean();
+            e.tag = d.u32();
+            e.lastUse = d.u64();
+            readPayload(d, e.payload);
+        }
+        d.endObject("hashed_tag_table");
     }
 
   private:

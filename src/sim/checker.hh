@@ -68,6 +68,14 @@ class CommitChecker
     uint64_t commitsChecked() const { return commitsChecked_; }
     uint64_t divergences() const { return divergences_; }
 
+    /**
+     * Re-seed the reference emulator from @p ref (registers, PC,
+     * sequence number, memory). Used after a functional fast-forward or
+     * checkpoint restore, where the pipeline's source has advanced past
+     * the program's reset state without any commits being checked.
+     */
+    void resyncFrom(const emu::Emulator &ref) { emu_.copyArchState(ref); }
+
     /** Formatted dump of the last N committed instructions. */
     std::string historyDump() const;
 

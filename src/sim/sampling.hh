@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SMARTS-style sampled simulation: functionally fast-forward between
+ * evenly spaced sampling units, run a detailed warmup then a detailed
+ * measurement window at each, and stitch the per-window stats into a
+ * whole-run estimate with 95% confidence intervals.
+ *
+ * Functional warming makes this sound: the fast-forward path trains the
+ * caches, branch predictor, BTB, RAS, and PUBS tables exactly as the
+ * detailed front end would (minus timing), so each window starts from
+ * warm state. Detailed windows run in a throwaway Simulator restored
+ * from an in-memory checkpoint of the warming context, so one window's
+ * detailed execution never perturbs the next — every window's start
+ * state is exactly "fast-forward k*period from reset", which is also
+ * what a cached checkpoint artifact at that distance holds.
+ */
+
+#ifndef PUBS_SIM_SAMPLING_HH
+#define PUBS_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/simulator.hh"
+
+namespace pubs::sim
+{
+
+/** Shape of one sampled run. */
+struct SamplePlan
+{
+    uint32_t windows = 0;      ///< measurement windows; 0 = disabled
+    uint64_t periodInsts = 0;  ///< distance between window starts
+    uint64_t warmupInsts = 0;  ///< detailed warmup per window
+    uint64_t measureInsts = 0; ///< measured instructions per window
+
+    bool enabled() const { return windows > 0; }
+
+    /** Validate (positive windows need positive period and measure). */
+    void validate() const;
+
+    /** Canonical text form, mixed into sweep-journal keys. */
+    std::string describe() const;
+};
+
+/** Sample mean with a (Student-t) 95% confidence half-width. */
+struct MeanCi
+{
+    uint32_t n = 0;
+    double mean = 0.0;
+    double halfWidth = 0.0; ///< 0 when n < 2 or the variance is zero
+};
+
+/**
+ * Closed-form mean + 95% CI of @p xs: mean = sum/n, halfWidth =
+ * t_{0.975,n-1} * sqrt(s^2/n) with the unbiased sample variance s^2.
+ * Degenerate cases: empty -> all zero; a single window -> no CI
+ * (halfWidth 0); zero variance -> halfWidth exactly 0.
+ */
+MeanCi meanCi(const std::vector<double> &xs);
+
+/**
+ * Run @p plan against @p program on @p params and stitch the windows
+ * into one RunResult (result.sampled = true, CI fields filled in).
+ * When @p store is non-null, each window's fast-forward state is served
+ * from / saved to the content-addressed checkpoint store, so repeated
+ * sweeps (and --resume reruns) skip the fast-forward work.
+ * @p machineLabel tags checkpoints and the result.
+ */
+RunResult simulateSampled(const cpu::CoreParams &params,
+                          const isa::Program &program,
+                          const SamplePlan &plan,
+                          const CheckpointStore *store = nullptr,
+                          const std::string &machineLabel = "");
+
+} // namespace pubs::sim
+
+#endif // PUBS_SIM_SAMPLING_HH

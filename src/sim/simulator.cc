@@ -1,13 +1,73 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <exception>
 
+#include "common/atomic_file.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
 #include "common/progress.hh"
+#include "sim/checkpoint.hh"
 
 namespace pubs::sim
 {
+
+namespace
+{
+
+thread_local SimPhase currentPhase = SimPhase::None;
+thread_local SimPhase failedPhase = SimPhase::None;
+
+} // namespace
+
+const char *
+simPhaseName(SimPhase phase)
+{
+    switch (phase) {
+      case SimPhase::None:
+        return "";
+      case SimPhase::FastForward:
+        return "fastforward";
+      case SimPhase::Warmup:
+        return "warmup";
+      case SimPhase::Measure:
+        return "measure";
+      case SimPhase::CheckpointIo:
+        return "checkpoint_io";
+    }
+    return "";
+}
+
+SimPhase
+lastFailedPhase()
+{
+    return failedPhase;
+}
+
+void
+clearFailedPhase()
+{
+    failedPhase = SimPhase::None;
+}
+
+PhaseScope::PhaseScope(SimPhase phase)
+    : prev_(currentPhase), exceptionsAtEntry_(std::uncaught_exceptions())
+{
+    currentPhase = phase;
+}
+
+PhaseScope::~PhaseScope()
+{
+    // Unwinding through this scope: remember the innermost phase that
+    // was live when the exception was thrown (outer scopes must not
+    // overwrite it).
+    if (std::uncaught_exceptions() > exceptionsAtEntry_ &&
+        failedPhase == SimPhase::None) {
+        failedPhase = currentPhase;
+    }
+    currentPhase = prev_;
+}
 
 Simulator::Simulator(const cpu::CoreParams &params,
                      const isa::Program &program)
@@ -32,6 +92,7 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
 {
     if (warmupInsts > 0) {
         prof::Scope span("sim/warmup");
+        PhaseScope phase(SimPhase::Warmup);
         pipeline_->run(warmupInsts);
         pipeline_->resetStats();
         progress::phaseDone();
@@ -39,6 +100,7 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
     auto wallStart = std::chrono::steady_clock::now();
     {
         prof::Scope span("sim/measure");
+        PhaseScope phase(SimPhase::Measure);
         pipeline_->run(measureInsts);
     }
     std::chrono::duration<double> wall =
@@ -62,7 +124,84 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
     if (const pubs::ModeSwitch *ms = pipeline_->modeSwitch())
         result.pubsEnabledFraction = ms->enabledFraction();
     result.pipeline = s;
+    result.skippedInsts = fastForwarded_;
     return result;
+}
+
+uint64_t
+Simulator::fastForward(uint64_t insts)
+{
+    prof::Scope span("sim/fastforward");
+    PhaseScope phase(SimPhase::FastForward);
+    uint64_t consumed = pipeline_->functionalFastForward(insts);
+    fastForwarded_ += consumed;
+    // The lockstep checker's private emulator does not see the
+    // fast-forwarded instructions; realign it with the source.
+    if (const emu::Emulator *emu = emulator())
+        pipeline_->resyncChecker(*emu);
+    return consumed;
+}
+
+const emu::Emulator *
+Simulator::emulator() const
+{
+    return dynamic_cast<const emu::Emulator *>(owned_.get());
+}
+
+emu::Emulator &
+Simulator::requireEmulator() const
+{
+    auto *emu = dynamic_cast<emu::Emulator *>(owned_.get());
+    if (!emu) {
+        throw CheckpointError(
+            "checkpointing requires a program-backed (emulator) "
+            "instruction source; trace replay cannot be checkpointed");
+    }
+    return *emu;
+}
+
+std::string
+Simulator::saveCheckpoint(const std::string &machineLabel) const
+{
+    PhaseScope phase(SimPhase::CheckpointIo);
+    emu::Emulator &emu = requireEmulator();
+    CheckpointMeta meta;
+    meta.workload = emu.program()->name();
+    meta.machine = machineLabel;
+    meta.skipInsts = fastForwarded_;
+    meta.programCrc = programFingerprint(*emu.program());
+    meta.paramsFp = paramsFingerprint(pipeline_->params());
+    return encodeCheckpoint(meta, emu, *pipeline_);
+}
+
+void
+Simulator::saveCheckpointFile(const std::string &path,
+                              const std::string &machineLabel) const
+{
+    PhaseScope phase(SimPhase::CheckpointIo);
+    std::string bytes = saveCheckpoint(machineLabel);
+    std::string error = atomicWriteFile(path, bytes);
+    if (!error.empty())
+        throw CheckpointError("cannot write checkpoint: " + error);
+}
+
+void
+Simulator::restoreCheckpoint(const std::string &bytes)
+{
+    PhaseScope phase(SimPhase::CheckpointIo);
+    emu::Emulator &emu = requireEmulator();
+    CheckpointMeta meta = decodeCheckpoint(bytes, emu, *pipeline_);
+    pipeline_->resyncChecker(emu);
+    fastForwarded_ = meta.skipInsts;
+}
+
+void
+Simulator::restoreCheckpointFile(const std::string &path)
+{
+    std::string bytes;
+    if (!readWholeFile(path, bytes))
+        throw CheckpointError("cannot read checkpoint '" + path + "'");
+    restoreCheckpoint(bytes);
 }
 
 RunResult

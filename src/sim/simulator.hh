@@ -19,6 +19,46 @@
 namespace pubs::sim
 {
 
+/**
+ * Which part of a (possibly sampled) run is executing, tracked
+ * per-thread so a SimError escaping a sweep run can be attributed to
+ * fast-forward vs warmup vs measurement in the skip row.
+ */
+enum class SimPhase
+{
+    None,
+    FastForward,
+    Warmup,
+    Measure,
+    CheckpointIo,
+};
+
+/** Stable lowercase name ("fastforward", "warmup", ...; "" for None). */
+const char *simPhaseName(SimPhase phase);
+
+/**
+ * The innermost phase that was active when a SimError last unwound
+ * through a PhaseScope on this thread (None if none since the last
+ * clearFailedPhase()).
+ */
+SimPhase lastFailedPhase();
+void clearFailedPhase();
+
+/** RAII marker for the current thread's simulation phase. */
+class PhaseScope
+{
+  public:
+    explicit PhaseScope(SimPhase phase);
+    ~PhaseScope();
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    SimPhase prev_;
+    int exceptionsAtEntry_;
+};
+
 /** Headline metrics of one simulation. */
 struct RunResult
 {
@@ -38,6 +78,16 @@ struct RunResult
 
     /** Host wall-clock seconds of the measurement phase. */
     double simSeconds = 0.0;
+
+    // Sampled-simulation fields (sim/sampling.hh). All zero/false for a
+    // straight-through run, and excluded from statsJson() then, so
+    // non-sampled output is byte-identical to pre-sampling builds.
+    bool sampled = false;           ///< stitched from measurement windows
+    uint32_t windows = 0;           ///< measurement windows aggregated
+    uint64_t skippedInsts = 0;      ///< functionally fast-forwarded insts
+    double ipcCi95 = 0.0;           ///< 95% CI half-width on ipc
+    double branchMpkiCi95 = 0.0;    ///< 95% CI half-width on branchMpki
+    double llcMpkiCi95 = 0.0;       ///< 95% CI half-width on llcMpki
 
     /** Full pipeline counters for detailed analysis. */
     cpu::PipelineStats pipeline{};
@@ -77,11 +127,48 @@ class Simulator
      */
     RunResult run(uint64_t warmupInsts, uint64_t measureInsts);
 
+    /**
+     * Functionally fast-forward @p insts instructions (no timing; warm
+     * state only — see cpu::Pipeline::functionalFastForward). Only legal
+     * before run(). @return instructions actually consumed.
+     */
+    uint64_t fastForward(uint64_t insts);
+
+    /** Instructions fast-forwarded (or restored past) so far. */
+    uint64_t fastForwarded() const { return fastForwarded_; }
+
+    /**
+     * Serialize the current state as checkpoint container bytes under
+     * @p machineLabel. Requires a program-backed (emulator) source and a
+     * pristine pipeline; throws CheckpointError otherwise.
+     */
+    std::string saveCheckpoint(const std::string &machineLabel = "") const;
+
+    /** saveCheckpoint() + atomic write to @p path. */
+    void saveCheckpointFile(const std::string &path,
+                            const std::string &machineLabel = "") const;
+
+    /**
+     * Restore state from checkpoint container bytes (and resync the
+     * lockstep checker). Same requirements as saveCheckpoint(); throws
+     * CheckpointError on corruption or identity mismatch.
+     */
+    void restoreCheckpoint(const std::string &bytes);
+
+    /** Read @p path and restoreCheckpoint(). */
+    void restoreCheckpointFile(const std::string &path);
+
+    /** The owned emulator, or null for a trace-replay source. */
+    const emu::Emulator *emulator() const;
+
     cpu::Pipeline &pipeline() { return *pipeline_; }
 
   private:
+    emu::Emulator &requireEmulator() const;
+
     std::unique_ptr<trace::InstSource> owned_;
     std::unique_ptr<cpu::Pipeline> pipeline_;
+    uint64_t fastForwarded_ = 0;
 };
 
 /** One-call convenience used by the benches. */

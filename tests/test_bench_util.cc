@@ -124,8 +124,9 @@ TEST(BenchUtil, RunSuiteSkipsFailingConfigurations)
 TEST(BenchUtil, SweepRecordsSkippedConfigsInCsv)
 {
     // A failed run must leave a machine-readable skip row, not just a
-    // stderr warning: skipped.csv gets (workload, machine, kind, error)
-    // while simspeed.csv only collects the runs that succeeded.
+    // stderr warning: skipped.csv gets (workload, machine, kind,
+    // failing phase, error) while simspeed.csv only collects the runs
+    // that succeeded.
     std::string dir =
         (std::filesystem::temp_directory_path() / "pubs_skip_test")
             .string();
@@ -152,7 +153,7 @@ TEST(BenchUtil, SweepRecordsSkippedConfigsInCsv)
     ASSERT_TRUE(skipped.good());
     std::string line;
     std::getline(skipped, line);
-    EXPECT_EQ(line, "workload,machine,error_kind,error");
+    EXPECT_EQ(line, "workload,machine,error_kind,phase,error");
     std::getline(skipped, line);
     EXPECT_NE(line.find("sjeng_like,bad,config,"), std::string::npos);
     EXPECT_NE(line.find("invalid core configuration"),

@@ -103,6 +103,64 @@ TEST(SweepDeterminism, RepeatedRunIsIdentical)
     EXPECT_EQ(first.statsJson(), second.statsJson());
 }
 
+/** Pin sampling on for one scope, restore the disabled default after. */
+class SamplingPin
+{
+  public:
+    SamplingPin(unsigned windows, uint64_t period)
+    {
+        setSampleWindows(windows);
+        setSamplePeriod(period);
+        setCheckpointDir("");
+    }
+
+    ~SamplingPin()
+    {
+        setSampleWindows(0);
+        setSamplePeriod(0);
+        setCheckpointDir("");
+    }
+};
+
+TEST(SweepDeterminism, SampledSweepIdenticalAcrossJobCounts)
+{
+    ::unsetenv("PUBS_BENCH_CSV");
+    // The sampling knobs are process-global pins (what --sample does);
+    // scope them so later tests see sampling disabled again.
+    SamplingPin pin(3, 7000);
+
+    SweepResult reference = runSweep(makeSpec(1));
+    ASSERT_EQ(reference.rows.size(), 7u);
+    EXPECT_EQ(reference.failed(), 1u);
+    for (size_t i = 0; i < 6; ++i) {
+        EXPECT_TRUE(reference.rows[i].result.sampled) << "row " << i;
+        EXPECT_EQ(reference.rows[i].result.windows, 3u) << "row " << i;
+    }
+    std::string referenceJson = reference.statsJson();
+    // Sampled rows must surface their confidence intervals in the JSON.
+    EXPECT_NE(referenceJson.find("\"ipc_ci95\""), std::string::npos);
+    EXPECT_NE(referenceJson.find("\"sampled\": true"),
+              std::string::npos);
+
+    for (unsigned jobs : {2u, sim::RunPool::hardwareThreads()}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        SweepResult run = runSweep(makeSpec(jobs));
+        expectIdenticalRows(reference, run);
+        EXPECT_EQ(run.statsJson(), referenceJson);
+    }
+}
+
+TEST(SweepDeterminism, DisabledSamplingKeepsJsonFreeOfSampledFields)
+{
+    ::unsetenv("PUBS_BENCH_CSV");
+    SweepResult run = runSweep(makeSpec(1));
+    std::string json = run.statsJson();
+    // The non-sampled output contract: byte-identical to pre-sampling
+    // builds, so none of the sampled fields may appear.
+    EXPECT_EQ(json.find("\"sampled\""), std::string::npos);
+    EXPECT_EQ(json.find("ci95"), std::string::npos);
+}
+
 TEST(SweepDeterminism, JsonExcludesHostClockFields)
 {
     ::unsetenv("PUBS_BENCH_CSV");
