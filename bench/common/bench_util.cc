@@ -60,6 +60,11 @@ std::string pinnedReportPath;
 bool reportPathPinned = false;
 int pinnedProgress = -1; ///< -1 = unset, else 0/1
 
+/** CPI-stack / branch-profile emission pinned by --cpi-stack /
+ *  --branch-profile. -1 = unset, else 0/1. */
+int pinnedCpiStack = -1;
+int pinnedBranchProfile = -1;
+
 /** Sampling knobs pinned by --sample / --sample-period. */
 std::atomic<unsigned> pinnedSampleWindows{0};
 std::atomic<bool> sampleWindowsPinned{false};
@@ -228,6 +233,44 @@ setProgress(bool progress)
     pinnedProgress = progress ? 1 : 0;
 }
 
+bool
+cpiStackRequested()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (pinnedCpiStack >= 0)
+            return pinnedCpiStack != 0;
+    }
+    const char *env = std::getenv("PUBS_CPI_STACK");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+void
+setCpiStack(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedCpiStack = enabled ? 1 : 0;
+}
+
+bool
+branchProfileRequested()
+{
+    {
+        std::lock_guard<std::mutex> lock(journalConfigMutex);
+        if (pinnedBranchProfile >= 0)
+            return pinnedBranchProfile != 0;
+    }
+    const char *env = std::getenv("PUBS_BRANCH_PROFILE");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+void
+setBranchProfile(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(journalConfigMutex);
+    pinnedBranchProfile = enabled ? 1 : 0;
+}
+
 std::string
 progressJsonPath()
 {
@@ -330,6 +373,10 @@ parseBenchArgs(int argc, char **argv)
             setReportPath(argv[++i]);
         } else if (std::strcmp(argv[i], "--progress") == 0) {
             setProgress(true);
+        } else if (std::strcmp(argv[i], "--cpi-stack") == 0) {
+            setCpiStack(true);
+        } else if (std::strcmp(argv[i], "--branch-profile") == 0) {
+            setBranchProfile(true);
         } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
             unsigned long windows = std::strtoul(argv[++i], nullptr, 10);
             fatal_if(windows == 0,
@@ -351,7 +398,8 @@ parseBenchArgs(int argc, char **argv)
                 stderr,
                 "usage: %s [--jobs N] [--procs N] [--journal PATH] "
                 "[--resume] [--trace-events PATH] [--report PATH] "
-                "[--progress] [--sample N] [--sample-period N] "
+                "[--progress] [--cpi-stack] [--branch-profile] "
+                "[--sample N] [--sample-period N] "
                 "[--checkpoint-dir PATH]\n"
                 "  --jobs N       parallel in-process runs (default: "
                 "hardware concurrency, or $PUBS_BENCH_JOBS)\n"
@@ -369,6 +417,12 @@ parseBenchArgs(int argc, char **argv)
                 "  --progress     live progress meter + progress.json "
                 "(or $PUBS_PROGRESS=1; $PUBS_PROGRESS_JSON sets the "
                 "path)\n"
+                "  --cpi-stack    emit per-run top-down CPI stacks to "
+                "$PUBS_BENCH_CSV/cpi_stack.csv and the dashboard "
+                "(or $PUBS_CPI_STACK=1)\n"
+                "  --branch-profile  per-static-branch cost profile to "
+                "$PUBS_BENCH_CSV/branch_profile.csv and the dashboard; "
+                "forces core telemetry on (or $PUBS_BRANCH_PROFILE=1)\n"
                 "  --sample N     sampled simulation with N measurement "
                 "windows per run (or $PUBS_BENCH_SAMPLE); budgets are "
                 "split across the windows\n"
@@ -543,6 +597,69 @@ appendSkipCsv(const SweepSpec &spec, const SweepResult &result)
                     out.str());
 }
 
+/**
+ * One cpi_stack.csv row per clean run, in spec order: the wide format
+ * (one column per top-down component) so a spreadsheet stacks them
+ * without pivoting. Only written under --cpi-stack.
+ */
+void
+appendCpiStackCsv(const SweepSpec &spec, const SweepResult &result)
+{
+    std::string header = "workload,machine,total_cycles";
+    for (size_t c = 0; c < cpu::numCpiComponents; ++c) {
+        header += ',';
+        header += cpu::cpiComponentName((cpu::CpiComponent)c);
+    }
+    header += '\n';
+    std::ostringstream out;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const SweepRow &row = result.rows[i];
+        if (!row.ok())
+            continue;
+        const cpu::CpiStack &cpi = row.result.pipeline.cpi;
+        out << spec.items[i].workload.name << ','
+            << spec.items[i].machine << ',' << cpi.total();
+        for (size_t c = 0; c < cpu::numCpiComponents; ++c)
+            out << ',' << cpi.cycles[c];
+        out << '\n';
+    }
+    appendCsvAtomic("cpi_stack.csv", header.c_str(), out.str());
+}
+
+/**
+ * The per-static-branch cost profile of every clean run, in spec
+ * order. Only written under --branch-profile (which forces telemetry,
+ * so the rows exist).
+ */
+void
+appendBranchProfileCsv(const SweepSpec &spec, const SweepResult &result)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        const SweepRow &row = result.rows[i];
+        if (!row.ok())
+            continue;
+        for (const sim::BranchProfileRow &b : row.result.branchProfile) {
+            char pc[24];
+            std::snprintf(pc, sizeof(pc), "0x%llx",
+                          (unsigned long long)b.pc);
+            out << spec.items[i].workload.name << ','
+                << spec.items[i].machine << ',' << pc << ','
+                << b.commits << ',' << b.mispredicts << ','
+                << b.penaltyCycles << ',' << b.confCorrect << ','
+                << b.confWrong << ',' << b.unconfCorrect << ','
+                << b.unconfWrong << ',' << b.sliceInsts << ','
+                << b.sliceCovered << '\n';
+        }
+    }
+    appendCsvAtomic("branch_profile.csv",
+                    "workload,machine,pc,commits,mispredicts,"
+                    "penalty_cycles,conf_correct,conf_wrong,"
+                    "unconf_correct,unconf_wrong,slice_insts,"
+                    "slice_covered\n",
+                    out.str());
+}
+
 /** Append one pool-utilization + farm-health record to sweep_pool.csv. */
 void
 appendPoolCsv(const SweepResult &result)
@@ -684,6 +801,11 @@ sweepKey(const SweepSpec &spec, uint64_t warmup, uint64_t insts)
     sim::SamplePlan plan = benchSamplePlan(warmup, insts);
     if (plan.enabled())
         mix("sample:" + plan.describe());
+    // Branch-profile rows ride in the journaled payload, so rows taken
+    // with the flag off must not be served to a sweep that wants them
+    // (and vice versa). Off leaves the key — and old journals — intact.
+    if (branchProfileRequested())
+        mix("branch_profile:1");
     for (const SweepItem &item : spec.items) {
         mix(item.workload.name);
         mix(item.machine);
@@ -703,16 +825,24 @@ runSweepItem(const SweepItem &item, uint64_t warmup, uint64_t insts)
         // Each run owns its Simulator (pipeline, emulator, RNG
         // streams, stats); nothing is shared with siblings, so the
         // result depends only on the item, never on the schedule.
+        cpu::CoreParams params = item.params;
+        if (branchProfileRequested()) {
+            // Telemetry is purely observational (simulated cycles are
+            // bit-identical with it on), so forcing it here changes
+            // only what the row carries, never the model results.
+            params.telemetry = true;
+            params.heartbeatToStderr = false;
+        }
         sim::SamplePlan plan = benchSamplePlan(warmup, insts);
         sim::RunResult r;
         if (plan.enabled()) {
             std::string dir = checkpointDir();
             sim::CheckpointStore store(dir);
-            r = sim::simulateSampled(item.params, item.workload.program,
+            r = sim::simulateSampled(params, item.workload.program,
                                      plan, dir.empty() ? nullptr : &store,
                                      item.machine);
         } else {
-            r = sim::simulate(item.params, item.workload.program, warmup,
+            r = sim::simulate(params, item.workload.program, warmup,
                               insts);
         }
         r.workload = item.workload.name;
@@ -1004,6 +1134,10 @@ runSweep(const SweepSpec &spec)
     appendCsvAtomic("simspeed.csv", simSpeedCsvHeader, speedRows);
     appendSkipCsv(spec, result);
     appendPoolCsv(result);
+    if (cpiStackRequested())
+        appendCpiStackCsv(spec, result);
+    if (branchProfileRequested())
+        appendBranchProfileCsv(spec, result);
 
     // Observability outputs, rewritten (atomically) after every sweep so
     // a driver that runs several sweeps leaves them cumulative and a

@@ -110,6 +110,30 @@ bool progressRequested();
 void setProgress(bool progress);
 
 /**
+ * Was --cpi-stack (or PUBS_CPI_STACK=1) requested? When on, every
+ * runSweep() additionally emits $PUBS_BENCH_CSV/cpi_stack.csv (one row
+ * per run, one column per top-down CPI component) and the dashboard
+ * gains a stacked-bar CPI panel. The stack itself is always collected;
+ * the flag only gates emission, so no-flag output stays byte-identical.
+ */
+bool cpiStackRequested();
+
+/** Pin the CPI-stack flag (what --cpi-stack does). */
+void setCpiStack(bool enabled);
+
+/**
+ * Was --branch-profile (or PUBS_BRANCH_PROFILE=1) requested? When on,
+ * sweep runs force-enable core telemetry (stderr heartbeat off), every
+ * runSweep() emits $PUBS_BENCH_CSV/branch_profile.csv (top static
+ * branches per run with the confidence×outcome quadrant and slice
+ * coverage), and the dashboard gains a top-branches table.
+ */
+bool branchProfileRequested();
+
+/** Pin the branch-profile flag (what --branch-profile does). */
+void setBranchProfile(bool enabled);
+
+/**
  * Sampled-simulation windows per run (--sample / PUBS_BENCH_SAMPLE);
  * 0 (the default) runs every sweep item straight through.
  */

@@ -65,6 +65,25 @@ ReportBuilder::addSweep(const SweepSpec &spec, const SweepResult &result)
         run.llcMpki = row.result.llcMpki;
         run.unconfidentRate = row.result.unconfidentBranchRate;
         run.errorKind = row.errorKind;
+        if (row.ok() && cpiStackRequested()) {
+            run.hasCpi = true;
+            run.cpi = row.result.pipeline.cpi.cycles;
+        }
+        if (row.ok() && branchProfileRequested()) {
+            for (const sim::BranchProfileRow &b :
+                 row.result.branchProfile) {
+                Run::Branch branch;
+                branch.pc = b.pc;
+                branch.commits = b.commits;
+                branch.mispredicts = b.mispredicts;
+                branch.penaltyCycles = b.penaltyCycles;
+                branch.unconfCorrect = b.unconfCorrect;
+                branch.unconfWrong = b.unconfWrong;
+                branch.sliceInsts = b.sliceInsts;
+                branch.sliceCovered = b.sliceCovered;
+                run.branches.push_back(branch);
+            }
+        }
         runs_.push_back(std::move(run));
     }
     farm_.launches += result.farm.launches;
@@ -129,7 +148,32 @@ ReportBuilder::dataJson() const
             << ", \"branch_mpki\": " << jsonNumber(r.branchMpki)
             << ", \"llc_mpki\": " << jsonNumber(r.llcMpki)
             << ", \"unconfident_rate\": " << jsonNumber(r.unconfidentRate)
-            << ", \"error_kind\": " << quoted(r.errorKind) << "}";
+            << ", \"error_kind\": " << quoted(r.errorKind);
+        if (r.hasCpi) {
+            out << ", \"cpi\": {";
+            for (size_t c = 0; c < cpu::numCpiComponents; ++c) {
+                out << (c ? ", " : "") << '"'
+                    << cpu::cpiComponentName((cpu::CpiComponent)c)
+                    << "\": " << r.cpi[c];
+            }
+            out << "}";
+        }
+        if (!r.branches.empty()) {
+            out << ", \"branches\": [";
+            for (size_t b = 0; b < r.branches.size(); ++b) {
+                const Run::Branch &br = r.branches[b];
+                out << (b ? ", " : "") << "{\"pc\": " << br.pc
+                    << ", \"commits\": " << br.commits
+                    << ", \"mispredicts\": " << br.mispredicts
+                    << ", \"penalty_cycles\": " << br.penaltyCycles
+                    << ", \"unconf_correct\": " << br.unconfCorrect
+                    << ", \"unconf_wrong\": " << br.unconfWrong
+                    << ", \"slice_insts\": " << br.sliceInsts
+                    << ", \"slice_covered\": " << br.sliceCovered << "}";
+            }
+            out << "]";
+        }
+        out << "}";
     }
     out << "\n],\n";
     out << "\"farm\": {\"launches\": " << farm_.launches
@@ -216,6 +260,13 @@ renderDashboardHtml(const std::string &dataJson)
  .bar-track { flex: 1; background: #18202a; border-radius: 4px;
               height: 18px; position: relative; }
  .bar-fill { height: 100%; border-radius: 4px; background: #2f81f7; }
+ .stack-track { flex: 1; background: #18202a; border-radius: 4px;
+                height: 18px; display: flex; overflow: hidden; }
+ .stack-seg { height: 100%; }
+ .legend { display: flex; flex-wrap: wrap; gap: 10px; margin: 6px 0 10px;
+           font-size: 12px; }
+ .legend .swatch { display: inline-block; width: 10px; height: 10px;
+                   border-radius: 2px; margin-right: 4px; }
  .bar-fill.good { background: #3fb950; }
  .bar-fill.warn { background: #d29922; }
  .bar-fill.bad { background: #f85149; }
@@ -345,6 +396,90 @@ if (DATA.wall_seconds > 0 && DATA.jobs > 0)
           r.speedup.toFixed(3) + " (" + (pct >= 0 ? "+" : "") + pct +
           "%)", r.speedup >= 1 ? "good" : "bad");
     }
+  }
+}
+
+// --- top-down CPI stacks ---
+{
+  const withCpi = ok.filter(r => r.cpi);
+  if (withCpi.length) {
+    const box = section("Top-down CPI stack (fraction of cycles)");
+    const COLORS = {
+      base: "#3fb950", frontend: "#9ecbff", branch_recovery: "#f85149",
+      branch_misspec: "#d29922", mem_l2: "#a371f7", mem_dram: "#6e40c9",
+      rob_full: "#f0883e", iq_full: "#db6d28", lsq_full: "#bf4b8a",
+      rename_full: "#768390", priority_stall: "#e3b341",
+      execute: "#2f81f7"
+    };
+    const names = Object.keys(withCpi[0].cpi);
+    const legend = el("div", "legend");
+    for (const name of names) {
+      const item = el("span");
+      const swatch = el("span", "swatch");
+      swatch.style.background = COLORS[name] || "#768390";
+      item.appendChild(swatch);
+      item.appendChild(document.createTextNode(name));
+      legend.appendChild(item);
+    }
+    box.appendChild(legend);
+    for (const r of withCpi) {
+      const total = names.reduce((sum, n) => sum + r.cpi[n], 0);
+      if (!total) continue;
+      const row = el("div", "bar-row");
+      row.appendChild(el("div", "bar-label",
+                         r.workload + " / " + r.machine));
+      const track = el("div", "stack-track");
+      for (const name of names) {
+        if (!r.cpi[name]) continue;
+        const seg = el("div", "stack-seg");
+        seg.style.width = (100 * r.cpi[name] / total) + "%";
+        seg.style.background = COLORS[name] || "#768390";
+        seg.title = name + ": " +
+                    (100 * r.cpi[name] / total).toFixed(1) + "%";
+        track.appendChild(seg);
+      }
+      row.appendChild(track);
+      row.appendChild(el("div", "bar-value",
+                         (total / (r.instructions || 1)).toFixed(3) +
+                         " CPI"));
+      box.appendChild(row);
+    }
+  }
+}
+
+// --- top branch sites ---
+{
+  const rows = [];
+  for (const r of ok) {
+    for (const b of (r.branches || []))
+      rows.push({ run: r, b: b });
+  }
+  if (rows.length) {
+    const box = section("Top branch sites by misprediction cost");
+    rows.sort((x, y) => y.b.mispredicts - x.b.mispredicts ||
+                        y.b.penalty_cycles - x.b.penalty_cycles ||
+                        x.b.pc - y.b.pc);
+    const table = el("table");
+    const head = el("tr");
+    for (const key of ["run", "pc", "commits", "mispredicts",
+                       "penalty cycles", "unconf %", "slice cov"])
+      head.appendChild(el("th", "", key));
+    table.appendChild(head);
+    for (const { run, b } of rows.slice(0, 15)) {
+      const tr = el("tr");
+      tr.appendChild(el("td", "", run.workload + " / " + run.machine));
+      tr.appendChild(el("td", "", "0x" + b.pc.toString(16)));
+      tr.appendChild(el("td", "", String(b.commits)));
+      tr.appendChild(el("td", "", String(b.mispredicts)));
+      tr.appendChild(el("td", "", String(b.penalty_cycles)));
+      const unconf = b.unconf_correct + b.unconf_wrong;
+      tr.appendChild(el("td", "", b.commits ?
+        (100 * unconf / b.commits).toFixed(1) + "%" : "-"));
+      tr.appendChild(el("td", "", b.slice_insts ?
+        (b.slice_covered / b.slice_insts).toFixed(2) : "-"));
+      table.appendChild(tr);
+    }
+    box.appendChild(table);
   }
 }
 

@@ -19,11 +19,13 @@
 #ifndef PUBS_BENCH_COMMON_REPORT_HH
 #define PUBS_BENCH_COMMON_REPORT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.hh"
+#include "cpu/cpi_stack.hh"
 
 namespace pubs::bench
 {
@@ -45,6 +47,28 @@ class ReportBuilder
         double llcMpki = 0.0;
         double unconfidentRate = 0.0;
         std::string errorKind; ///< when !ok
+
+        /** Top-down CPI stack of the run; emitted into the data
+         *  document (and rendered as a stacked bar) only when
+         *  @ref hasCpi — set by addSweep() under --cpi-stack. */
+        bool hasCpi = false;
+        std::array<uint64_t, cpu::numCpiComponents> cpi{};
+
+        /** One top-cost static branch (dashboard table row). */
+        struct Branch
+        {
+            uint64_t pc = 0;
+            uint64_t commits = 0;
+            uint64_t mispredicts = 0;
+            uint64_t penaltyCycles = 0;
+            uint64_t unconfCorrect = 0;
+            uint64_t unconfWrong = 0;
+            uint64_t sliceInsts = 0;
+            uint64_t sliceCovered = 0;
+        };
+
+        /** Filled by addSweep() under --branch-profile. */
+        std::vector<Branch> branches;
     };
 
     /** Dashboard heading; defaults to "PUBS sweep farm". */

@@ -14,7 +14,8 @@ namespace
 // instead of silent misdecodes.
 // v2: + failure phase, + sampled-simulation fields (windows, skipped
 //     instructions, CI half-widths).
-constexpr uint8_t codecVersion = 2;
+// v3: + CPI-stack component cycles, + per-branch profile rows.
+constexpr uint8_t codecVersion = 3;
 
 class Encoder
 {
@@ -223,6 +224,26 @@ encodeSweepRow(const SweepRow &row)
     enc.putHistogram(p.misspecPenalty);
     enc.putHistogram(p.iqOccupancy);
     enc.putHistogram(p.iqWait);
+
+    // CPI stack: component count first so a geometry change is caught
+    // as a version/shape mismatch rather than a silent misdecode.
+    enc.put32((uint32_t)cpu::numCpiComponents);
+    for (size_t c = 0; c < cpu::numCpiComponents; ++c)
+        enc.put64(p.cpi.cycles[c]);
+
+    enc.put32((uint32_t)r.branchProfile.size());
+    for (const sim::BranchProfileRow &b : r.branchProfile) {
+        enc.put64(b.pc);
+        enc.put64(b.commits);
+        enc.put64(b.mispredicts);
+        enc.put64(b.penaltyCycles);
+        enc.put64(b.confCorrect);
+        enc.put64(b.confWrong);
+        enc.put64(b.unconfCorrect);
+        enc.put64(b.unconfWrong);
+        enc.put64(b.sliceInsts);
+        enc.put64(b.sliceCovered);
+    }
     return enc.take();
 }
 
@@ -289,6 +310,28 @@ decodeSweepRow(const std::string &payload, SweepRow &row,
     if (sampled > 1)
         return failWith("malformed sampled flag in sweep-row payload");
     r.sampled = sampled != 0;
+
+    uint32_t components;
+    if (!dec.get32(components) || components != cpu::numCpiComponents)
+        return failWith("CPI-stack shape mismatch in sweep-row payload");
+    for (size_t c = 0; c < cpu::numCpiComponents; ++c)
+        if (!dec.get64(p.cpi.cycles[c]))
+            return failWith("short CPI stack in sweep-row payload");
+
+    uint32_t branches;
+    if (!dec.get32(branches) || branches > sim::maxBranchProfileRows)
+        return failWith("implausible branch-profile row count");
+    r.branchProfile.resize(branches);
+    for (sim::BranchProfileRow &b : r.branchProfile) {
+        uint64_t pc;
+        if (!dec.get64(pc) || !dec.get64(b.commits) ||
+            !dec.get64(b.mispredicts) || !dec.get64(b.penaltyCycles) ||
+            !dec.get64(b.confCorrect) || !dec.get64(b.confWrong) ||
+            !dec.get64(b.unconfCorrect) || !dec.get64(b.unconfWrong) ||
+            !dec.get64(b.sliceInsts) || !dec.get64(b.sliceCovered))
+            return failWith("short branch-profile row");
+        b.pc = (Pc)pc;
+    }
     if (!dec.exhausted())
         return failWith("trailing bytes after sweep-row payload");
     return true;

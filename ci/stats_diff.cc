@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CLI wrapper over common/stats_diff: compare two stats-JSON documents
+ * with per-field tolerances and an allowlist for host-dependent fields.
+ *
+ *     stats_diff A.json B.json [--abs-tol X] [--rel-tol X]
+ *                [--allow PATH]...
+ *
+ * Exit 0 when the documents match under the tolerances, 1 with one
+ * mismatch per line on stdout when they differ, 2 on usage or I/O
+ * errors. Replaces the `diff <(grep -v ...)` pipelines in CI, which
+ * compare formatting instead of values and silently drop whole lines.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/atomic_file.hh"
+#include "common/stats_diff.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s A.json B.json [--abs-tol X] [--rel-tol X] "
+                 "[--allow PATH]...\n"
+                 "  --abs-tol X   absolute tolerance on numeric fields\n"
+                 "  --rel-tol X   relative tolerance on numeric fields\n"
+                 "  --allow PATH  ignore this dotted path and its "
+                 "subtree (repeatable), e.g. --allow run.kips\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string pathA, pathB;
+    pubs::StatsDiffOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--abs-tol") == 0 && i + 1 < argc) {
+            options.absTol = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--rel-tol") == 0 &&
+                   i + 1 < argc) {
+            options.relTol = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--allow") == 0 && i + 1 < argc) {
+            options.allow.emplace_back(argv[++i]);
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+        } else if (pathA.empty()) {
+            pathA = argv[i];
+        } else if (pathB.empty()) {
+            pathB = argv[i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (pathA.empty() || pathB.empty())
+        usage(argv[0]);
+
+    std::string a, b;
+    if (!pubs::readWholeFile(pathA, a)) {
+        std::fprintf(stderr, "cannot read %s\n", pathA.c_str());
+        return 2;
+    }
+    if (!pubs::readWholeFile(pathB, b)) {
+        std::fprintf(stderr, "cannot read %s\n", pathB.c_str());
+        return 2;
+    }
+
+    pubs::StatsDiff diff = pubs::diffStatsJsonText(a, b, options);
+    for (const std::string &mismatch : diff.mismatches)
+        std::printf("%s\n", mismatch.c_str());
+    if (diff.ok()) {
+        std::printf("stats_diff: %llu leaves match (%llu ignored)\n",
+                    (unsigned long long)diff.comparedLeaves,
+                    (unsigned long long)diff.ignoredLeaves);
+        return 0;
+    }
+    std::printf("stats_diff: %zu mismatch%s (%llu leaves compared, "
+                "%llu ignored)\n",
+                diff.mismatches.size(),
+                diff.mismatches.size() == 1 ? "" : "es",
+                (unsigned long long)diff.comparedLeaves,
+                (unsigned long long)diff.ignoredLeaves);
+    return 1;
+}

@@ -26,6 +26,11 @@
  *                                    trace (view with Konata)
  *       --telemetry                  collect PUBS slice telemetry and the
  *                                    branch-site profile
+ *       --cpi-stack                  print the top-down CPI stack after
+ *                                    the run (always collected; this
+ *                                    only prints it)
+ *       --branch-profile             print the per-static-branch cost
+ *                                    profile (implies --telemetry)
  *       --heartbeat <cycles>         heartbeat interval (0 disables)
  *       --progress                   live progress readout (TTY meter,
  *                                    machine-readable lines otherwise)
@@ -104,7 +109,8 @@ usage(const char *argv0)
                  "          [--check off|warn|throw|abort|lockstep]\n"
                  "          [--audit-interval N]\n"
                  "          [--stats-json PATH] [--pipeview PATH]\n"
-                 "          [--telemetry] [--heartbeat N] [--jobs N]\n"
+                 "          [--telemetry] [--cpi-stack]\n"
+                 "          [--branch-profile] [--heartbeat N] [--jobs N]\n"
                  "          [--procs N] [--progress]\n"
                  "          [--trace-events PATH] [--report PATH]\n"
                  "          [--skip N] [--save-checkpoint PATH]\n"
@@ -360,6 +366,8 @@ run(int argc, char **argv)
     std::string statsJsonPath;
     std::string pipeviewPath;
     bool telemetry = false;
+    bool cpiStack = false;
+    bool branchProfile = false;
     bool setHeartbeat = false;
     unsigned heartbeat = 0;
     unsigned jobs = 0;  // 0 = hardware concurrency
@@ -420,6 +428,11 @@ run(int argc, char **argv)
         } else if (arg == "--pipeview") {
             pipeviewPath = next();
         } else if (arg == "--telemetry") {
+            telemetry = true;
+        } else if (arg == "--cpi-stack") {
+            cpiStack = true;
+        } else if (arg == "--branch-profile") {
+            branchProfile = true;
             telemetry = true;
         } else if (arg == "--heartbeat") {
             setHeartbeat = true;
@@ -561,6 +574,11 @@ run(int argc, char **argv)
                     result.llcMpkiCi95);
         std::printf("host speed: %.2f s, %.1f KIPS\n", result.simSeconds,
                     result.kips());
+        if (cpiStack) {
+            std::printf("%s",
+                        result.pipeline.cpi.format(result.instructions)
+                            .c_str());
+        }
         if (!checkpointDir.empty()) {
             std::printf("checkpoint cache: %s\n", checkpointDir.c_str());
         }
@@ -649,6 +667,11 @@ run(int argc, char **argv)
     std::printf("host speed: %.2f s, %.1f KIPS\n", result.simSeconds,
                 result.kips());
 
+    if (cpiStack) {
+        std::printf("%s",
+                    result.pipeline.cpi.format(result.instructions)
+                        .c_str());
+    }
     if (const cpu::CoreTelemetry *t = simulator.pipeline().telemetry())
         std::printf("%s", t->formatBranchProfile().c_str());
 
@@ -685,6 +708,25 @@ run(int argc, char **argv)
             row.branchMpki = result.branchMpki;
             row.llcMpki = result.llcMpki;
             row.unconfidentRate = result.unconfidentBranchRate;
+            if (cpiStack) {
+                row.hasCpi = true;
+                row.cpi = result.pipeline.cpi.cycles;
+            }
+            if (branchProfile) {
+                for (const sim::BranchProfileRow &b :
+                     result.branchProfile) {
+                    bench::ReportBuilder::Run::Branch branch;
+                    branch.pc = b.pc;
+                    branch.commits = b.commits;
+                    branch.mispredicts = b.mispredicts;
+                    branch.penaltyCycles = b.penaltyCycles;
+                    branch.unconfCorrect = b.unconfCorrect;
+                    branch.unconfWrong = b.unconfWrong;
+                    branch.sliceInsts = b.sliceInsts;
+                    branch.sliceCovered = b.sliceCovered;
+                    row.branches.push_back(branch);
+                }
+            }
             report.addRun(row);
             report.setStatsJson(registry.renderJson());
             std::string error = report.writeHtml(reportPath);

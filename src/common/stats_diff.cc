@@ -1,0 +1,202 @@
+#include "common/stats_diff.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pubs
+{
+
+namespace
+{
+
+const char *
+kindName(json::Value::Kind kind)
+{
+    switch (kind) {
+      case json::Value::Kind::Null:
+        return "null";
+      case json::Value::Kind::Bool:
+        return "bool";
+      case json::Value::Kind::Number:
+        return "number";
+      case json::Value::Kind::String:
+        return "string";
+      case json::Value::Kind::Array:
+        return "array";
+      case json::Value::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+class Differ
+{
+  public:
+    Differ(const StatsDiffOptions &options, StatsDiff &out)
+        : options_(options), out_(out)
+    {
+    }
+
+    void
+    walk(const std::string &path, const json::Value *a,
+         const json::Value *b)
+    {
+        if (full())
+            return;
+        if (allowed(path)) {
+            ++out_.ignoredLeaves;
+            return;
+        }
+        if (!a || !b) {
+            add(path + ": only in the " +
+                (a ? "first" : "second") + " document");
+            return;
+        }
+        if (a->kind() != b->kind()) {
+            add(path + ": " + kindName(a->kind()) + " vs " +
+                kindName(b->kind()));
+            return;
+        }
+        switch (a->kind()) {
+          case json::Value::Kind::Object:
+            walkObject(path, *a, *b);
+            return;
+          case json::Value::Kind::Array:
+            walkArray(path, *a, *b);
+            return;
+          case json::Value::Kind::Number:
+            ++out_.comparedLeaves;
+            compareNumbers(path, a->number(), b->number());
+            return;
+          case json::Value::Kind::String:
+            ++out_.comparedLeaves;
+            if (a->str() != b->str())
+                add(path + ": \"" + a->str() + "\" vs \"" + b->str() +
+                    "\"");
+            return;
+          case json::Value::Kind::Bool:
+            ++out_.comparedLeaves;
+            if (a->boolean() != b->boolean()) {
+                add(path + ": " + (a->boolean() ? "true" : "false") +
+                    " vs " + (b->boolean() ? "true" : "false"));
+            }
+            return;
+          case json::Value::Kind::Null:
+            ++out_.comparedLeaves;
+            return;
+        }
+    }
+
+  private:
+    bool
+    full() const
+    {
+        return options_.maxMismatches &&
+               out_.mismatches.size() >= options_.maxMismatches;
+    }
+
+    void
+    add(std::string mismatch)
+    {
+        if (!full())
+            out_.mismatches.push_back(std::move(mismatch));
+    }
+
+    /** @p path is excluded when an allow entry names it or a parent. */
+    bool
+    allowed(const std::string &path) const
+    {
+        for (const std::string &entry : options_.allow) {
+            if (path == entry)
+                return true;
+            if (path.size() > entry.size() &&
+                path.compare(0, entry.size(), entry) == 0 &&
+                (path[entry.size()] == '.' || path[entry.size()] == '['))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    walkObject(const std::string &path, const json::Value &a,
+               const json::Value &b)
+    {
+        std::string prefix = path.empty() ? "" : path + ".";
+        for (const auto &[key, value] : a.members())
+            walk(prefix + key, &value, b.find(key));
+        // Second pass: members only the second document has.
+        for (const auto &[key, value] : b.members())
+            if (!a.find(key))
+                walk(prefix + key, nullptr, &value);
+    }
+
+    void
+    walkArray(const std::string &path, const json::Value &a,
+              const json::Value &b)
+    {
+        const auto &xs = a.array();
+        const auto &ys = b.array();
+        if (xs.size() != ys.size()) {
+            add(path + ": array length " + std::to_string(xs.size()) +
+                " vs " + std::to_string(ys.size()));
+            return;
+        }
+        for (size_t i = 0; i < xs.size(); ++i)
+            walk(path + "[" + std::to_string(i) + "]", &xs[i], &ys[i]);
+    }
+
+    void
+    compareNumbers(const std::string &path, double x, double y)
+    {
+        if (x == y)
+            return;
+        double tolerance = options_.absTol +
+                           options_.relTol *
+                               std::max(std::fabs(x), std::fabs(y));
+        double delta = std::fabs(x - y);
+        if (delta <= tolerance)
+            return;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%s: %.17g vs %.17g (|d|=%.3g "
+                      "> tol %.3g)",
+                      path.c_str(), x, y, delta, tolerance);
+        add(buf);
+    }
+
+    const StatsDiffOptions &options_;
+    StatsDiff &out_;
+};
+
+} // namespace
+
+StatsDiff
+diffStatsJson(const json::Value &a, const json::Value &b,
+              const StatsDiffOptions &options)
+{
+    StatsDiff diff;
+    Differ differ(options, diff);
+    differ.walk("", &a, &b);
+    return diff;
+}
+
+StatsDiff
+diffStatsJsonText(const std::string &a, const std::string &b,
+                  const StatsDiffOptions &options)
+{
+    StatsDiff diff;
+    json::Value da, db;
+    std::string error;
+    if (!json::parse(a, da, error)) {
+        diff.mismatches.push_back("first document is invalid JSON: " +
+                                  error);
+        return diff;
+    }
+    if (!json::parse(b, db, error)) {
+        diff.mismatches.push_back("second document is invalid JSON: " +
+                                  error);
+        return diff;
+    }
+    return diffStatsJson(da, db, options);
+}
+
+} // namespace pubs

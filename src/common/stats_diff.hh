@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tolerant structural diff of two stats-JSON documents.
+ *
+ * Byte-diffing JSON works only while every field is bit-deterministic;
+ * the moment a document carries host wall-clock (sim_seconds, kips) the
+ * comparison degenerates into grep pipelines that silently drop whole
+ * lines. This diff walks both DOMs instead: every leaf is compared by
+ * dotted path, numbers within |a-b| <= absTol + relTol*max(|a|,|b|)
+ * match, and an allowlist of path prefixes excludes the fields whose
+ * variance is expected. Everything else — missing keys, extra keys,
+ * kind changes, out-of-tolerance values — is a reported mismatch.
+ */
+
+#ifndef PUBS_COMMON_STATS_DIFF_HH
+#define PUBS_COMMON_STATS_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace pubs
+{
+
+struct StatsDiffOptions
+{
+    /** Absolute tolerance on numeric leaves. */
+    double absTol = 0.0;
+    /** Relative tolerance on numeric leaves (of max(|a|,|b|)). */
+    double relTol = 0.0;
+    /**
+     * Dotted paths to ignore, each matching itself and its whole
+     * subtree: "run.kips" ignores that leaf, "heartbeat" the group.
+     * Array elements address as "path[3]".
+     */
+    std::vector<std::string> allow;
+    /** Stop collecting past this many mismatches (0 = unbounded). */
+    size_t maxMismatches = 64;
+};
+
+struct StatsDiff
+{
+    /** Human-readable, one line per mismatch, in document order. */
+    std::vector<std::string> mismatches;
+    uint64_t comparedLeaves = 0; ///< leaves actually compared
+    uint64_t ignoredLeaves = 0;  ///< leaves skipped by the allowlist
+
+    bool ok() const { return mismatches.empty(); }
+};
+
+/** Diff parsed documents @p a and @p b under @p options. */
+StatsDiff diffStatsJson(const json::Value &a, const json::Value &b,
+                        const StatsDiffOptions &options);
+
+/**
+ * Parse and diff two JSON document strings. A parse failure is
+ * reported as a mismatch (the diff can then never be ok()).
+ */
+StatsDiff diffStatsJsonText(const std::string &a, const std::string &b,
+                            const StatsDiffOptions &options);
+
+} // namespace pubs
+
+#endif // PUBS_COMMON_STATS_DIFF_HH

@@ -484,6 +484,21 @@ Auditor::audit(const Pipeline &pipe)
     if (pipe.ageMatrix_)
         checkAgeMatrix(*pipe.ageMatrix_, *pipe.iqs_[0], report);
 
+    // --- CPI-stack adds-up invariant ---
+    // Every cycle must be attributed to exactly one component. When the
+    // audit runs mid-cycle (post-squash), the current cycle's count has
+    // been incremented but its classification happens at end of cycle,
+    // so exactly one cycle is legitimately unattributed.
+    ++report.checksRun;
+    uint64_t attributed = pipe.stats_.cpi.total();
+    uint64_t expected = pipe.stats_.cycles - (pipe.midCycle_ ? 1 : 0);
+    if (attributed != expected) {
+        report.add("CPI stack attributes " + std::to_string(attributed) +
+                   " cycles but " + std::to_string(expected) +
+                   " have elapsed" +
+                   (pipe.midCycle_ ? " (mid-cycle)" : ""));
+    }
+
     return report;
 }
 

@@ -1,0 +1,109 @@
+#include "cpu/cpi_stack.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace pubs::cpu
+{
+
+const char *
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::Base:
+        return "base";
+      case CpiComponent::Frontend:
+        return "frontend";
+      case CpiComponent::BranchRecovery:
+        return "branch_recovery";
+      case CpiComponent::BranchMisspec:
+        return "branch_misspec";
+      case CpiComponent::MemL2:
+        return "mem_l2";
+      case CpiComponent::MemDram:
+        return "mem_dram";
+      case CpiComponent::RobFull:
+        return "rob_full";
+      case CpiComponent::IqFull:
+        return "iq_full";
+      case CpiComponent::LsqFull:
+        return "lsq_full";
+      case CpiComponent::RenameFull:
+        return "rename_full";
+      case CpiComponent::PriorityStall:
+        return "priority_stall";
+      case CpiComponent::Execute:
+        return "execute";
+      case CpiComponent::NumComponents:
+        break;
+    }
+    return "?";
+}
+
+uint64_t
+CpiStack::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : cycles)
+        sum += c;
+    return sum;
+}
+
+void
+CpiStack::merge(const CpiStack &other)
+{
+    for (size_t i = 0; i < numCpiComponents; ++i)
+        cycles[i] += other.cycles[i];
+}
+
+CpiStack
+CpiStack::deltaSince(const CpiStack &since) const
+{
+    CpiStack delta;
+    for (size_t i = 0; i < numCpiComponents; ++i)
+        delta.cycles[i] = cycles[i] - since.cycles[i];
+    return delta;
+}
+
+void
+CpiStack::fill(StatGroup &group, uint64_t committed) const
+{
+    group.add("total_cycles", (double)total(),
+              "sum over components; equals pipeline cycles");
+    for (size_t i = 0; i < numCpiComponents; ++i) {
+        std::string name = cpiComponentName((CpiComponent)i);
+        group.add(name + "_cycles", (double)cycles[i]);
+    }
+    for (size_t i = 0; i < numCpiComponents; ++i) {
+        std::string name = cpiComponentName((CpiComponent)i);
+        group.add("cpi_" + name,
+                  committed ? (double)cycles[i] / (double)committed : 0.0);
+    }
+}
+
+std::string
+CpiStack::format(uint64_t committed) const
+{
+    uint64_t sum = total();
+    std::ostringstream out;
+    out << "CPI stack (" << sum << " cycles, " << committed
+        << " committed):\n";
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-16s %14s %8s %8s\n",
+                  "component", "cycles", "frac", "cpi");
+    out << line;
+    for (size_t i = 0; i < numCpiComponents; ++i) {
+        std::snprintf(line, sizeof(line), "  %-16s %14llu %7.1f%% %8.3f\n",
+                      cpiComponentName((CpiComponent)i),
+                      (unsigned long long)cycles[i],
+                      sum ? 100.0 * (double)cycles[i] / (double)sum : 0.0,
+                      committed ? (double)cycles[i] / (double)committed
+                                : 0.0);
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace pubs::cpu

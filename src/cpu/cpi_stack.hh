@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Top-down CPI stack: every simulated cycle is attributed to exactly one
+ * exclusive component, so the per-component cycle counts sum to the total
+ * cycle count — an invariant the structural auditor enforces.
+ *
+ * The taxonomy follows interval analysis (Eyerman et al.), adapted to
+ * this pipeline's dispatch-centric view and to the paper's vocabulary
+ * (see DESIGN.md section 11):
+ *
+ *  - Base: at least one correct-path instruction dispatched — the cycle
+ *    did useful work.
+ *  - Frontend: nothing to dispatch and the backend is drained; fetch is
+ *    starved by an i-cache miss, a BTB-miss bubble, front-end latency,
+ *    or source exhaustion.
+ *  - BranchRecovery: fetch suspended by the fixed state-recovery penalty
+ *    after a misprediction squash (Table I's 10 cycles).
+ *  - BranchMisspec: the machine did only wrong-path work, or progress
+ *    waits on an unresolved mispredicted branch — the remainder of the
+ *    paper's misspeculation penalty.
+ *  - MemL2 / MemDram: dispatch (or the drained backend) waits while the
+ *    ROB head is a load outstanding at the L2 / in DRAM; structural
+ *    backpressure under a miss is charged to the miss, not the queue.
+ *  - RobFull / IqFull / LsqFull / RenameFull: dispatch blocked on the
+ *    structure itself with no miss to blame.
+ *  - PriorityStall: dispatch blocked by the PUBS stall policy waiting
+ *    for a free priority IQ entry — the cost the paper's mechanism
+ *    introduces; never reattributed.
+ *  - Execute: the backend holds work but the ROB head is still moving
+ *    through select/execute (FU latency, issue conflicts).
+ */
+
+#ifndef PUBS_CPU_CPI_STACK_HH
+#define PUBS_CPU_CPI_STACK_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pubs
+{
+class StatGroup;
+} // namespace pubs
+
+namespace pubs::cpu
+{
+
+enum class CpiComponent : uint8_t
+{
+    Base,
+    Frontend,
+    BranchRecovery,
+    BranchMisspec,
+    MemL2,
+    MemDram,
+    RobFull,
+    IqFull,
+    LsqFull,
+    RenameFull,
+    PriorityStall,
+    Execute,
+    NumComponents,
+};
+
+constexpr size_t numCpiComponents = (size_t)CpiComponent::NumComponents;
+
+/** Stable lowercase identifier ("base", "mem_dram", ...). */
+const char *cpiComponentName(CpiComponent c);
+
+/** Per-component exclusive cycle counts. */
+struct CpiStack
+{
+    std::array<uint64_t, numCpiComponents> cycles{};
+
+    void
+    add(CpiComponent c, uint64_t n = 1)
+    {
+        cycles[(size_t)c] += n;
+    }
+
+    uint64_t operator[](CpiComponent c) const { return cycles[(size_t)c]; }
+
+    /** Sum over all components; equals total simulated cycles. */
+    uint64_t total() const;
+
+    /** Accumulate @p other (SMARTS window pooling). */
+    void merge(const CpiStack &other);
+
+    /** Component counts of this minus @p since (interval deltas). */
+    CpiStack deltaSince(const CpiStack &since) const;
+
+    /**
+     * Publish into @p group: per-component cycle counts
+     * ("<name>_cycles"), per-component CPI contributions ("cpi_<name>" =
+     * cycles / @p committed), and the totals.
+     */
+    void fill(StatGroup &group, uint64_t committed) const;
+
+    /** Aligned text table (CLI output). */
+    std::string format(uint64_t committed) const;
+};
+
+} // namespace pubs::cpu
+
+#endif // PUBS_CPU_CPI_STACK_HH

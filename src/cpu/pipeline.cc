@@ -322,11 +322,11 @@ Pipeline::dispatchBlockReason() const
     if (rob_.full())
         return DispatchBlock::RobFull;
     if (di.isMem() && lsq_.full())
-        return DispatchBlock::Silent;
+        return DispatchBlock::LsqFull;
     isa::RegClass dstCls = isa::dstRegClass(staticInst);
     if (di.dst != invalidReg && dstCls != isa::RegClass::None &&
         rename_.freeRegs(dstCls) == 0) {
-        return DispatchBlock::Silent;
+        return DispatchBlock::RenameFull;
     }
     if (isa::opClass(di.op) == OpClass::Nop)
         return DispatchBlock::None;
@@ -432,9 +432,11 @@ Pipeline::fastForward(Cycle to)
         telemetry_->noteCycles(occupancy, priorityOccupancy, span);
     }
 
+    DispatchBlock block = DispatchBlock::None;
     if (!frontendQueue_.empty() &&
         at(frontendQueue_.front()).feReadyCycle <= now_) {
-        switch (dispatchBlockReason()) {
+        block = dispatchBlockReason();
+        switch (block) {
           case DispatchBlock::RobFull:
             stats_.robFullStallCycles += span;
             break;
@@ -448,7 +450,63 @@ Pipeline::fastForward(Cycle to)
             break;
         }
     }
+    // No dispatch or commit can occur inside the skipped span, so the
+    // classification inputs are constant: attribute the whole span to
+    // one component in one call.
+    stats_.cpi.add(classifyStallCycle(block), span);
     now_ = to;
+}
+
+CpiComponent
+Pipeline::chaseRobHead(CpiComponent fallback) const
+{
+    if (rob_.empty())
+        return fallback;
+    const Inflight &head = at(rob_.head());
+    if (head.issued && head.doneCycle > now_) {
+        if (head.missLevel == 2)
+            return CpiComponent::MemDram;
+        if (head.missLevel == 1)
+            return CpiComponent::MemL2;
+        if (head.isMispredict)
+            return CpiComponent::BranchMisspec;
+    }
+    return fallback;
+}
+
+CpiComponent
+Pipeline::classifyStallCycle(DispatchBlock block) const
+{
+    // The priority-entry stall is the cost the paper's stall policy
+    // introduces — the component this repo exists to measure — so it is
+    // never reattributed to a deeper cause.
+    switch (block) {
+      case DispatchBlock::PriorityStall:
+        return CpiComponent::PriorityStall;
+      case DispatchBlock::RobFull:
+        return chaseRobHead(CpiComponent::RobFull);
+      case DispatchBlock::IqFull:
+        return chaseRobHead(CpiComponent::IqFull);
+      case DispatchBlock::LsqFull:
+        return chaseRobHead(CpiComponent::LsqFull);
+      case DispatchBlock::RenameFull:
+        return chaseRobHead(CpiComponent::RenameFull);
+      case DispatchBlock::None:
+        break;
+    }
+
+    // Nothing was dispatchable. A live backend means the ROB head is
+    // the critical resource; otherwise the front end is starved, and
+    // the starvation cause decides the component.
+    if (!rob_.empty())
+        return chaseRobHead(CpiComponent::Execute);
+    if (wrongPathActive_ || fetchBlockedOnBranch_)
+        return CpiComponent::BranchMisspec;
+    if (now_ < fetchSuspendedUntil_ &&
+        suspendReason_ == SuspendReason::Recovery) {
+        return CpiComponent::BranchRecovery;
+    }
+    return CpiComponent::Frontend;
 }
 
 bool
@@ -620,6 +678,8 @@ void
 Pipeline::resetStats()
 {
     stats_ = PipelineStats{};
+    if (modeSwitch_)
+        lastPubsEnabled_ = modeSwitch_->pubsEnabled();
     if (telemetry_)
         telemetry_->resetStats(now_);
 }
@@ -641,6 +701,14 @@ Pipeline::cycle()
         }
     };
 
+    // The cycle is unattributed until the end-of-cycle CPI-stack
+    // classification below; the auditor accounts for the gap when it
+    // runs mid-cycle (post-squash).
+    midCycle_ = true;
+    cycleDispatched_ = false;
+    cycleDispatchedCorrect_ = false;
+    cycleBlock_ = DispatchBlock::None;
+
     // Deliver this cycle's wakeup events before any stage runs, so the
     // ready bitmaps the select logic reads match what a full rescan of
     // regReadyCycle would conclude at this cycle.
@@ -655,6 +723,26 @@ Pipeline::cycle()
     stage("sim/select", [&] { doIssue(); });
     stage("sim/rename", [&] { doDispatch(); });
     stage("sim/fetch", [&] { doFetch(); });
+
+    // Top-down attribution: a correct-path dispatch makes the cycle
+    // useful; wrong-path-only dispatch is misspeculation work; anything
+    // else is a stall whose component the blocking reason decides.
+    CpiComponent component;
+    if (cycleDispatchedCorrect_)
+        component = CpiComponent::Base;
+    else if (cycleDispatched_)
+        component = CpiComponent::BranchMisspec;
+    else
+        component = classifyStallCycle(cycleBlock_);
+    stats_.cpi.add(component);
+    midCycle_ = false;
+
+    if (telemetry_ && modeSwitch_ &&
+        modeSwitch_->pubsEnabled() != lastPubsEnabled_) {
+        lastPubsEnabled_ = modeSwitch_->pubsEnabled();
+        telemetry_->noteModeTransition(now_, lastPubsEnabled_,
+                                       stats_.cpi);
+    }
 
     size_t occupancy = 0;
     for (const auto &queue : iqs_)
@@ -712,8 +800,10 @@ Pipeline::processSquashes()
         wrongPathActive_ = false;
         wrongPathPc_ = 0;
         fetchBlockedOnBranch_ = false;
-        fetchSuspendedUntil_ = std::max(
-            fetchSuspendedUntil_, now_ + params_.recoveryPenalty);
+        if (now_ + params_.recoveryPenalty >= fetchSuspendedUntil_) {
+            fetchSuspendedUntil_ = now_ + params_.recoveryPenalty;
+            suspendReason_ = SuspendReason::Recovery;
+        }
         // Squash recovery rewrites the rename map, free lists, and every
         // queue at once — audit the aftermath, where bugs concentrate.
         if (auditPolicy_ != CheckPolicy::Off)
@@ -811,8 +901,11 @@ Pipeline::doCommit()
 
         if (telemetry_) {
             telemetry_->noteCommit(inst.slice.unconfident, inst.trueSlice);
-            if (inst.di.isCondBranch())
-                telemetry_->noteBranchCommit(inst.di.pc);
+            if (inst.di.isCondBranch()) {
+                telemetry_->noteBranchCommit(inst.di.pc,
+                                             inst.slice.unconfident,
+                                             inst.condPredictionCorrect);
+            }
         }
         if (pipeview_) {
             inst.di.stamps.retire = now_;
@@ -858,6 +951,10 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
     stats_.iqWaitSum += now_ - inst.dispatchCycle;
     stats_.iqWait.sample(now_ - inst.dispatchCycle);
     ++stats_.issued;
+    if (telemetry_ && inst.slice.unconfident) {
+        telemetry_->noteSliceIssue(inst.priorityEntry,
+                                   now_ - inst.feReadyCycle);
+    }
 
     Cycle done;
     if (di.isLoad()) {
@@ -905,6 +1002,7 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
                 if (modeSwitch_)
                     modeSwitch_->noteLlcMiss();
             }
+            inst.missLevel = res.llcMiss ? 2 : (res.l1Hit ? 0 : 1);
             done = res.readyCycle;
         }
         lsq_.markDoneAt(inst.lsqPos, id, done);
@@ -1007,7 +1105,8 @@ Pipeline::traceTrueSlice(uint32_t branchId, const Inflight &branch)
             continue;
         if (!inst.trueSlice) {
             inst.trueSlice = true;
-            telemetry_->noteTrueSliceInst(inst.slice.unconfident);
+            telemetry_->noteTrueSliceInst(branch.di.pc,
+                                          inst.slice.unconfident);
         }
         want(inst.src1Cls, inst.physSrc1);
         want(inst.src2Cls, inst.physSrc2);
@@ -1163,14 +1262,18 @@ Pipeline::doDispatch()
 
         if (rob_.full()) {
             ++stats_.robFullStallCycles;
+            cycleBlock_ = DispatchBlock::RobFull;
             break;
         }
-        if (di.isMem() && lsq_.full())
+        if (di.isMem() && lsq_.full()) {
+            cycleBlock_ = DispatchBlock::LsqFull;
             break;
+        }
 
         isa::RegClass dstCls = isa::dstRegClass(staticInst);
         if (di.dst != invalidReg && dstCls != isa::RegClass::None &&
             rename_.freeRegs(dstCls) == 0) {
+            cycleBlock_ = DispatchBlock::RenameFull;
             break;
         }
 
@@ -1190,6 +1293,7 @@ Pipeline::doDispatch()
                 // uniformly via weighted random free-list choice.
                 if (queue.occupancy() >= queue.capacity()) {
                     ++stats_.iqFullStallCycles;
+                    cycleBlock_ = DispatchBlock::IqFull;
                     break;
                 }
                 queue.dispatchUniform(id, di.seq, rng_);
@@ -1203,11 +1307,13 @@ Pipeline::doDispatch()
                     queue.dispatch(id, di.seq, false);
                 } else {
                     ++stats_.priorityStallCycles;
+                    cycleBlock_ = DispatchBlock::PriorityStall;
                     break;
                 }
             } else {
                 if (!queue.canDispatch(false)) {
                     ++stats_.iqFullStallCycles;
+                    cycleBlock_ = DispatchBlock::IqFull;
                     break;
                 }
                 queue.dispatch(id, di.seq, false);
@@ -1258,6 +1364,9 @@ Pipeline::doDispatch()
         rob_.push(id);
         inst.dispatched = true;
         inst.dispatchCycle = now_;
+        cycleDispatched_ = true;
+        if (!inst.wrongPath)
+            cycleDispatchedCorrect_ = true;
         if (pipeview_) {
             inst.di.stamps.rename = now_;
             inst.di.stamps.dispatch = now_;
@@ -1314,6 +1423,7 @@ Pipeline::doFetch()
         if (icReady > now_ + params_.memory.l1i.hitLatency) {
             // I-cache miss: fetch resumes when the line arrives.
             fetchSuspendedUntil_ = icReady;
+            suspendReason_ = SuspendReason::ICache;
             break;
         }
 
@@ -1381,6 +1491,7 @@ Pipeline::doFetch()
         if (btbBubble) {
             ++stats_.btbMissBubbles;
             fetchSuspendedUntil_ = now_ + params_.btbMissPenalty;
+            suspendReason_ = SuspendReason::Btb;
             break;
         }
         if (endGroup)
@@ -1620,6 +1731,8 @@ Pipeline::fillRegistry(StatRegistry &registry) const
         "misspec_penalty", stats_.misspecPenalty,
         "fetch-to-resolution cycles of mispredicted branches");
 
+    stats_.cpi.fill(registry.group("cpi_stack"), stats_.committed);
+
     StatGroup &iq = registry.group("iq");
     size_t capacity = 0;
     unsigned priorityEntries = 0;
@@ -1679,6 +1792,10 @@ Pipeline::fillRegistry(StatRegistry &registry) const
         telemetry_->fillSliceStats(registry.group("pubs.telemetry"));
         telemetry_->fillBranchProfile(registry.group("branch_profile"));
         telemetry_->fillHeartbeats(registry.group("heartbeat"));
+        if (modeSwitch_) {
+            telemetry_->fillModeTransitions(
+                registry.group("mode_transitions"));
+        }
     }
 }
 

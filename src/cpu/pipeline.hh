@@ -31,6 +31,7 @@
 #include "common/serialize.hh"
 #include "common/slab.hh"
 #include "common/stats.hh"
+#include "cpu/cpi_stack.hh"
 #include "cpu/event_wheel.hh"
 #include "cpu/fu_pool.hh"
 #include "cpu/lsq.hh"
@@ -107,6 +108,13 @@ struct PipelineStats
     uint64_t checkerDivergences = 0;
     uint64_t auditsRun = 0;
     uint64_t auditViolations = 0;
+
+    /**
+     * Top-down cycle accounting: every cycle charged to exactly one
+     * exclusive component (cpu/cpi_stack.hh). cpi.total() == cycles is
+     * a structural invariant enforced by the auditor.
+     */
+    CpiStack cpi;
 
     /** Distribution of misspeculation penalties (4-cycle buckets, so
      *  long LLC-miss-bound penalties keep resolution). */
@@ -277,6 +285,10 @@ class Pipeline
         bool inLsq = false;
         bool priorityEntry = false;
         uint8_t iqIndex = 0; ///< which queue holds it (distributed IQ)
+        /** Deepest miss level of an issued load: 0 = L1 hit / forward,
+         *  1 = L1 miss filled by the L2, 2 = LLC miss (DRAM). Drives the
+         *  memory split of the CPI stack. */
+        uint8_t missLevel = 0;
 
         // Wakeup scoreboard (see DESIGN.md "Host-performance
         // architecture"): operands still outstanding, and the
@@ -301,6 +313,29 @@ class Pipeline
         bool trueSlice = false;
 
         pubs::SliceDecision slice{};
+    };
+
+    /** Why dispatch would stall this cycle (stat accounting). The
+     *  legacy stall counters only increment for the first three; the
+     *  LSQ/rename reasons exist for CPI-stack attribution. */
+    enum class DispatchBlock : uint8_t
+    {
+        None,          ///< head can dispatch
+        RobFull,
+        IqFull,
+        PriorityStall,
+        LsqFull,       ///< blocked, but no stall counter increments
+        RenameFull,    ///< blocked, but no stall counter increments
+    };
+
+    /** What last suspended fetch (fetchSuspendedUntil_); classification
+     *  only, never consulted by the timing model. */
+    enum class SuspendReason : uint8_t
+    {
+        None,
+        ICache,   ///< i-cache miss refill
+        Btb,      ///< BTB-miss bubble
+        Recovery, ///< post-squash state-recovery penalty
     };
 
     /** Scheduled conf_tab training at branch-resolution time. */
@@ -394,6 +429,7 @@ class Pipeline
     // Fetch state.
     Cycle now_ = 0;
     Cycle fetchSuspendedUntil_ = 0;
+    SuspendReason suspendReason_ = SuspendReason::None;
     bool fetchBlockedOnBranch_ = false;
     bool sourceExhausted_ = false;
     bool haltCommitted_ = false;
@@ -443,6 +479,17 @@ class Pipeline
     // Scratch for the age matrix ready mask.
     std::vector<uint64_t> readyMask_;
 
+    // Per-cycle CPI-stack classification signals, reset at the top of
+    // cycle() and captured by doDispatch(); midCycle_ marks the span
+    // between cycle-count increment and classification so the auditor
+    // knows whether the current cycle has been attributed yet.
+    bool cycleDispatched_ = false;
+    bool cycleDispatchedCorrect_ = false;
+    DispatchBlock cycleBlock_ = DispatchBlock::None;
+    bool midCycle_ = false;
+    /** Mode-switch state last cycle, for transition detection. */
+    bool lastPubsEnabled_ = true;
+
     // --- Event-driven scheduling state ---
 
     /** Overflow block for a producer's dependent list. */
@@ -470,17 +517,21 @@ class Pipeline
     std::vector<std::pair<uint32_t, SeqNum>> memBlockedLoads_;
     Cycle loadRecheckCycle_ = 0; ///< cycle of the pending recheck event
 
-    /** Why dispatch would stall this cycle (stat accounting). */
-    enum class DispatchBlock : uint8_t
-    {
-        None,          ///< head can dispatch
-        RobFull,
-        IqFull,
-        PriorityStall,
-        Silent,        ///< blocked, but no stall counter increments
-    };
-
     static constexpr Cycle maxSkipSpan = 4096;
+
+    /**
+     * CPI-stack attribution of a cycle in which no correct-path
+     * instruction dispatched; @p block is why dispatch stopped (None
+     * when the front end simply had nothing ready). Shared between the
+     * executed-cycle path and the bulk fast-forward path, whose
+     * classification inputs are constant over the skipped span.
+     */
+    CpiComponent classifyStallCycle(DispatchBlock block) const;
+
+    /** Root-cause chase for a backend stall: reattribute to the ROB
+     *  head's outstanding miss / unresolved mispredict, else keep
+     *  @p fallback. */
+    CpiComponent chaseRobHead(CpiComponent fallback) const;
 
     void onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b);
     void setupScoreboard(uint32_t id, Inflight &inst);

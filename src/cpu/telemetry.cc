@@ -29,13 +29,19 @@ CoreTelemetry::resetStats(Cycle now)
     committedUnconfident_ = 0;
     committedUnconfidentTrue_ = 0;
     priorityOccupancy_.reset();
+    prioritySliceLatency_.reset();
+    normalSliceLatency_.reset();
     sites_.clear();
     heartbeats_.clear();
+    transitions_.clear();
     lastCommitted_ = 0;
     lastMispredicts_ = 0;
     lastCycle_ = now;
     intervalOccupancySum_ = 0;
     intervalCycles_ = 0;
+    lastCpi_ = CpiStack{};
+    lastTransitionCpi_ = CpiStack{};
+    modeTransitionCount_ = 0;
     nextHeartbeat_ =
         heartbeatInterval_ == 0 ? neverCycle : now + heartbeatInterval_;
 }
@@ -58,6 +64,8 @@ CoreTelemetry::heartbeat(Cycle now, const PipelineStats &stats)
         intervalCycles_
             ? (double)intervalOccupancySum_ / (double)intervalCycles_
             : 0.0;
+    sample.cpiDelta = stats.cpi.deltaSince(lastCpi_);
+    lastCpi_ = stats.cpi;
     heartbeats_.push_back(sample);
 
     if (heartbeatToStderr_) {
@@ -112,6 +120,12 @@ CoreTelemetry::fillSliceStats(StatGroup &group) const
               "true / classified (precision of the slice predictor)");
     group.addHistogram("priority_occupancy", priorityOccupancy_,
                        "occupied priority IQ entries per cycle");
+    group.addHistogram("priority_slice_latency", prioritySliceLatency_,
+                       "decode-to-issue cycles of unconfident-slice "
+                       "insts issued from priority entries");
+    group.addHistogram("normal_slice_latency", normalSliceLatency_,
+                       "decode-to-issue cycles of unconfident-slice "
+                       "insts issued from normal entries");
 }
 
 void
@@ -132,6 +146,16 @@ CoreTelemetry::fillBranchProfile(StatGroup &group, size_t topN) const
                   site.mispredicts ? (double)site.penaltySum /
                                          (double)site.mispredicts
                                    : 0.0);
+        group.add(prefix + "_conf_correct", (double)site.confidentCorrect);
+        group.add(prefix + "_conf_wrong", (double)site.confidentWrong);
+        group.add(prefix + "_unconf_correct",
+                  (double)site.unconfidentCorrect);
+        group.add(prefix + "_unconf_wrong", (double)site.unconfidentWrong);
+        group.add(prefix + "_slice_insts", (double)site.sliceInsts,
+                  "true-backward-slice insts of this branch's "
+                  "mispredictions");
+        group.add(prefix + "_slice_covered", (double)site.sliceCovered,
+                  "... classified unconfident-slice at decode");
     }
 }
 
@@ -156,6 +180,44 @@ CoreTelemetry::fillHeartbeats(StatGroup &group) const
     group.addVector("mpki", std::move(mpki), "per-interval branch MPKI");
     group.addVector("iq_occupancy", std::move(occupancy),
                     "per-interval mean IQ occupancy");
+    for (size_t c = 0; c < numCpiComponents; ++c) {
+        std::vector<double> component;
+        component.reserve(heartbeats_.size());
+        for (const HeartbeatSample &sample : heartbeats_)
+            component.push_back((double)sample.cpiDelta.cycles[c]);
+        group.addVector(
+            std::string("cpi_") + cpiComponentName((CpiComponent)c),
+            std::move(component), "per-interval CPI-stack cycles");
+    }
+}
+
+void
+CoreTelemetry::fillModeTransitions(StatGroup &group) const
+{
+    group.add("count", (double)modeTransitionCount_,
+              "PUBS mode-switch flips observed during measurement");
+    group.add("recorded", (double)transitions_.size(),
+              "flips with a CPI-stack delta record (bounded)");
+    std::vector<double> cycles, enabled;
+    cycles.reserve(transitions_.size());
+    enabled.reserve(transitions_.size());
+    for (const ModeTransition &t : transitions_) {
+        cycles.push_back((double)t.cycle);
+        enabled.push_back(t.enabled ? 1.0 : 0.0);
+    }
+    group.addVector("cycle", std::move(cycles), "flip times");
+    group.addVector("enabled", std::move(enabled),
+                    "new mode after each flip (1 = PUBS on)");
+    for (size_t c = 0; c < numCpiComponents; ++c) {
+        std::vector<double> component;
+        component.reserve(transitions_.size());
+        for (const ModeTransition &t : transitions_)
+            component.push_back((double)t.cpiDelta.cycles[c]);
+        group.addVector(
+            std::string("cpi_") + cpiComponentName((CpiComponent)c),
+            std::move(component),
+            "CPI-stack cycles accumulated since the previous flip");
+    }
 }
 
 std::string
@@ -165,21 +227,31 @@ CoreTelemetry::formatBranchProfile(size_t topN) const
     std::ostringstream out;
     out << "top branch sites by mispredictions ("
         << sites_.size() << " static branches):\n";
-    char line[128];
-    std::snprintf(line, sizeof(line), "  %-12s %10s %12s %14s %12s\n",
+    char line[176];
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %10s %12s %14s %12s %8s %9s\n",
                   "pc", "commits", "mispredicts", "penalty(cyc)",
-                  "avg_penalty");
+                  "avg_penalty", "unconf%", "slice_cov");
     out << line;
     for (const auto &[pc, site] : top) {
+        uint64_t unconfident =
+            site.unconfidentCorrect + site.unconfidentWrong;
         std::snprintf(line, sizeof(line),
-                      "  0x%-10llx %10llu %12llu %14llu %12.1f\n",
+                      "  0x%-10llx %10llu %12llu %14llu %12.1f %7.1f%% "
+                      "%9.2f\n",
                       (unsigned long long)pc,
                       (unsigned long long)site.commits,
                       (unsigned long long)site.mispredicts,
                       (unsigned long long)site.penaltySum,
                       site.mispredicts ? (double)site.penaltySum /
                                              (double)site.mispredicts
-                                       : 0.0);
+                                       : 0.0,
+                      site.commits ? 100.0 * (double)unconfident /
+                                         (double)site.commits
+                                   : 0.0,
+                      site.sliceInsts ? (double)site.sliceCovered /
+                                            (double)site.sliceInsts
+                                      : 0.0);
         out << line;
     }
     return out.str();

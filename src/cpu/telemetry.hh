@@ -30,6 +30,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "cpu/cpi_stack.hh"
 
 namespace pubs::cpu
 {
@@ -37,12 +38,29 @@ namespace pubs::cpu
 struct CoreParams;
 struct PipelineStats;
 
-/** Accumulated cost of one static conditional branch. */
+/**
+ * Accumulated cost of one static conditional branch: the misprediction
+ * profile plus the confidence×outcome quadrant (how often the conf_tab
+ * called this branch unconfident, and how often it was right to) and
+ * the true-backward-slice coverage attributed to the branch — the
+ * per-branch view of which PCs PUBS actually helps.
+ */
 struct BranchSiteStats
 {
     uint64_t commits = 0;     ///< committed executions
     uint64_t mispredicts = 0; ///< resolved mispredictions
     uint64_t penaltySum = 0;  ///< summed misspeculation penalty cycles
+
+    // Confidence×outcome quadrant at commit.
+    uint64_t confidentCorrect = 0;
+    uint64_t confidentWrong = 0;
+    uint64_t unconfidentCorrect = 0;
+    uint64_t unconfidentWrong = 0;
+
+    // True-backward-slice instructions of this branch's resolved
+    // mispredictions, and how many the slice predictor had covered.
+    uint64_t sliceInsts = 0;
+    uint64_t sliceCovered = 0;
 };
 
 /** One heartbeat interval's headline numbers. */
@@ -52,6 +70,16 @@ struct HeartbeatSample
     double intervalIpc;        ///< IPC over the interval just ended
     double intervalMpki;       ///< branch MPKI over the interval
     double intervalIqOccupancy; ///< mean IQ occupancy over the interval
+    CpiStack cpiDelta;         ///< CPI-stack cycles of this interval
+};
+
+/** One PUBS mode-switch flip, with the CPI stack accumulated since the
+ *  previous flip (or measurement start) — the "why it fired" record. */
+struct ModeTransition
+{
+    Cycle cycle;       ///< cycle the flip was observed
+    bool enabled;      ///< new mode
+    CpiStack cpiDelta; ///< component cycles since the previous flip
 };
 
 class CoreTelemetry
@@ -90,15 +118,19 @@ class CoreTelemetry
 
     // --- slice ground truth (filled by the pipeline's ROB walk) ---
 
-    /** An instruction was found in a true backward slice of a resolved
-     *  misprediction; @p predictedUnconfident is its decode-time PUBS
-     *  classification. */
+    /** An instruction was found in the true backward slice of a resolved
+     *  misprediction of the branch at @p branchPc; @p predictedUnconfident
+     *  is its decode-time PUBS classification. */
     void
-    noteTrueSliceInst(bool predictedUnconfident)
+    noteTrueSliceInst(Pc branchPc, bool predictedUnconfident)
     {
         ++trueSliceInsts_;
-        if (predictedUnconfident)
+        BranchSiteStats &site = sites_[branchPc];
+        ++site.sliceInsts;
+        if (predictedUnconfident) {
             ++trueSliceCovered_;
+            ++site.sliceCovered;
+        }
     }
 
     /** A correct-path instruction committed. */
@@ -113,8 +145,40 @@ class CoreTelemetry
         }
     }
 
-    /** A conditional branch at @p pc committed. */
-    void noteBranchCommit(Pc pc) { ++sites_[pc].commits; }
+    /** A conditional branch at @p pc committed; @p unconfident is its
+     *  decode-time confidence, @p correct its prediction outcome. */
+    void
+    noteBranchCommit(Pc pc, bool unconfident, bool correct)
+    {
+        BranchSiteStats &site = sites_[pc];
+        ++site.commits;
+        if (unconfident)
+            ++(correct ? site.unconfidentCorrect : site.unconfidentWrong);
+        else
+            ++(correct ? site.confidentCorrect : site.confidentWrong);
+    }
+
+    /** An unconfident-slice instruction issued @p latency cycles after
+     *  leaving decode, from a priority or normal IQ entry. */
+    void
+    noteSliceIssue(bool priorityEntry, uint64_t latency)
+    {
+        (priorityEntry ? prioritySliceLatency_ : normalSliceLatency_)
+            .sample(latency);
+    }
+
+    /** The LLC-MPKI mode switch flipped to @p enabled at @p now;
+     *  @p cpi is the cumulative CPI stack at the flip. */
+    void
+    noteModeTransition(Cycle now, bool enabled, const CpiStack &cpi)
+    {
+        ++modeTransitionCount_;
+        if (transitions_.size() < maxRecordedTransitions) {
+            transitions_.push_back(
+                {now, enabled, cpi.deltaSince(lastTransitionCpi_)});
+        }
+        lastTransitionCpi_ = cpi;
+    }
 
     /** A misprediction at @p pc resolved with @p penalty cycles. */
     void
@@ -168,8 +232,15 @@ class CoreTelemetry
         { return committedUnconfidentTrue_; }
 
     const Histogram &priorityOccupancy() const { return priorityOccupancy_; }
+    const Histogram &prioritySliceLatency() const
+        { return prioritySliceLatency_; }
+    const Histogram &normalSliceLatency() const
+        { return normalSliceLatency_; }
     const std::vector<HeartbeatSample> &heartbeats() const
         { return heartbeats_; }
+    const std::vector<ModeTransition> &modeTransitions() const
+        { return transitions_; }
+    uint64_t modeTransitionCount() const { return modeTransitionCount_; }
     const std::unordered_map<Pc, BranchSiteStats> &branchSites() const
         { return sites_; }
 
@@ -186,6 +257,9 @@ class CoreTelemetry
     /** Publish the heartbeat series into @p group. */
     void fillHeartbeats(StatGroup &group) const;
 
+    /** Publish the mode-switch transition records into @p group. */
+    void fillModeTransitions(StatGroup &group) const;
+
     /** The branch profile as an aligned text table (CLI output). */
     std::string formatBranchProfile(size_t topN = 10) const;
 
@@ -201,6 +275,10 @@ class CoreTelemetry
     uint64_t committedUnconfidentTrue_ = 0;
 
     Histogram priorityOccupancy_{32};
+    /** Decode-to-issue latency of issued unconfident-slice instructions,
+     *  split by the IQ partition they issued from (2-cycle buckets). */
+    Histogram prioritySliceLatency_{96, 2};
+    Histogram normalSliceLatency_{96, 2};
     std::unordered_map<Pc, BranchSiteStats> sites_;
 
     // Interval deltas for the heartbeat.
@@ -209,7 +287,15 @@ class CoreTelemetry
     Cycle lastCycle_ = 0;
     uint64_t intervalOccupancySum_ = 0;
     uint64_t intervalCycles_ = 0;
+    CpiStack lastCpi_{};
     std::vector<HeartbeatSample> heartbeats_;
+
+    // Mode-switch transition records (bounded; thrashing configurations
+    // keep counting past the cap without growing the vector).
+    static constexpr size_t maxRecordedTransitions = 1024;
+    std::vector<ModeTransition> transitions_;
+    CpiStack lastTransitionCpi_{};
+    uint64_t modeTransitionCount_ = 0;
 };
 
 } // namespace pubs::cpu

@@ -1,5 +1,6 @@
 #include "sim/sampling.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -71,9 +72,51 @@ accumulateStats(cpu::PipelineStats &into, const cpu::PipelineStats &from)
     into.checkerDivergences += from.checkerDivergences;
     into.auditsRun += from.auditsRun;
     into.auditViolations += from.auditViolations;
+    into.cpi.merge(from.cpi);
     mergeHistogram(into.misspecPenalty, from.misspecPenalty);
     mergeHistogram(into.iqOccupancy, from.iqOccupancy);
     mergeHistogram(into.iqWait, from.iqWait);
+}
+
+/**
+ * Pool @p from's per-branch profile rows into @p into by pc, re-sort
+ * by the canonical order (mispredicts, penalty, pc) and re-cap. Each
+ * window only exports its own top rows, so a branch hot in one window
+ * and just-below-cap in another is slightly undercounted — acceptable
+ * for a profile whose purpose is ranking the dominant sites.
+ */
+void
+mergeBranchProfile(std::vector<BranchProfileRow> &into,
+                   const std::vector<BranchProfileRow> &from)
+{
+    for (const BranchProfileRow &row : from) {
+        auto it = std::find_if(
+            into.begin(), into.end(),
+            [&](const BranchProfileRow &r) { return r.pc == row.pc; });
+        if (it == into.end()) {
+            into.push_back(row);
+            continue;
+        }
+        it->commits += row.commits;
+        it->mispredicts += row.mispredicts;
+        it->penaltyCycles += row.penaltyCycles;
+        it->confCorrect += row.confCorrect;
+        it->confWrong += row.confWrong;
+        it->unconfCorrect += row.unconfCorrect;
+        it->unconfWrong += row.unconfWrong;
+        it->sliceInsts += row.sliceInsts;
+        it->sliceCovered += row.sliceCovered;
+    }
+    std::sort(into.begin(), into.end(),
+              [](const BranchProfileRow &a, const BranchProfileRow &b) {
+                  if (a.mispredicts != b.mispredicts)
+                      return a.mispredicts > b.mispredicts;
+                  if (a.penaltyCycles != b.penaltyCycles)
+                      return a.penaltyCycles > b.penaltyCycles;
+                  return a.pc < b.pc;
+              });
+    if (into.size() > maxBranchProfileRows)
+        into.resize(maxBranchProfileRows);
 }
 
 } // namespace
@@ -183,6 +226,7 @@ simulateSampled(const cpu::CoreParams &params, const isa::Program &program,
             break; // nothing measurable left (halt inside warmup)
 
         accumulateStats(total.pipeline, wr.pipeline);
+        mergeBranchProfile(total.branchProfile, wr.branchProfile);
         total.simSeconds += wr.simSeconds;
         // The slice unit and mode switch are cumulative from reset
         // (fast-forward trains them too), so the last window's rates

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/profiler.hh"
 #include "common/progress.hh"
+#include "cpu/telemetry.hh"
 #include "sim/checkpoint.hh"
 
 namespace pubs::sim
@@ -124,6 +125,24 @@ Simulator::run(uint64_t warmupInsts, uint64_t measureInsts)
     if (const pubs::ModeSwitch *ms = pipeline_->modeSwitch())
         result.pubsEnabledFraction = ms->enabledFraction();
     result.pipeline = s;
+    if (const cpu::CoreTelemetry *tel = pipeline_->telemetry()) {
+        auto top = tel->topBranchSites(maxBranchProfileRows);
+        result.branchProfile.reserve(top.size());
+        for (const auto &[pc, site] : top) {
+            BranchProfileRow row;
+            row.pc = pc;
+            row.commits = site.commits;
+            row.mispredicts = site.mispredicts;
+            row.penaltyCycles = site.penaltySum;
+            row.confCorrect = site.confidentCorrect;
+            row.confWrong = site.confidentWrong;
+            row.unconfCorrect = site.unconfidentCorrect;
+            row.unconfWrong = site.unconfidentWrong;
+            row.sliceInsts = site.sliceInsts;
+            row.sliceCovered = site.sliceCovered;
+            result.branchProfile.push_back(row);
+        }
+    }
     result.skippedInsts = fastForwarded_;
     return result;
 }

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cpu/pipeline.hh"
 #include "emu/emulator.hh"
@@ -59,6 +60,30 @@ class PhaseScope
     int exceptionsAtEntry_;
 };
 
+/**
+ * One static conditional branch's accumulated cost profile, exported
+ * from cpu::CoreTelemetry into the run result so sweeps/CSV emitters
+ * can consume it without reaching into the pipeline. Field meanings
+ * match cpu::BranchSiteStats.
+ */
+struct BranchProfileRow
+{
+    Pc pc = 0;
+    uint64_t commits = 0;
+    uint64_t mispredicts = 0;
+    uint64_t penaltyCycles = 0;
+    uint64_t confCorrect = 0;
+    uint64_t confWrong = 0;
+    uint64_t unconfCorrect = 0;
+    uint64_t unconfWrong = 0;
+    uint64_t sliceInsts = 0;
+    uint64_t sliceCovered = 0;
+};
+
+/** Rows kept per run: the tail beyond the top-N costliest branches is
+ *  noise for the profile's purpose (and bloats sweep-row payloads). */
+constexpr size_t maxBranchProfileRows = 64;
+
 /** Headline metrics of one simulation. */
 struct RunResult
 {
@@ -91,6 +116,14 @@ struct RunResult
 
     /** Full pipeline counters for detailed analysis. */
     cpu::PipelineStats pipeline{};
+
+    /**
+     * Top-misprediction-cost static branches (empty unless the run had
+     * telemetry enabled), sorted by mispredicts, then summed penalty,
+     * then pc — the deterministic order of
+     * cpu::CoreTelemetry::topBranchSites().
+     */
+    std::vector<BranchProfileRow> branchProfile;
 
     /** Speedup of this run's IPC over @p baseline (same cycle time). */
     double

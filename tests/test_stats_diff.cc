@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the tolerant stats-JSON differ: exact and tolerance-based
+ * numeric comparison, allowlisted subtrees, structural mismatches
+ * (missing keys, kind changes, array shapes), mismatch bounding, and
+ * parse-failure reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats_diff.hh"
+
+namespace pubs
+{
+namespace
+{
+
+StatsDiff
+diff(const std::string &a, const std::string &b,
+     const StatsDiffOptions &options = {})
+{
+    return diffStatsJsonText(a, b, options);
+}
+
+TEST(StatsDiff, IdenticalDocumentsMatch)
+{
+    StatsDiff d = diff(R"({"run": {"cycles": 100, "name": "fig8"},
+                           "hist": [1, 2, 3], "flag": true})",
+                       R"({"run": {"cycles": 100, "name": "fig8"},
+                           "hist": [1, 2, 3], "flag": true})");
+    EXPECT_TRUE(d.ok());
+    EXPECT_EQ(d.comparedLeaves, 6u);
+    EXPECT_EQ(d.ignoredLeaves, 0u);
+}
+
+TEST(StatsDiff, NumericMismatchNamesThePath)
+{
+    StatsDiff d = diff(R"({"run": {"cycles": 100}})",
+                       R"({"run": {"cycles": 101}})");
+    ASSERT_EQ(d.mismatches.size(), 1u);
+    EXPECT_NE(d.mismatches[0].find("run.cycles"), std::string::npos);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(StatsDiff, AbsoluteToleranceAbsorbsSmallDeltas)
+{
+    StatsDiffOptions options;
+    options.absTol = 1.5;
+    EXPECT_TRUE(diff(R"({"x": 100})", R"({"x": 101})", options).ok());
+    EXPECT_FALSE(diff(R"({"x": 100})", R"({"x": 102})", options).ok());
+}
+
+TEST(StatsDiff, RelativeToleranceOfMax)
+{
+    StatsDiffOptions options;
+    options.relTol = 0.01; // 1% of max(|a|,|b|)
+    EXPECT_TRUE(diff(R"({"x": 1000})", R"({"x": 1010})", options).ok());
+    EXPECT_FALSE(diff(R"({"x": 1000})", R"({"x": 1011})", options).ok());
+    // Scale-free: tiny values hold to tiny deltas.
+    EXPECT_FALSE(diff(R"({"x": 0.001})", R"({"x": 0.002})", options).ok());
+}
+
+TEST(StatsDiff, AllowlistIgnoresLeafAndSubtree)
+{
+    StatsDiffOptions options;
+    options.allow = {"run.kips", "heartbeat"};
+    StatsDiff d = diff(
+        R"({"run": {"kips": 5000, "cycles": 7},
+            "heartbeat": {"ipc": [1, 2]}, "n": 3})",
+        R"({"run": {"kips": 1, "cycles": 7},
+            "heartbeat": {"ipc": [9]}, "n": 3})",
+        options);
+    EXPECT_TRUE(d.ok());
+    EXPECT_EQ(d.ignoredLeaves, 2u); // the two allowlisted subtrees
+    EXPECT_EQ(d.comparedLeaves, 2u);
+}
+
+TEST(StatsDiff, AllowlistIsPrefixNotSubstring)
+{
+    StatsDiffOptions options;
+    options.allow = {"run.kips"};
+    // "run.kips_total" shares the prefix characters but is a different
+    // key, and must still be compared.
+    StatsDiff d = diff(R"({"run": {"kips_total": 1}})",
+                       R"({"run": {"kips_total": 2}})", options);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(StatsDiff, MissingAndExtraKeysAreMismatches)
+{
+    StatsDiff d = diff(R"({"a": 1, "b": 2})", R"({"a": 1, "c": 3})");
+    ASSERT_EQ(d.mismatches.size(), 2u);
+    EXPECT_NE(d.mismatches[0].find("b: only in the first"),
+              std::string::npos);
+    EXPECT_NE(d.mismatches[1].find("c: only in the second"),
+              std::string::npos);
+}
+
+TEST(StatsDiff, KindMismatchIsReportedNotCompared)
+{
+    StatsDiff d = diff(R"({"x": 1})", R"({"x": "1"})");
+    ASSERT_EQ(d.mismatches.size(), 1u);
+    EXPECT_NE(d.mismatches[0].find("number vs string"),
+              std::string::npos);
+}
+
+TEST(StatsDiff, ArrayLengthAndElementMismatches)
+{
+    StatsDiff shape = diff(R"({"h": [1, 2]})", R"({"h": [1, 2, 3]})");
+    ASSERT_EQ(shape.mismatches.size(), 1u);
+    EXPECT_NE(shape.mismatches[0].find("array length 2 vs 3"),
+              std::string::npos);
+
+    StatsDiff element = diff(R"({"h": [1, 2]})", R"({"h": [1, 9]})");
+    ASSERT_EQ(element.mismatches.size(), 1u);
+    EXPECT_NE(element.mismatches[0].find("h[1]"), std::string::npos);
+}
+
+TEST(StatsDiff, MismatchCollectionIsBounded)
+{
+    std::string a = "{", b = "{";
+    for (int i = 0; i < 100; ++i) {
+        std::string sep = i ? "," : "";
+        a += sep + "\"k" + std::to_string(i) + "\": 0";
+        b += sep + "\"k" + std::to_string(i) + "\": 1";
+    }
+    a += "}";
+    b += "}";
+    StatsDiffOptions options;
+    options.maxMismatches = 5;
+    StatsDiff d = diff(a, b, options);
+    EXPECT_EQ(d.mismatches.size(), 5u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(StatsDiff, ParseFailureIsAMismatch)
+{
+    StatsDiff d = diff("{broken", R"({"x": 1})");
+    ASSERT_EQ(d.mismatches.size(), 1u);
+    EXPECT_NE(d.mismatches[0].find("first document is invalid JSON"),
+              std::string::npos);
+
+    StatsDiff e = diff(R"({"x": 1})", "not json");
+    ASSERT_EQ(e.mismatches.size(), 1u);
+    EXPECT_NE(e.mismatches[0].find("second document is invalid JSON"),
+              std::string::npos);
+}
+
+TEST(StatsDiff, StringAndBoolLeaves)
+{
+    EXPECT_FALSE(diff(R"({"s": "a"})", R"({"s": "b"})").ok());
+    EXPECT_FALSE(diff(R"({"b": true})", R"({"b": false})").ok());
+    EXPECT_TRUE(diff(R"({"n": null})", R"({"n": null})").ok());
+}
+
+} // namespace
+} // namespace pubs
