@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "common/bench_util.hh"
 #include "common/bits.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/slab.hh"
 #include "emu/emulator.hh"
 #include "cpu/event_wheel.hh"
@@ -46,6 +48,73 @@ BM_PerceptronPredictUpdate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PerceptronPredictUpdate);
+
+void
+BM_PerceptronDotScalar(benchmark::State &state)
+{
+    int16_t w[64];
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i)
+        w[i] = (int16_t)((int)rng.below(256) - 128);
+    uint64_t history = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::perceptronDotScalar(w, 34, history));
+        history = history * 6364136223846793005ull + 1442695040888963407ull;
+    }
+}
+BENCHMARK(BM_PerceptronDotScalar);
+
+#if PUBS_SIMD_COMPILED
+void
+BM_PerceptronDotSimd(benchmark::State &state)
+{
+    int16_t w[64];
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i)
+        w[i] = (int16_t)((int)rng.below(256) - 128);
+    uint64_t history = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simd::perceptronDotSimd(w, 34, history));
+        history = history * 6364136223846793005ull + 1442695040888963407ull;
+    }
+}
+BENCHMARK(BM_PerceptronDotSimd);
+#endif
+
+void
+BM_CacheTagProbeScalar(benchmark::State &state)
+{
+    // An 8-way set with unique tags; alternate hits and misses like a
+    // warm L1 probe stream.
+    uint64_t tags[8];
+    for (unsigned wy = 0; wy < 8; ++wy)
+        tags[wy] = 0x100 + wy;
+    uint64_t probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::tagProbeScalar(tags, 0xffu, 8, 0x100 + (probe & 0xf)));
+        ++probe;
+    }
+}
+BENCHMARK(BM_CacheTagProbeScalar);
+
+#if PUBS_SIMD_COMPILED
+void
+BM_CacheTagProbeSimd(benchmark::State &state)
+{
+    uint64_t tags[8];
+    for (unsigned wy = 0; wy < 8; ++wy)
+        tags[wy] = 0x100 + wy;
+    uint64_t probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::tagProbeSimd(tags, 0xffu, 8, 0x100 + (probe & 0xf)));
+        ++probe;
+    }
+}
+BENCHMARK(BM_CacheTagProbeSimd);
+#endif
 
 void
 BM_SliceUnitDecode(benchmark::State &state)
@@ -289,6 +358,91 @@ BM_ParallelSweep(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/** Nanoseconds per call of @p fn over a fixed iteration budget. */
+template <typename F>
+double
+kernelNsPerOp(F &&fn)
+{
+    constexpr int warmup = 100000;
+    constexpr int iters = 2000000;
+    for (int i = 0; i < warmup; ++i)
+        fn(i);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        fn(i);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           iters;
+}
+
+/**
+ * Scalar-vs-SIMD timing columns for the two vectorised kernels
+ * (common/simd.hh), timed through the production dispatchers with the
+ * runtime kill switch toggled — so the numbers reflect what the
+ * simulator actually executes, dispatch overhead included. In a build
+ * without compiled vector paths both columns time the scalar fallback
+ * and the speedup hovers at 1.0.
+ */
+std::string
+kernelTimingsJson()
+{
+    Rng rng(11);
+    int16_t weights[64];
+    for (int i = 0; i < 64; ++i)
+        weights[i] = (int16_t)((int)rng.below(256) - 128);
+    uint64_t histories[256];
+    for (int i = 0; i < 256; ++i)
+        histories[i] = rng.next();
+    uint64_t tags[8];
+    for (unsigned wy = 0; wy < 8; ++wy)
+        tags[wy] = 0x100 + wy;
+
+    auto timeBoth = [&](auto &&fn, double &scalarNs, double &simdNs) {
+        bool saved = simd::scalarForced();
+        simd::scalarForced() = true;
+        scalarNs = kernelNsPerOp(fn);
+        simd::scalarForced() = false;
+        simdNs = kernelNsPerOp(fn);
+        simd::scalarForced() = saved;
+    };
+    double dotScalar, dotSimd, probeScalar, probeSimd;
+    timeBoth(
+        [&](int i) {
+            benchmark::DoNotOptimize(
+                simd::perceptronDot(weights, 34, histories[i & 255]));
+        },
+        dotScalar, dotSimd);
+    timeBoth(
+        [&](int i) {
+            benchmark::DoNotOptimize(simd::tagProbe(
+                tags, 0xffu, 8, 0x100 + ((uint64_t)i & 0xf)));
+        },
+        probeScalar, probeSimd);
+
+    std::ostringstream out;
+    char buf[256];
+    out << "  \"simd_compiled\": " << (simd::compiled() ? "true" : "false")
+        << ",\n";
+    out << "  \"kernels\": [\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"perceptron_dot\", \"scalar_ns\": %.3f, "
+                  "\"simd_ns\": %.3f, \"speedup\": %.2f},\n",
+                  dotScalar, dotSimd, dotScalar / dotSimd);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"cache_tag_probe\", \"scalar_ns\": %.3f, "
+                  "\"simd_ns\": %.3f, \"speedup\": %.2f}\n",
+                  probeScalar, probeSimd, probeScalar / probeSimd);
+    out << buf;
+    out << "  ],\n";
+    std::fprintf(stderr,
+                 "hostspeed: perceptron_dot %.2f -> %.2f ns (%.2fx), "
+                 "cache_tag_probe %.2f -> %.2f ns (%.2fx)\n",
+                 dotScalar, dotSimd, dotScalar / dotSimd, probeScalar,
+                 probeSimd, probeScalar / probeSimd);
+    return out.str();
+}
+
 /**
  * Run the fig8-style sweep (whole suite x base+PUBS machines) and write
  * a host-speed record: per-run KIPS plus the geometric mean, with the
@@ -319,6 +473,7 @@ writeHostspeed(const char *path)
     out << "  \"measure_insts\": " << measureInsts() << ",\n";
     out << "  \"warmup_insts\": " << warmupInsts() << ",\n";
     out << "  \"jobs\": " << sweep.jobs << ",\n";
+    out << kernelTimingsJson();
     out << "  \"runs\": [\n";
     std::vector<double> allKips;
     bool first = true;

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Two-stage PGO build pipeline (DESIGN.md §13).
+#
+# Stage 1 builds with -fprofile-generate, runs a short fig8 sweep as the
+# training workload (the same sweep the reference output pins, so the
+# profile reflects the real hot paths), then stage 2 rebuilds with
+# -fprofile-use. Both binaries write a host-speed record and the KIPS
+# gate renders the comparison, so the PGO win (or loss) lands in a
+# ledger instead of a scrollback buffer.
+#
+# Usage: ci/pgo_build.sh [output-dir]
+#
+# Environment:
+#   PUBS_MARCH        -march= value for both stages (default: native)
+#   PGO_TRAIN_INSTS   training-sweep instruction budget (default 50000)
+#   PGO_TRAIN_WARMUP  training-sweep warmup budget (default 10000)
+#   PGO_BENCH_INSTS   measurement budget for the KIPS records (200000)
+#   PGO_BENCH_WARMUP  measurement warmup (50000)
+#   PGO_JOBS          sweep job count for training + measurement (2)
+#
+# Outputs (in output-dir, default ./pgo_out):
+#   hostspeed_plain.json  KIPS record of the stage-1-equivalent plain build
+#   hostspeed_pgo.json    KIPS record of the -fprofile-use build
+#   PGO_LEDGER.md         kips_gate comparison, plain -> PGO
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/pgo_out}"
+march="${PUBS_MARCH:-native}"
+train_insts="${PGO_TRAIN_INSTS:-50000}"
+train_warmup="${PGO_TRAIN_WARMUP:-10000}"
+bench_insts="${PGO_BENCH_INSTS:-200000}"
+bench_warmup="${PGO_BENCH_WARMUP:-50000}"
+jobs="${PGO_JOBS:-2}"
+nproc_jobs="$(nproc)"
+
+mkdir -p "$out"
+profile_dir="$out/profdata"
+rm -rf "$profile_dir"
+mkdir -p "$profile_dir"
+
+echo "== PGO pipeline: -march=$march, training ${train_insts}/${train_warmup}, measuring ${bench_insts}/${bench_warmup}"
+
+# --- baseline: plain optimized build at the same -march ----------------
+build_plain="$out/build_plain"
+cmake -B "$build_plain" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+    -DPUBS_MARCH="$march" > /dev/null
+cmake --build "$build_plain" -j "$nproc_jobs" \
+    --target bench_micro_components bench_fig8_speedup kips_gate
+PUBS_BENCH_INSTS="$bench_insts" PUBS_BENCH_WARMUP="$bench_warmup" \
+    "$build_plain/bench/bench_micro_components" \
+    --hostspeed "$out/hostspeed_plain.json" --jobs "$jobs"
+
+# --- stage 1: instrumented build + training sweep ----------------------
+build_gen="$out/build_pgo"
+rm -rf "$build_gen"
+cmake -B "$build_gen" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+    -DPUBS_MARCH="$march" -DPUBS_PGO=generate \
+    -DPUBS_PGO_DIR="$profile_dir" > /dev/null
+cmake --build "$build_gen" -j "$nproc_jobs" --target bench_fig8_speedup
+echo "== training: short fig8 sweep on the instrumented binary"
+PUBS_BENCH_INSTS="$train_insts" PUBS_BENCH_WARMUP="$train_warmup" \
+    "$build_gen/bench/bench_fig8_speedup" --jobs "$jobs" \
+    > "$out/fig8_train.txt"
+ls "$profile_dir"/*.gcda > /dev/null 2>&1 || {
+    echo "pgo_build: no .gcda profiles written to $profile_dir" >&2
+    exit 1
+}
+
+# --- stage 2: rebuild with -fprofile-use -------------------------------
+cmake -B "$build_gen" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+    -DPUBS_MARCH="$march" -DPUBS_PGO=use \
+    -DPUBS_PGO_DIR="$profile_dir" > /dev/null
+# The stage flag changed, so every object rebuilds against the profile.
+cmake --build "$build_gen" -j "$nproc_jobs" --clean-first \
+    --target bench_micro_components bench_fig8_speedup
+PUBS_BENCH_INSTS="$bench_insts" PUBS_BENCH_WARMUP="$bench_warmup" \
+    "$build_gen/bench/bench_micro_components" \
+    --hostspeed "$out/hostspeed_pgo.json" --jobs "$jobs"
+
+# --- PGO output must stay bit-exact ------------------------------------
+PUBS_BENCH_INSTS="$train_insts" PUBS_BENCH_WARMUP="$train_warmup" \
+    "$build_gen/bench/bench_fig8_speedup" --jobs "$jobs" \
+    > "$out/fig8_pgo.txt"
+diff <(grep -v jobs "$out/fig8_train.txt") \
+     <(grep -v jobs "$out/fig8_pgo.txt")
+echo "== PGO build is byte-identical on the training sweep"
+
+# --- render the comparison --------------------------------------------
+"$build_plain/ci/kips_gate" \
+    --baseline "$out/hostspeed_plain.json" \
+    --fresh "$out/hostspeed_pgo.json" \
+    --ledger "$out/PGO_LEDGER.md" \
+    --label "pgo-march-$march" \
+    --warn-only
+echo "== comparison appended to $out/PGO_LEDGER.md"

@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace pubs::branch
 {
@@ -29,14 +30,12 @@ Perceptron::indexOf(Pc pc) const
 int
 Perceptron::dot(size_t index) const
 {
+    // The history kernel lives in common/simd.hh (vectorised when
+    // PUBS_SIMD is on, bit-identical scalar fallback otherwise);
+    // weights are clamped to [-128, 127] and historyBits_ <= 63, the
+    // kernel's no-overflow precondition.
     const Weight *w = &weights_[index * (historyBits_ + 1)];
-    int y = w[0]; // bias weight
-    for (unsigned i = 0; i < historyBits_; ++i) {
-        // Branchless (w if taken else -w): mask is 0 or ~0.
-        int m = -(int)((history_ >> i) & 1);
-        y += ((int)w[i + 1] ^ ~m) + (m + 1);
-    }
-    return y;
+    return (int)w[0] + simd::perceptronDot(w + 1, historyBits_, history_);
 }
 
 bool

@@ -226,44 +226,66 @@ Auditor::audit(const Pipeline &pipe)
 {
     AuditReport report;
 
-    // --- in-flight ring accounting ---
+    // --- in-flight slot accounting (SoA slices) ---
     ++report.checksRun;
-    const auto &ring = pipe.ring_;
-    std::vector<char> onFreeList(ring.size(), 0);
+    const auto &hot = pipe.hot_;
+    std::vector<char> onFreeList(hot.size(), 0);
     for (uint32_t id : pipe.freeIds_) {
-        if (id >= ring.size()) {
+        if (id >= hot.size()) {
             report.add("free id " + std::to_string(id) +
-                       " outside the in-flight ring");
+                       " outside the in-flight slot arrays");
             continue;
         }
         if (onFreeList[id])
             report.add("in-flight id " + std::to_string(id) +
                        " on the free list twice");
         onFreeList[id] = 1;
-        if (ring[id].valid)
+        if (hot[id].valid)
             report.add("in-flight id " + std::to_string(id) +
                        " is both free and valid");
     }
     size_t validCount = 0;
-    for (const auto &inst : ring)
+    for (const auto &inst : hot)
         validCount += inst.valid ? 1 : 0;
-    if (validCount + pipe.freeIds_.size() != ring.size()) {
-        report.add("in-flight ring leak: " + std::to_string(validCount) +
+    if (validCount + pipe.freeIds_.size() != hot.size()) {
+        report.add("in-flight slot leak: " + std::to_string(validCount) +
                    " valid + " + std::to_string(pipe.freeIds_.size()) +
-                   " free != " + std::to_string(ring.size()) +
+                   " free != " + std::to_string(hot.size()) +
                    " total slots");
+    }
+
+    // --- hot/cold slice agreement ---
+    // hot_.seq/op and the PUBS priority bit are copies of cold record
+    // fields (pipeline.hh layout comment); a divergence means some path
+    // updated one array and not the other.
+    ++report.checksRun;
+    for (uint32_t id = 0; id < hot.size(); ++id) {
+        if (!hot[id].valid)
+            continue;
+        const auto &cold = pipe.cold_[id];
+        if (hot[id].seq != cold.di.seq)
+            report.add("hot/cold seq mismatch at id " +
+                       std::to_string(id) + ": hot " +
+                       std::to_string(hot[id].seq) + " vs cold " +
+                       std::to_string(cold.di.seq));
+        if (hot[id].op != cold.di.op)
+            report.add("hot/cold opcode mismatch at id " +
+                       std::to_string(id));
+        if (hot[id].sliceUnconfident != cold.slice.unconfident)
+            report.add("hot/cold PUBS priority bit mismatch at id " +
+                       std::to_string(id));
     }
 
     // --- every valid instruction is in the front end xor the ROB ---
     ++report.checksRun;
-    std::vector<char> located(ring.size(), 0);
+    std::vector<char> located(hot.size(), 0);
     for (uint32_t id : pipe.frontendQueue_) {
-        if (id >= ring.size() || !ring[id].valid) {
+        if (id >= hot.size() || !hot[id].valid) {
             report.add("front-end queue holds dead id " +
                        std::to_string(id));
             continue;
         }
-        if (ring[id].dispatched)
+        if (hot[id].dispatched)
             report.add("front-end queue id " + std::to_string(id) +
                        " already dispatched");
         if (located[id])
@@ -274,11 +296,11 @@ Auditor::audit(const Pipeline &pipe)
     size_t robCount = 0;
     pipe.rob_.forEach([&](uint32_t id) {
         ++robCount;
-        if (id >= ring.size() || !ring[id].valid) {
+        if (id >= hot.size() || !hot[id].valid) {
             report.add("ROB holds dead id " + std::to_string(id));
             return;
         }
-        if (!ring[id].dispatched)
+        if (!hot[id].dispatched)
             report.add("ROB id " + std::to_string(id) +
                        " was never dispatched");
         if (located[id])
@@ -292,8 +314,8 @@ Auditor::audit(const Pipeline &pipe)
                    " != occupancy " +
                    std::to_string(pipe.rob_.occupancy()));
     }
-    for (uint32_t id = 0; id < ring.size(); ++id) {
-        if (ring[id].valid && !located[id]) {
+    for (uint32_t id = 0; id < hot.size(); ++id) {
+        if (hot[id].valid && !located[id]) {
             report.add("orphaned in-flight id " + std::to_string(id) +
                        ": valid but in neither front end nor ROB");
         }
@@ -302,7 +324,7 @@ Auditor::audit(const Pipeline &pipe)
     // --- IQ cross-consistency ---
     ++report.checksRun;
     size_t inIqFlagged = 0;
-    for (const auto &inst : ring)
+    for (const auto &inst : hot)
         inIqFlagged += (inst.valid && inst.inIq) ? 1 : 0;
     size_t iqResident = 0;
     for (size_t q = 0; q < pipe.iqs_.size(); ++q) {
@@ -312,12 +334,12 @@ Auditor::audit(const Pipeline &pipe)
                 continue;
             ++iqResident;
             uint32_t id = slot.clientId;
-            if (id >= ring.size() || !ring[id].valid) {
+            if (id >= hot.size() || !hot[id].valid) {
                 report.add("IQ " + std::to_string(q) +
                            " slot holds dead id " + std::to_string(id));
                 continue;
             }
-            const auto &inst = ring[id];
+            const auto &inst = hot[id];
             if (!inst.inIq)
                 report.add("IQ " + std::to_string(q) + " holds id " +
                            std::to_string(id) +
@@ -334,12 +356,12 @@ Auditor::audit(const Pipeline &pipe)
                            std::to_string(inst.dispatched) +
                            " issued=" + std::to_string(inst.issued) +
                            ")");
-            if (slot.seq != inst.di.seq)
+            if (slot.seq != inst.seq)
                 report.add("IQ " + std::to_string(q) + " id " +
                            std::to_string(id) + " slot seq " +
                            std::to_string(slot.seq) +
                            " != instruction seq " +
-                           std::to_string(inst.di.seq));
+                           std::to_string(inst.seq));
         }
         checkIqPartition(queue, report);
     }
@@ -369,9 +391,9 @@ Auditor::audit(const Pipeline &pipe)
             }
             readyBits += queue.readyAt(s) ? 1 : 0;
             uint32_t id = slots[s].clientId;
-            if (id >= ring.size() || !ring[id].valid)
+            if (id >= hot.size() || !hot[id].valid)
                 continue; // already reported above
-            const auto &inst = ring[id];
+            const auto &inst = hot[id];
             if (queue.slotOf(id) != s) {
                 report.add("IQ " + std::to_string(q) + " slot index of id " +
                            std::to_string(id) + " points at slot " +
@@ -398,7 +420,8 @@ Auditor::audit(const Pipeline &pipe)
                            " marked ready with " + std::to_string(pending) +
                            " operands outstanding");
             }
-            if (!queue.readyAt(s) && pending == 0 && !inst.di.isLoad()) {
+            if (!queue.readyAt(s) && pending == 0 &&
+                !isa::isLoad(inst.op)) {
                 report.add("IQ " + std::to_string(q) + " non-load id " +
                            std::to_string(id) +
                            " has no pending operands but no ready bit");
@@ -415,10 +438,10 @@ Auditor::audit(const Pipeline &pipe)
     // reachable from exactly one valid, not-yet-issued producer.
     ++report.checksRun;
     size_t reachableNodes = 0;
-    for (const auto &inst : ring) {
-        if (!inst.valid)
+    for (uint32_t id = 0; id < hot.size(); ++id) {
+        if (!hot[id].valid)
             continue;
-        uint32_t node = inst.depOverflow;
+        uint32_t node = pipe.deps_[id].overflow;
         while (node != SlabPool<Pipeline::DepNode>::npos) {
             ++reachableNodes;
             node = pipe.depPool_.at(node).next;
@@ -440,7 +463,7 @@ Auditor::audit(const Pipeline &pipe)
                    std::to_string(pipe.lsq_.occupancy()));
     }
     size_t inLsqFlagged = 0;
-    for (const auto &inst : ring)
+    for (const auto &inst : hot)
         inLsqFlagged += (inst.valid && inst.inLsq) ? 1 : 0;
     if (inLsqFlagged != lsqIds.size()) {
         report.add(std::to_string(inLsqFlagged) +
@@ -450,20 +473,20 @@ Auditor::audit(const Pipeline &pipe)
     SeqNum lastSeq = 0;
     bool haveLast = false;
     for (uint32_t id : lsqIds) {
-        if (id >= ring.size() || !ring[id].valid) {
+        if (id >= hot.size() || !hot[id].valid) {
             report.add("LSQ holds dead id " + std::to_string(id));
             continue;
         }
-        const auto &inst = ring[id];
+        const auto &inst = hot[id];
         if (!inst.inLsq)
             report.add("LSQ holds id " + std::to_string(id) +
                        " whose inLsq flag is clear");
-        if (!inst.di.isMem())
+        if (!isa::isMem(inst.op))
             report.add("LSQ holds non-memory id " + std::to_string(id));
-        if (haveLast && inst.di.seq <= lastSeq)
+        if (haveLast && inst.seq <= lastSeq)
             report.add("LSQ not in program order at id " +
                        std::to_string(id));
-        lastSeq = inst.di.seq;
+        lastSeq = inst.seq;
         haveLast = true;
     }
 
@@ -471,9 +494,9 @@ Auditor::audit(const Pipeline &pipe)
     for (isa::RegClass cls : {isa::RegClass::Int, isa::RegClass::Fp}) {
         std::vector<PhysRegId> pendingFree;
         pipe.rob_.forEach([&](uint32_t id) {
-            if (id >= ring.size() || !ring[id].valid)
+            if (id >= hot.size() || !hot[id].valid)
                 return;
-            const auto &inst = ring[id];
+            const auto &inst = hot[id];
             if (inst.physDst != invalidPhysReg && inst.dstCls == cls)
                 pendingFree.push_back(inst.prevPhysDst);
         });

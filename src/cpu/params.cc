@@ -273,4 +273,47 @@ CoreParams::describe() const
     return out.str();
 }
 
+std::string
+CoreParams::describeFunctional() const
+{
+    // One line per functionally-warmed unit, every field explicit, so
+    // adding a functional knob later forces a deliberate edit here (and
+    // thereby a fingerprint change).
+    std::ostringstream out;
+    out << "predictor " << branch::predictorKindName(predictor) << "\n"
+        << "btb " << btbSets << "x" << btbWays << "\n"
+        << "ras " << rasDepth << "\n";
+    auto cache = [&](const char *name, const mem::CacheParams &c) {
+        out << name << " " << c.sizeBytes << "/" << c.ways << "/"
+            << c.lineBytes << "\n";
+    };
+    cache("l1i", memory.l1i);
+    cache("l1d", memory.l1d);
+    cache("l2", memory.l2);
+    out << "prefetch " << (memory.prefetch ? 1 : 0);
+    if (memory.prefetch) {
+        out << " " << memory.prefetcher.streams << "/"
+            << memory.prefetcher.distanceLines << "/"
+            << memory.prefetcher.degree;
+    }
+    out << "\n";
+    out << "pubs " << (usePubs ? 1 : 0) << "\n";
+    if (usePubs) {
+        out << "conf_tab " << pubs.confSets << "x" << pubs.confWays
+            << " q" << pubs.confHashBits << " bits"
+            << pubs.confCounterBits << " shape"
+            << (pubs.counterShape == pubs::CounterShape::Resetting ? "r"
+                                                                   : "d")
+            << " use" << (pubs.useConfTab ? 1 : 0) << "\n"
+            << "brslice_tab " << pubs.brsliceSets << "x"
+            << pubs.brsliceWays << " q" << pubs.brsliceHashBits << "\n"
+            << "tags " << (pubs.tagless ? "none"
+                                        : pubs.fullTags ? "full" : "hashed")
+            << "\n"
+            << "mode_switch " << (pubs.modeSwitch ? 1 : 0) << " "
+            << pubs.modeInterval << " " << pubs.modeMpkiThreshold << "\n";
+    }
+    return out.str();
+}
+
 } // namespace pubs::cpu

@@ -145,6 +145,19 @@ struct CoreParams
 
     /** Render Table I / Table II style configuration text. */
     std::string describe() const;
+
+    /**
+     * Stable rendering of the *functional* parameter subset: the fields
+     * that shape the warm microarchitectural state a checkpoint
+     * serializes (cache/prefetcher geometry, predictor/BTB/RAS
+     * configuration, PUBS table geometry and mode-switch training).
+     * Timing-only fields — pipeline widths, window sizes, FU counts,
+     * latencies, IQ organisation, PUBS dispatch policy, the seed — are
+     * deliberately excluded: changing them cannot change checkpoint
+     * content, so checkpoints stay shareable across timing sweeps.
+     * sim::paramsFingerprint() hashes this text.
+     */
+    std::string describeFunctional() const;
 };
 
 } // namespace pubs::cpu

@@ -5,6 +5,7 @@
 
 #include "common/bits.hh"
 #include "common/error.hh"
+#include "common/hints.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
 #include "common/progress.hh"
@@ -95,9 +96,12 @@ Pipeline::Pipeline(const CoreParams &params, trace::InstSource &source)
     fpRegProducerSeq_.assign(params.fpPhysRegs, 0);
 
     frontendCapacity_ = (size_t)params.frontendDepth * params.fetchWidth;
-    ring_.resize(params.robEntries + frontendCapacity_ + 8);
-    freeIds_.reserve(ring_.size());
-    for (size_t i = ring_.size(); i > 0; --i)
+    size_t slots = params.robEntries + frontendCapacity_ + 8;
+    hot_.assign(slots, InflightHot{});
+    deps_.assign(slots, InflightDeps{});
+    cold_.assign(slots, InflightCold{});
+    freeIds_.reserve(slots);
+    for (size_t i = slots; i > 0; --i)
         freeIds_.push_back((uint32_t)(i - 1));
     readyMask_.assign((params.iqEntries + 63) / 64, 0);
     staticProgram_ = source.program();
@@ -161,17 +165,17 @@ Pipeline::regProducerSeq(isa::RegClass cls, PhysRegId reg)
 void
 Pipeline::onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b)
 {
-    if (kind == EventWheel::Kind::OperandReady) {
+    if (PUBS_LIKELY(kind == EventWheel::Kind::OperandReady)) {
         // One pending operand of instruction (a, seq b) completed.
         // Stale deliveries — the consumer was squashed, possibly with
         // its id reallocated — are detected by the sequence number.
-        Inflight &inst = at(a);
-        if (!inst.valid || inst.di.seq != b)
+        InflightHot &hot = hot_[a];
+        if (PUBS_UNLIKELY(!hot.valid || hot.seq != b))
             return;
-        panic_if(inst.pendingOps == 0 || inst.issued,
+        panic_if(hot.pendingOps == 0 || hot.issued,
                  "operand wakeup for inst %u with no pending operand", a);
-        if (--inst.pendingOps == 0 && inst.inIq)
-            iqs_[inst.iqIndex]->markReady(a);
+        if (--hot.pendingOps == 0 && hot.inIq)
+            iqs_[hot.iqIndex]->markReady(a);
         return;
     }
 
@@ -180,18 +184,18 @@ Pipeline::onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b)
     // Re-expose them to select; the per-load dependence check there
     // re-parks any that are still blocked on a different store.
     for (const auto &[id, seq] : memBlockedLoads_) {
-        const Inflight &inst = at(id);
-        if (!inst.valid || inst.di.seq != seq || !inst.inIq ||
-            inst.issued || inst.pendingOps != 0) {
+        const InflightHot &hot = hot_[id];
+        if (!hot.valid || hot.seq != seq || !hot.inIq || hot.issued ||
+            hot.pendingOps != 0) {
             continue; // squashed or otherwise no longer eligible
         }
-        iqs_[inst.iqIndex]->markReady(id);
+        iqs_[hot.iqIndex]->markReady(id);
     }
     memBlockedLoads_.clear();
 }
 
 void
-Pipeline::setupScoreboard(uint32_t id, Inflight &inst)
+Pipeline::setupScoreboard(uint32_t id)
 {
     // Classify each source operand exactly as the per-cycle rescan
     // would over the coming cycles: available now, completing at a
@@ -199,51 +203,53 @@ Pipeline::setupScoreboard(uint32_t id, Inflight &inst)
     // wakeup directly), or owned by a producer still waiting in the
     // window (register with it; it schedules the wakeup when it
     // issues).
-    inst.pendingOps = 0;
+    InflightHot &hot = hot_[id];
+    hot.pendingOps = 0;
     auto handleSrc = [&](isa::RegClass cls, PhysRegId reg) {
         if (reg == invalidPhysReg)
             return;
         Cycle ready = regReadyCycle(cls, reg);
         if (ready <= now_)
             return;
-        ++inst.pendingOps;
+        ++hot.pendingOps;
         if (ready == neverCycle) {
             uint32_t producerId = regProducer(cls, reg);
             panic_if(producerId == UINT32_MAX, "unready phys reg %d has "
                      "no in-flight producer", (int)reg);
-            Inflight &producer = at(producerId);
+            const InflightHot &producer = hot_[producerId];
             panic_if(!producer.valid ||
-                         producer.di.seq != regProducerSeq(cls, reg) ||
+                         producer.seq != regProducerSeq(cls, reg) ||
                          producer.issued,
                      "stale producer %u for phys reg %d", producerId,
                      (int)reg);
-            registerDependent(producer, id, inst.di.seq);
+            registerDependent(producerId, id, hot.seq);
         } else {
             wheel_.schedule(ready, EventWheel::Kind::OperandReady, id,
-                            inst.di.seq, now_);
+                            hot.seq, now_);
         }
     };
-    handleSrc(inst.src1Cls, inst.physSrc1);
-    handleSrc(inst.src2Cls, inst.physSrc2);
-    if (inst.pendingOps == 0)
-        iqs_[inst.iqIndex]->markReady(id);
+    handleSrc(hot.src1Cls, hot.physSrc1);
+    handleSrc(hot.src2Cls, hot.physSrc2);
+    if (hot.pendingOps == 0)
+        iqs_[hot.iqIndex]->markReady(id);
 }
 
 void
-Pipeline::registerDependent(Inflight &producer, uint32_t id, SeqNum seq)
+Pipeline::registerDependent(uint32_t producerId, uint32_t id, SeqNum seq)
 {
-    if (producer.depCount < Inflight::inlineDeps) {
-        producer.depIds[producer.depCount] = id;
-        producer.depSeqs[producer.depCount] = seq;
-        ++producer.depCount;
+    InflightDeps &producer = deps_[producerId];
+    if (producer.count < InflightDeps::inlineDeps) {
+        producer.ids[producer.count] = id;
+        producer.seqs[producer.count] = seq;
+        ++producer.count;
         return;
     }
-    uint32_t node = producer.depOverflow;
+    uint32_t node = producer.overflow;
     if (node == SlabPool<DepNode>::npos ||
         depPool_.at(node).n == DepNode::fanout) {
         uint32_t fresh = depPool_.alloc();
         depPool_.at(fresh).next = node;
-        producer.depOverflow = fresh;
+        producer.overflow = fresh;
         node = fresh;
     }
     DepNode &dn = depPool_.at(node);
@@ -253,17 +259,18 @@ Pipeline::registerDependent(Inflight &producer, uint32_t id, SeqNum seq)
 }
 
 void
-Pipeline::wakeDependents(Inflight &producer, Cycle done)
+Pipeline::wakeDependents(uint32_t producerId, Cycle done)
 {
     // Every op latency is >= 1 cycle, so the completion is strictly in
     // the future and always schedulable. Dependents are not validated
     // here; the event delivery does that (lazy cancellation).
-    for (uint8_t i = 0; i < producer.depCount; ++i) {
+    InflightDeps &producer = deps_[producerId];
+    for (uint8_t i = 0; i < producer.count; ++i) {
         wheel_.schedule(done, EventWheel::Kind::OperandReady,
-                        producer.depIds[i], producer.depSeqs[i], now_);
+                        producer.ids[i], producer.seqs[i], now_);
     }
-    producer.depCount = 0;
-    uint32_t node = producer.depOverflow;
+    producer.count = 0;
+    uint32_t node = producer.overflow;
     while (node != SlabPool<DepNode>::npos) {
         DepNode &dn = depPool_.at(node);
         for (uint8_t i = 0; i < dn.n; ++i) {
@@ -274,24 +281,25 @@ Pipeline::wakeDependents(Inflight &producer, Cycle done)
         depPool_.free(node);
         node = next;
     }
-    producer.depOverflow = SlabPool<DepNode>::npos;
+    producer.overflow = SlabPool<DepNode>::npos;
 }
 
 void
-Pipeline::releaseDeps(Inflight &inst)
+Pipeline::releaseDeps(uint32_t id)
 {
     // Free the dependent records of an instruction leaving the window
     // without issuing (squash; or commit, for IQ-bypassing ops). The
     // registrations themselves need no cleanup — they die with the
     // producer, and were only reachable through it.
-    inst.depCount = 0;
-    uint32_t node = inst.depOverflow;
+    InflightDeps &deps = deps_[id];
+    deps.count = 0;
+    uint32_t node = deps.overflow;
     while (node != SlabPool<DepNode>::npos) {
         uint32_t next = depPool_.at(node).next;
         depPool_.free(node);
         node = next;
     }
-    inst.depOverflow = SlabPool<DepNode>::npos;
+    deps.overflow = SlabPool<DepNode>::npos;
 }
 
 void
@@ -315,8 +323,8 @@ Pipeline::dispatchBlockReason() const
     // Mirror of doDispatch()'s head-of-queue blocking checks, in the
     // same order, with no side effects: used to decide whether the next
     // cycle can dispatch and which stall counter an idle cycle charges.
-    const Inflight &inst = at(frontendQueue_.front());
-    const trace::DynInst &di = inst.di;
+    uint32_t headId = frontendQueue_.front();
+    const trace::DynInst &di = cold_[headId].di;
     isa::Inst staticInst{di.op, di.dst, di.src1, di.src2, 0};
 
     if (rob_.full())
@@ -334,7 +342,7 @@ Pipeline::dispatchBlockReason() const
     const iq::IssueQueue &queue = queueFor(di);
     bool pubsOn = params_.usePubs && queue.priorityEntries() > 0;
     bool pubsActive = pubsOn && modeSwitch_->pubsEnabled();
-    bool wantPriority = pubsActive && inst.slice.unconfident;
+    bool wantPriority = pubsActive && hot_[headId].sliceUnconfident;
     if (pubsOn && !pubsActive) {
         return queue.occupancy() >= queue.capacity() ? DispatchBlock::IqFull
                                                      : DispatchBlock::None;
@@ -375,7 +383,7 @@ Pipeline::nextWorkCycle() const
         if (queue->hasReady())
             return now_ + 1;
     if (!frontendQueue_.empty()) {
-        const Inflight &head = at(frontendQueue_.front());
+        const InflightHot &head = hot_[frontendQueue_.front()];
         if (head.feReadyCycle <= now_ + 1 &&
             dispatchBlockReason() == DispatchBlock::None)
             return now_ + 1;
@@ -388,12 +396,12 @@ Pipeline::nextWorkCycle() const
     if (fetchCanProgress())
         consider(fetchSuspendedUntil_);
     if (!frontendQueue_.empty()) {
-        const Inflight &head = at(frontendQueue_.front());
+        const InflightHot &head = hot_[frontendQueue_.front()];
         if (head.feReadyCycle > now_)
             consider(head.feReadyCycle);
     }
     if (!rob_.empty()) {
-        const Inflight &head = at(rob_.head());
+        const InflightHot &head = hot_[rob_.head()];
         if (head.issued)
             consider(head.doneCycle); // commit wake
     }
@@ -434,7 +442,7 @@ Pipeline::fastForward(Cycle to)
 
     DispatchBlock block = DispatchBlock::None;
     if (!frontendQueue_.empty() &&
-        at(frontendQueue_.front()).feReadyCycle <= now_) {
+        hot_[frontendQueue_.front()].feReadyCycle <= now_) {
         block = dispatchBlockReason();
         switch (block) {
           case DispatchBlock::RobFull:
@@ -462,7 +470,7 @@ Pipeline::chaseRobHead(CpiComponent fallback) const
 {
     if (rob_.empty())
         return fallback;
-    const Inflight &head = at(rob_.head());
+    const InflightHot &head = hot_[rob_.head()];
     if (head.issued && head.doneCycle > now_) {
         if (head.missLevel == 2)
             return CpiComponent::MemDram;
@@ -812,10 +820,28 @@ Pipeline::processSquashes()
 }
 
 void
-Pipeline::recordSquashed(Inflight &inst)
+Pipeline::recordSquashed(uint32_t id)
 {
-    inst.di.stamps.squashed = true;
-    pipeview_->record(inst.di);
+    InflightCold &cold = cold_[id];
+    cold.di.stamps.squashed = true;
+    pipeview_->record(cold.di);
+}
+
+void
+Pipeline::assertHotColdAgree([[maybe_unused]] uint32_t id) const
+{
+#ifndef NDEBUG
+    const InflightHot &hot = hot_[id];
+    const InflightCold &cold = cold_[id];
+    panic_if(hot.seq != cold.di.seq,
+             "hot/cold seq mismatch for slot %u: %llu vs %llu", id,
+             (unsigned long long)hot.seq,
+             (unsigned long long)cold.di.seq);
+    panic_if(hot.op != cold.di.op,
+             "hot/cold opcode mismatch for slot %u", id);
+    panic_if(hot.sliceUnconfident != cold.slice.unconfident,
+             "hot/cold PUBS priority bit mismatch for slot %u", id);
+#endif
 }
 
 void
@@ -823,9 +849,9 @@ Pipeline::squashYoungerThan(uint32_t branchId)
 {
     // Drop not-yet-dispatched wrong-path instructions.
     for (uint32_t id : frontendQueue_) {
-        if (pipeview_)
-            recordSquashed(at(id));
-        at(id).valid = false;
+        if (PUBS_UNLIKELY(pipeview_ != nullptr))
+            recordSquashed(id);
+        hot_[id].valid = false;
         freeIds_.push_back(id);
         ++stats_.squashed;
     }
@@ -835,29 +861,29 @@ Pipeline::squashYoungerThan(uint32_t branchId)
     // program order until the mispredicted branch is the youngest.
     while (!rob_.empty() && rob_.tail() != branchId) {
         uint32_t id = rob_.tail();
-        Inflight &inst = at(id);
-        panic_if(!inst.wrongPath, "squashing a correct-path instruction");
-        if (inst.inIq) {
-            iq::IssueQueue &queue = *iqs_[inst.iqIndex];
-            if (ageMatrix_ && inst.iqIndex == 0) {
+        InflightHot &hot = hot_[id];
+        panic_if(!hot.wrongPath, "squashing a correct-path instruction");
+        if (hot.inIq) {
+            iq::IssueQueue &queue = *iqs_[hot.iqIndex];
+            if (ageMatrix_ && hot.iqIndex == 0) {
                 uint32_t slot = queue.slotOf(id);
                 panic_if(slot == iq::IssueQueue::noSlot,
                          "squashed inst %u not resident in its queue", id);
                 ageMatrix_->remove(slot);
             }
             queue.remove(id);
-            inst.inIq = false;
+            hot.inIq = false;
         }
-        if (inst.inLsq)
+        if (hot.inLsq)
             lsq_.removeYoungest(id);
-        if (inst.physDst != invalidPhysReg) {
-            rename_.rollback(inst.dstCls, inst.di.dst, inst.physDst,
-                             inst.prevPhysDst);
+        if (hot.physDst != invalidPhysReg) {
+            rename_.rollback(hot.dstCls, cold_[id].di.dst, hot.physDst,
+                             hot.prevPhysDst);
         }
-        if (pipeview_)
-            recordSquashed(inst);
-        releaseDeps(inst);
-        inst.valid = false;
+        if (PUBS_UNLIKELY(pipeview_ != nullptr))
+            recordSquashed(id);
+        releaseDeps(id);
+        hot.valid = false;
         freeIds_.push_back(id);
         rob_.popTail();
         ++stats_.squashed;
@@ -871,49 +897,52 @@ Pipeline::doCommit()
     while (committed < params_.commitWidth && !rob_.empty() &&
            stats_.committed < runTarget_) {
         uint32_t id = rob_.head();
-        Inflight &inst = at(id);
-        if (!inst.issued || inst.doneCycle > now_)
+        InflightHot &hot = hot_[id];
+        if (!hot.issued || hot.doneCycle > now_)
             break;
 
-        if (inst.physDst != invalidPhysReg)
-            rename_.freeReg(inst.dstCls, inst.prevPhysDst);
-        if (inst.inLsq) {
+        assertHotColdAgree(id);
+        InflightCold &cold = cold_[id];
+
+        if (hot.physDst != invalidPhysReg)
+            rename_.freeReg(hot.dstCls, hot.prevPhysDst);
+        if (hot.inLsq) {
             lsq_.remove(id);
-            if (inst.di.isStore()) {
-                recentStores_.insert(inst.di.effAddr, inst.di.memSize,
-                                     inst.doneCycle);
+            if (isa::isStore(hot.op)) {
+                recentStores_.insert(cold.di.effAddr, cold.di.memSize,
+                                     hot.doneCycle);
             }
         }
         if (modeSwitch_)
             modeSwitch_->noteCommit();
-        panic_if(inst.wrongPath, "committing a wrong-path instruction");
-        if (checker_) {
+        panic_if(hot.wrongPath, "committing a wrong-path instruction");
+        if (PUBS_UNLIKELY(checker_ != nullptr)) {
             ++stats_.checkerCommits;
-            std::string diag = checker_->check(inst.di, now_);
+            std::string diag = checker_->check(cold.di, now_);
             if (!diag.empty()) {
                 ++stats_.checkerDivergences;
                 reportViolation(checkPolicy_, SimError::Kind::Check,
                                 diag + debugSnapshot());
             }
         }
-        if (inst.di.op == Opcode::Halt)
+        if (PUBS_UNLIKELY(hot.op == Opcode::Halt))
             haltCommitted_ = true;
 
-        if (telemetry_) {
-            telemetry_->noteCommit(inst.slice.unconfident, inst.trueSlice);
-            if (inst.di.isCondBranch()) {
-                telemetry_->noteBranchCommit(inst.di.pc,
-                                             inst.slice.unconfident,
-                                             inst.condPredictionCorrect);
+        if (PUBS_UNLIKELY(telemetry_ != nullptr)) {
+            telemetry_->noteCommit(hot.sliceUnconfident, hot.trueSlice);
+            if (cold.di.isCondBranch()) {
+                telemetry_->noteBranchCommit(cold.di.pc,
+                                             hot.sliceUnconfident,
+                                             hot.condPredictionCorrect);
             }
         }
-        if (pipeview_) {
-            inst.di.stamps.retire = now_;
-            pipeview_->record(inst.di);
+        if (PUBS_UNLIKELY(pipeview_ != nullptr)) {
+            cold.di.stamps.retire = now_;
+            pipeview_->record(cold.di);
         }
 
-        releaseDeps(inst);
-        inst.valid = false;
+        releaseDeps(id);
+        hot.valid = false;
         freeIds_.push_back(id);
         rob_.popHead();
         ++stats_.committed;
@@ -922,17 +951,17 @@ Pipeline::doCommit()
 }
 
 bool
-Pipeline::srcsReady(const Inflight &inst, Cycle &readyAt) const
+Pipeline::srcsReady(const InflightHot &hot, Cycle &readyAt) const
 {
     readyAt = 0;
-    if (inst.physSrc1 != invalidPhysReg) {
-        Cycle r = regReadyCycle(inst.src1Cls, inst.physSrc1);
+    if (hot.physSrc1 != invalidPhysReg) {
+        Cycle r = regReadyCycle(hot.src1Cls, hot.physSrc1);
         if (r > now_)
             return false;
         readyAt = std::max(readyAt, r);
     }
-    if (inst.physSrc2 != invalidPhysReg) {
-        Cycle r = regReadyCycle(inst.src2Cls, inst.physSrc2);
+    if (hot.physSrc2 != invalidPhysReg) {
+        Cycle r = regReadyCycle(hot.src2Cls, hot.physSrc2);
         if (r > now_)
             return false;
         readyAt = std::max(readyAt, r);
@@ -941,25 +970,25 @@ Pipeline::srcsReady(const Inflight &inst, Cycle &readyAt) const
 }
 
 void
-Pipeline::issueInst(uint32_t id, Inflight &inst)
+Pipeline::issueInst(uint32_t id)
 {
-    const trace::DynInst &di = inst.di;
-    const isa::OpInfo &info = isa::opInfo(di.op);
+    InflightHot &hot = hot_[id];
+    const isa::OpInfo &info = isa::opInfo(hot.op);
 
-    inst.issued = true;
-    inst.issueCycle = now_;
-    stats_.iqWaitSum += now_ - inst.dispatchCycle;
-    stats_.iqWait.sample(now_ - inst.dispatchCycle);
+    hot.issued = true;
+    stats_.iqWaitSum += now_ - hot.dispatchCycle;
+    stats_.iqWait.sample(now_ - hot.dispatchCycle);
     ++stats_.issued;
-    if (telemetry_ && inst.slice.unconfident) {
-        telemetry_->noteSliceIssue(inst.priorityEntry,
-                                   now_ - inst.feReadyCycle);
+    if (PUBS_UNLIKELY(telemetry_ != nullptr) && hot.sliceUnconfident) {
+        telemetry_->noteSliceIssue(hot.priorityEntry,
+                                   now_ - hot.feReadyCycle);
     }
 
     Cycle done;
-    if (di.isLoad()) {
+    if (isa::isLoad(hot.op)) {
+        const trace::DynInst &di = cold_[id].di;
         Lsq::Dep dep =
-            lsq_.olderStoreDependenceAt(inst.lsqPos, di.effAddr, di.memSize);
+            lsq_.olderStoreDependenceAt(hot.lsqPos, di.effAddr, di.memSize);
         panic_if(dep.kind == Lsq::Dep::Wait,
                  "load issued with unresolved older store");
         Cycle aguDone = now_ + 1;
@@ -987,7 +1016,7 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
             done = std::max(aguDone, dep.readyCycle);
         } else if (sbForward) {
             done = std::max(aguDone, sbReady);
-        } else if (inst.wrongPath && di.effAddr == 0) {
+        } else if (hot.wrongPath && di.effAddr == 0) {
             // Wrong-path load with no address approximation: charge an
             // L1 hit without touching the cache.
             done = aguDone + params_.memory.l1d.hitLatency;
@@ -1002,16 +1031,17 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
                 if (modeSwitch_)
                     modeSwitch_->noteLlcMiss();
             }
-            inst.missLevel = res.llcMiss ? 2 : (res.l1Hit ? 0 : 1);
+            hot.missLevel = res.llcMiss ? 2 : (res.l1Hit ? 0 : 1);
             done = res.readyCycle;
         }
-        lsq_.markDoneAt(inst.lsqPos, id, done);
-    } else if (di.isStore()) {
+        lsq_.markDoneAt(hot.lsqPos, id, done);
+    } else if (isa::isStore(hot.op)) {
         Cycle aguDone = now_ + 1;
-        if (!inst.wrongPath) {
+        if (!hot.wrongPath) {
             // Wrong-path stores never reach the cache (they would only
             // write at commit); correct-path stores probe it when they
             // issue, modelling an eagerly draining store buffer.
+            const trace::DynInst &di = cold_[id].di;
             mem::DataAccess res = mem_->dataAccess(di.effAddr, true,
                                                    aguDone);
             ++stats_.l1dAccesses;
@@ -1024,43 +1054,46 @@ Pipeline::issueInst(uint32_t id, Inflight &inst)
             }
         }
         done = aguDone;
-        lsq_.markDoneAt(inst.lsqPos, id, done);
+        lsq_.markDoneAt(hot.lsqPos, id, done);
         // The store's data is visible to the dependence check from the
         // next select snapshot on: give parked loads another look.
         scheduleLoadRecheck();
     } else {
         done = now_ + info.latency;
     }
-    inst.doneCycle = done;
-    if (pipeview_) {
-        inst.di.stamps.issue = now_;
-        inst.di.stamps.complete = done;
+    hot.doneCycle = done;
+    if (PUBS_UNLIKELY(pipeview_ != nullptr)) {
+        cold_[id].di.stamps.issue = now_;
+        cold_[id].di.stamps.complete = done;
     }
 
-    if (inst.physDst != invalidPhysReg)
-        setRegReady(inst.dstCls, inst.physDst, done);
-    wakeDependents(inst, done);
+    if (hot.physDst != invalidPhysReg)
+        setRegReady(hot.dstCls, hot.physDst, done);
+    wakeDependents(id, done);
 
     // Branch resolution: train the confidence table with the outcome,
     // and schedule the misprediction squash for the completion cycle.
-    if (di.isCondBranch() && sliceUnit_ && !inst.wrongPath)
-        confEvents_.push({done, di.pc, inst.condPredictionCorrect});
-    if (inst.isMispredict) {
-        stats_.misspecPenaltySum += done - inst.fetchCycle;
+    if (isa::isCondBranch(hot.op) && sliceUnit_ && !hot.wrongPath)
+        confEvents_.push({done, cold_[id].di.pc,
+                          hot.condPredictionCorrect});
+    if (PUBS_UNLIKELY(hot.isMispredict)) {
+        Cycle fetchCycle = cold_[id].fetchCycle;
+        stats_.misspecPenaltySum += done - fetchCycle;
         ++stats_.misspecPenaltyCount;
-        stats_.misspecPenalty.sample(done - inst.fetchCycle);
+        stats_.misspecPenalty.sample(done - fetchCycle);
         squashEvents_.push({done, id});
         if (telemetry_) {
-            telemetry_->noteMispredictResolved(di.pc,
-                                               done - inst.fetchCycle);
-            traceTrueSlice(id, inst);
+            telemetry_->noteMispredictResolved(cold_[id].di.pc,
+                                               done - fetchCycle);
+            traceTrueSlice(id);
         }
     }
 }
 
 void
-Pipeline::traceTrueSlice(uint32_t branchId, const Inflight &branch)
+Pipeline::traceTrueSlice(uint32_t branchId)
 {
+    const InflightHot &branch = hot_[branchId];
     // Snapshot the ROB in program order and locate the branch.
     static thread_local std::vector<uint32_t> ids;
     ids.clear();
@@ -1097,19 +1130,19 @@ Pipeline::traceTrueSlice(uint32_t branchId, const Inflight &branch)
 
     // Walk older instructions youngest-first, growing the register set
     // transitively: the true dynamic backward slice within the window.
+    Pc branchPc = cold_[branchId].di.pc;
     for (size_t i = branchPos; i-- > 0;) {
-        Inflight &inst = at(ids[i]);
-        if (!inst.valid || inst.physDst == invalidPhysReg)
+        InflightHot &hot = hot_[ids[i]];
+        if (!hot.valid || hot.physDst == invalidPhysReg)
             continue;
-        if (!wanted(inst.dstCls, inst.physDst))
+        if (!wanted(hot.dstCls, hot.physDst))
             continue;
-        if (!inst.trueSlice) {
-            inst.trueSlice = true;
-            telemetry_->noteTrueSliceInst(branch.di.pc,
-                                          inst.slice.unconfident);
+        if (!hot.trueSlice) {
+            hot.trueSlice = true;
+            telemetry_->noteTrueSliceInst(branchPc, hot.sliceUnconfident);
         }
-        want(inst.src1Cls, inst.physSrc1);
-        want(inst.src2Cls, inst.physSrc2);
+        want(hot.src1Cls, hot.physSrc1);
+        want(hot.src2Cls, hot.physSrc2);
     }
 }
 
@@ -1157,18 +1190,19 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
             uint32_t s = (uint32_t)(w * 64) + countTrailingZeros(word);
             word &= word - 1;
             const iq::IqSlot &slot = slots[s];
-            Inflight &inst = at(slot.clientId);
+            const InflightHot &hot = hot_[slot.clientId];
 #ifndef NDEBUG
             Cycle debugReadyAt;
-            panic_if(!slot.valid || !srcsReady(inst, debugReadyAt),
+            panic_if(!slot.valid || !srcsReady(hot, debugReadyAt),
                      "ready bit set for unready slot %u", s);
 #endif
-            if (inst.di.isLoad()) {
+            if (isa::isLoad(hot.op)) {
+                const trace::DynInst &di = cold_[slot.clientId].di;
                 Lsq::Dep dep = lsq_.olderStoreDependenceAt(
-                    inst.lsqPos, inst.di.effAddr, inst.di.memSize);
+                    hot.lsqPos, di.effAddr, di.memSize);
 #ifndef NDEBUG
                 Lsq::Dep ref = lsq_.olderStoreDependence(
-                    slot.clientId, inst.di.effAddr, inst.di.memSize);
+                    slot.clientId, di.effAddr, di.memSize);
                 panic_if(ref.kind != dep.kind ||
                              (dep.kind == Lsq::Dep::Forward &&
                               ref.readyCycle != dep.readyCycle),
@@ -1176,8 +1210,7 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
 #endif
                 if (dep.kind == Lsq::Dep::Wait) {
                     queue.clearReadySlot(s);
-                    memBlockedLoads_.push_back(
-                        {slot.clientId, inst.di.seq});
+                    memBlockedLoads_.push_back({slot.clientId, hot.seq});
                     continue;
                 }
             }
@@ -1194,8 +1227,7 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
     auto tryGrant = [&](uint32_t s) {
         if (granted[s] || grants >= params_.issueWidth)
             return;
-        Inflight &inst = at(slots[s].clientId);
-        const isa::OpInfo &info = isa::opInfo(inst.di.op);
+        const isa::OpInfo &info = isa::opInfo(hot_[slots[s].clientId].op);
         FuType fu = fuTypeOf(info.cls);
         unsigned busy = info.unpipelined ? info.latency : 1;
         if (!fuPool_.acquire(fu, now_, busy))
@@ -1203,7 +1235,7 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
         granted[s] = true;
         grantedIds.push_back(slots[s].clientId);
         ++grants;
-        issueInst(slots[s].clientId, inst);
+        issueInst(slots[s].clientId);
     };
 
     // The age matrix promotes the single oldest ready instruction ahead
@@ -1219,8 +1251,7 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
     // instructions, regardless of where they sit in the queue.
     if (params_.idealPrioritySelect) {
         for (uint32_t s : readySlots) {
-            const Inflight &inst = at(slots[s].clientId);
-            if (inst.slice.unconfident)
+            if (hot_[slots[s].clientId].sliceUnconfident)
                 tryGrant(s);
         }
     }
@@ -1243,7 +1274,7 @@ Pipeline::issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
             ageMatrix_->remove(s);
         }
         queue.remove(id);
-        at(id).inIq = false;
+        hot_[id].inIq = false;
     }
 }
 
@@ -1253,11 +1284,13 @@ Pipeline::doDispatch()
     unsigned dispatched = 0;
     while (dispatched < params_.decodeWidth && !frontendQueue_.empty()) {
         uint32_t id = frontendQueue_.front();
-        Inflight &inst = at(id);
-        if (inst.feReadyCycle > now_)
+        InflightHot &hot = hot_[id];
+        if (hot.feReadyCycle > now_)
             break;
 
-        const trace::DynInst &di = inst.di;
+        assertHotColdAgree(id);
+        InflightCold &cold = cold_[id];
+        const trace::DynInst &di = cold.di;
         isa::Inst staticInst{di.op, di.dst, di.src1, di.src2, 0};
 
         if (rob_.full()) {
@@ -1280,13 +1313,13 @@ Pipeline::doDispatch()
         bool isNop = isa::opClass(di.op) == OpClass::Nop;
         if (!isNop) {
             iq::IssueQueue &queue = queueFor(di);
-            inst.iqIndex = iqs_.size() == 1
-                               ? 0
-                               : (uint8_t)fuTypeOf(isa::opClass(di.op));
+            hot.iqIndex = iqs_.size() == 1
+                              ? 0
+                              : (uint8_t)fuTypeOf(isa::opClass(di.op));
 
             bool pubsOn = params_.usePubs && queue.priorityEntries() > 0;
             bool pubsActive = pubsOn && modeSwitch_->pubsEnabled();
-            bool wantPriority = pubsActive && inst.slice.unconfident;
+            bool wantPriority = pubsActive && hot.sliceUnconfident;
 
             if (pubsOn && !pubsActive) {
                 // Mode switch disabled PUBS: the whole IQ is used
@@ -1296,15 +1329,15 @@ Pipeline::doDispatch()
                     cycleBlock_ = DispatchBlock::IqFull;
                     break;
                 }
-                queue.dispatchUniform(id, di.seq, rng_);
+                queue.dispatchUniform(id, hot.seq, rng_);
             } else if (wantPriority) {
                 if (queue.canDispatch(true)) {
-                    queue.dispatch(id, di.seq, true);
-                    inst.priorityEntry = true;
+                    queue.dispatch(id, hot.seq, true);
+                    hot.priorityEntry = true;
                 } else if (!params_.pubs.stallPolicy &&
                            queue.canDispatch(false)) {
                     // Non-stall policy: fall back to a normal entry.
-                    queue.dispatch(id, di.seq, false);
+                    queue.dispatch(id, hot.seq, false);
                 } else {
                     ++stats_.priorityStallCycles;
                     cycleBlock_ = DispatchBlock::PriorityStall;
@@ -1316,70 +1349,69 @@ Pipeline::doDispatch()
                     cycleBlock_ = DispatchBlock::IqFull;
                     break;
                 }
-                queue.dispatch(id, di.seq, false);
+                queue.dispatch(id, hot.seq, false);
             }
 
-            if (inst.priorityEntry)
+            if (hot.priorityEntry)
                 ++stats_.priorityDispatches;
             else
                 ++stats_.normalDispatches;
 
-            if (ageMatrix_ && inst.iqIndex == 0) {
+            if (ageMatrix_ && hot.iqIndex == 0) {
                 uint32_t s = queue.slotOf(id);
                 panic_if(s == iq::IssueQueue::noSlot,
                          "dispatched inst %u not resident in its queue",
                          id);
                 ageMatrix_->dispatch(s);
             }
-            inst.inIq = true;
+            hot.inIq = true;
         }
 
         // Rename.
         if (di.src1 != invalidReg) {
-            inst.src1Cls = isa::srcRegClass(staticInst, 0);
-            inst.physSrc1 = rename_.mapOf(inst.src1Cls, di.src1);
+            hot.src1Cls = isa::srcRegClass(staticInst, 0);
+            hot.physSrc1 = rename_.mapOf(hot.src1Cls, di.src1);
         }
         if (di.src2 != invalidReg) {
-            inst.src2Cls = isa::srcRegClass(staticInst, 1);
-            inst.physSrc2 = rename_.mapOf(inst.src2Cls, di.src2);
+            hot.src2Cls = isa::srcRegClass(staticInst, 1);
+            hot.physSrc2 = rename_.mapOf(hot.src2Cls, di.src2);
         }
         if (di.dst != invalidReg && dstCls != isa::RegClass::None) {
-            inst.dstCls = dstCls;
-            inst.physDst =
-                rename_.renameDst(dstCls, di.dst, inst.prevPhysDst);
-            setRegReady(dstCls, inst.physDst, neverCycle);
-            regProducer(dstCls, inst.physDst) = id;
-            regProducerSeq(dstCls, inst.physDst) = di.seq;
+            hot.dstCls = dstCls;
+            hot.physDst =
+                rename_.renameDst(dstCls, di.dst, hot.prevPhysDst);
+            setRegReady(dstCls, hot.physDst, neverCycle);
+            regProducer(dstCls, hot.physDst) = id;
+            regProducerSeq(dstCls, hot.physDst) = hot.seq;
         }
 
         if (di.isMem()) {
-            inst.lsqPos = lsq_.push(id, di.isStore(), di.effAddr,
-                                    di.memSize);
-            inst.inLsq = true;
+            hot.lsqPos = lsq_.push(id, di.isStore(), di.effAddr,
+                                   di.memSize);
+            hot.inLsq = true;
         }
 
         if (!isNop)
-            setupScoreboard(id, inst);
+            setupScoreboard(id);
 
         rob_.push(id);
-        inst.dispatched = true;
-        inst.dispatchCycle = now_;
+        hot.dispatched = true;
+        hot.dispatchCycle = now_;
         cycleDispatched_ = true;
-        if (!inst.wrongPath)
+        if (!hot.wrongPath)
             cycleDispatchedCorrect_ = true;
-        if (pipeview_) {
-            inst.di.stamps.rename = now_;
-            inst.di.stamps.dispatch = now_;
+        if (PUBS_UNLIKELY(pipeview_ != nullptr)) {
+            cold.di.stamps.rename = now_;
+            cold.di.stamps.dispatch = now_;
         }
 
         if (isNop) {
             // Nops bypass the IQ: complete immediately.
-            inst.issued = true;
-            inst.issueCycle = now_;
-            inst.doneCycle = now_ + 1;
-            if (pipeview_) {
-                inst.di.stamps.issue = now_;
-                inst.di.stamps.complete = now_ + 1;
+            hot.issued = true;
+            hot.doneCycle = now_ + 1;
+            if (PUBS_UNLIKELY(pipeview_ != nullptr)) {
+                cold.di.stamps.issue = now_;
+                cold.di.stamps.complete = now_ + 1;
             }
         }
 
@@ -1441,28 +1473,37 @@ Pipeline::doFetch()
         }
         di.seq = fetchSeq_++;
 
-        // Allocate the in-flight record.
+        // Allocate the in-flight record: reset all three SoA slices,
+        // then stamp the hot copies (seq, opcode, priority bit) that
+        // the scheduler reads without touching the cold record.
         panic_if(freeIds_.empty(), "in-flight ring exhausted");
         uint32_t id = freeIds_.back();
         freeIds_.pop_back();
         ++fetchCounter_;
-        Inflight &inst = at(id);
-        panic_if(inst.valid, "in-flight slot %u still live", id);
-        inst = Inflight{};
-        inst.valid = true;
-        inst.di = di;
-        inst.wrongPath = onWrongPath;
-        inst.fetchCycle = now_;
-        inst.feReadyCycle = now_ + params_.frontendDepth;
-        if (pipeview_) {
-            inst.di.stamps.fetch = now_;
-            inst.di.stamps.decode = now_ + 1;
+        InflightHot &hot = hot_[id];
+        panic_if(hot.valid, "in-flight slot %u still live", id);
+        hot = InflightHot{};
+        deps_[id] = InflightDeps{};
+        InflightCold &cold = cold_[id];
+        cold.di = di;
+        cold.slice = pubs::SliceDecision{};
+        cold.fetchCycle = now_;
+        hot.valid = true;
+        hot.seq = di.seq;
+        hot.op = di.op;
+        hot.wrongPath = onWrongPath;
+        hot.feReadyCycle = now_ + params_.frontendDepth;
+        if (PUBS_UNLIKELY(pipeview_ != nullptr)) {
+            cold.di.stamps.fetch = now_;
+            cold.di.stamps.decode = now_ + 1;
         }
 
         // PUBS slice classification happens in the in-order front end —
         // including on the wrong path, exactly as the hardware would.
-        if (sliceUnit_)
-            inst.slice = sliceUnit_->decode(inst.di);
+        if (sliceUnit_) {
+            cold.slice = sliceUnit_->decode(cold.di);
+            hot.sliceUnconfident = cold.slice.unconfident;
+        }
 
         bool endGroup = false;
         bool blockFetch = false;
@@ -1472,7 +1513,7 @@ Pipeline::doFetch()
             // static instruction can approximate their accesses.
             if (di.isMem() && staticProgram_)
                 lastMemAddr_[staticProgram_->indexOf(di.pc)] = di.effAddr;
-            fetchControl(inst, endGroup, blockFetch, btbBubble);
+            fetchControl(hot, cold.di, endGroup, blockFetch, btbBubble);
         } else {
             endGroup = wpEndGroup;
             ++stats_.wrongPathFetched;
@@ -1502,11 +1543,9 @@ Pipeline::doFetch()
 }
 
 void
-Pipeline::fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
-                       bool &btbBubble)
+Pipeline::fetchControl(InflightHot &hot, const trace::DynInst &di,
+                       bool &endGroup, bool &blockFetch, bool &btbBubble)
 {
-    const trace::DynInst &di = inst.di;
-
     auto enterWrongPath = [this, &blockFetch](Pc wrongPc) {
         if (staticProgram_) {
             wrongPathActive_ = true;
@@ -1521,13 +1560,13 @@ Pipeline::fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
         ++stats_.condBranches;
         bool predTaken = predictor_->predict(di.pc);
         predictor_->update(di.pc, di.taken);
-        inst.condPredictionCorrect = predTaken == di.taken;
-        inst.isMispredict = !inst.condPredictionCorrect;
+        hot.condPredictionCorrect = predTaken == di.taken;
+        hot.isMispredict = !hot.condPredictionCorrect;
         if (predTaken && !btb_->lookup(di.pc))
             btbBubble = true;
         if (di.taken)
             btb_->update(di.pc, di.nextPc);
-        if (inst.isMispredict) {
+        if (hot.isMispredict) {
             ++stats_.condMispredicts;
             // The wrong path is the direction the predictor chose.
             Pc wrongPc;
@@ -1560,7 +1599,7 @@ Pipeline::fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
         Pc predTarget = ras_->pop();
         if (predTarget != di.nextPc) {
             ++stats_.indirectMispredicts;
-            inst.isMispredict = true;
+            hot.isMispredict = true;
             if (predTarget != 0) {
                 enterWrongPath(predTarget);
             } else {

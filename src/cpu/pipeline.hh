@@ -258,10 +258,34 @@ class Pipeline
 
   private:
     friend class Auditor;
-    struct Inflight
+
+    /**
+     * Data-oriented in-flight layout (DESIGN.md §13). Per-instruction
+     * state is split into three dense per-slot arrays indexed by
+     * clientId, so the fields wakeup/select/issue/commit touch every
+     * cycle share one cache line per instruction instead of dragging
+     * the whole trace payload through the LLC:
+     *
+     *  - hot_  (InflightHot, one 64-byte slot): sequence number, stage
+     *    flags, renamed registers, FU class, PUBS priority bit and the
+     *    cycle fields the scheduler reads;
+     *  - deps_ (InflightDeps): the wakeup scoreboard's registered
+     *    consumers, touched only at register/wake time;
+     *  - cold_ (InflightCold): the trace payload, slice decision and
+     *    telemetry stamps, read at most a handful of times per
+     *    instruction (dispatch, issue, commit).
+     *
+     * hot_.seq/op and the PUBS priority bit deliberately duplicate
+     * cold state; the structural auditor and debug asserts at dispatch
+     * and commit check the copies agree.
+     */
+    struct InflightHot
     {
-        trace::DynInst di{};
-        bool valid = false;
+        SeqNum seq = 0;
+        Cycle feReadyCycle = 0; ///< earliest dispatch cycle
+        Cycle dispatchCycle = 0;
+        Cycle doneCycle = 0;
+        uint64_t lsqPos = 0; ///< LSQ position handle (when inLsq)
 
         // Rename.
         PhysRegId physSrc1 = invalidPhysReg;
@@ -272,47 +296,56 @@ class Pipeline
         isa::RegClass src2Cls = isa::RegClass::None;
         isa::RegClass dstCls = isa::RegClass::None;
 
-        // Timing state.
-        Cycle fetchCycle = 0;
-        Cycle feReadyCycle = 0; ///< earliest dispatch cycle
-        Cycle dispatchCycle = 0;
-        Cycle issueCycle = 0;
-        Cycle doneCycle = 0;
-        bool dispatched = false;
-        bool inIq = false;
-        bool issued = false;
-        bool done = false;
-        bool inLsq = false;
-        bool priorityEntry = false;
+        /** Opcode copy (cold_[id].di.op): FU class and load/store
+         *  tests on the select path without a cold-array read. */
+        isa::Opcode op = isa::Opcode::Nop;
+
         uint8_t iqIndex = 0; ///< which queue holds it (distributed IQ)
         /** Deepest miss level of an issued load: 0 = L1 hit / forward,
          *  1 = L1 miss filled by the L2, 2 = LLC miss (DRAM). Drives the
          *  memory split of the CPI stack. */
         uint8_t missLevel = 0;
-
-        // Wakeup scoreboard (see DESIGN.md "Host-performance
-        // architecture"): operands still outstanding, and the
-        // registered consumers to wake when this instruction's result
-        // is scheduled. Overflow dependents chain through the slab
-        // pool; entries are (id, seq) pairs validated lazily, so
-        // squashes never search these lists.
+        /** Source operands still outstanding (wakeup scoreboard). */
         uint8_t pendingOps = 0;
-        uint8_t depCount = 0; ///< dependents in the inline array
-        static constexpr size_t inlineDeps = 4;
-        std::array<uint32_t, inlineDeps> depIds{};
-        std::array<SeqNum, inlineDeps> depSeqs{};
-        uint32_t depOverflow = UINT32_MAX; ///< slab chain head
-        uint64_t lsqPos = 0; ///< LSQ position handle (when inLsq)
 
-        // Branch bookkeeping.
-        bool isMispredict = false;
-        bool condPredictionCorrect = false;
-        bool wrongPath = false; ///< fetched past an unresolved mispredict
+        bool valid : 1 = false;
+        bool dispatched : 1 = false;
+        bool inIq : 1 = false;
+        bool issued : 1 = false;
+        bool inLsq : 1 = false;
+        bool priorityEntry : 1 = false;
+        bool isMispredict : 1 = false;
+        bool condPredictionCorrect : 1 = false;
+        bool wrongPath : 1 = false; ///< fetched past an unresolved mispredict
         /** Found in the true backward slice of a resolved misprediction
          *  (telemetry ground truth for the PUBS slice predictor). */
-        bool trueSlice = false;
+        bool trueSlice : 1 = false;
+        /** PUBS priority bit (cold_[id].slice.unconfident). */
+        bool sliceUnconfident : 1 = false;
+    };
 
+    /**
+     * Wakeup-scoreboard dependent records (see DESIGN.md
+     * "Host-performance architecture"): the registered consumers to
+     * wake when this instruction's result is scheduled. Overflow
+     * dependents chain through the slab pool; entries are (id, seq)
+     * pairs validated lazily, so squashes never search these lists.
+     */
+    struct InflightDeps
+    {
+        static constexpr size_t inlineDeps = 4;
+        std::array<uint32_t, inlineDeps> ids{};
+        std::array<SeqNum, inlineDeps> seqs{};
+        uint8_t count = 0; ///< dependents in the inline array
+        uint32_t overflow = UINT32_MAX; ///< slab chain head
+    };
+
+    /** Everything read at most a few times per instruction. */
+    struct InflightCold
+    {
+        trace::DynInst di{};
         pubs::SliceDecision slice{};
+        Cycle fetchCycle = 0;
     };
 
     /** Why dispatch would stall this cycle (stat accounting). The
@@ -358,8 +391,8 @@ class Pipeline
     void doFetch();
 
     /** Handle control flow of a just-fetched correct-path instruction. */
-    void fetchControl(Inflight &inst, bool &endGroup, bool &blockFetch,
-                      bool &btbBubble);
+    void fetchControl(InflightHot &hot, const trace::DynInst &di,
+                      bool &endGroup, bool &blockFetch, bool &btbBubble);
 
     /** Synthesise the next wrong-path instruction from the static
      *  program; returns false when wrong-path fetch must stop. */
@@ -368,8 +401,8 @@ class Pipeline
     /** Squash everything younger than @p branchId (ROB tail walk). */
     void squashYoungerThan(uint32_t branchId);
 
-    bool srcsReady(const Inflight &inst, Cycle &readyAt) const;
-    void issueInst(uint32_t id, Inflight &inst);
+    bool srcsReady(const InflightHot &hot, Cycle &readyAt) const;
+    void issueInst(uint32_t id);
 
     /**
      * Telemetry: walk the true dynamic backward slice of the resolved
@@ -377,18 +410,18 @@ class Pipeline
      * marking members and scoring the PUBS slice prediction against
      * them.
      */
-    void traceTrueSlice(uint32_t branchId, const Inflight &branch);
+    void traceTrueSlice(uint32_t branchId);
 
     /** Emit a squashed instruction's pipeview record and mark it. */
-    void recordSquashed(Inflight &inst);
+    void recordSquashed(uint32_t id);
     void issueFromQueue(iq::IssueQueue &queue, bool useAgeMatrix,
                         unsigned &grants);
     iq::IssueQueue &queueFor(const trace::DynInst &di);
     Cycle regReadyCycle(isa::RegClass cls, PhysRegId reg) const;
     void setRegReady(isa::RegClass cls, PhysRegId reg, Cycle cycle);
 
-    Inflight &at(uint32_t id) { return ring_[id]; }
-    const Inflight &at(uint32_t id) const { return ring_[id]; }
+    /** Debug-only hot/cold agreement check (dispatch and commit). */
+    void assertHotColdAgree(uint32_t id) const;
 
     CoreParams params_;
     trace::InstSource &source_;
@@ -418,8 +451,11 @@ class Pipeline
     std::vector<Cycle> fpRegReady_;
 
     // In-flight instructions, indexed by clientId; free slots are
-    // recycled through freeIds_.
-    std::vector<Inflight> ring_;
+    // recycled through freeIds_. Parallel SoA slices — see the layout
+    // comment above InflightHot.
+    std::vector<InflightHot> hot_;
+    std::vector<InflightDeps> deps_;
+    std::vector<InflightCold> cold_;
     std::vector<uint32_t> freeIds_;
 
     // In-order front-end queue of clientIds awaiting dispatch.
@@ -534,10 +570,10 @@ class Pipeline
     CpiComponent chaseRobHead(CpiComponent fallback) const;
 
     void onWheelEvent(EventWheel::Kind kind, uint32_t a, uint64_t b);
-    void setupScoreboard(uint32_t id, Inflight &inst);
-    void registerDependent(Inflight &producer, uint32_t id, SeqNum seq);
-    void wakeDependents(Inflight &producer, Cycle done);
-    void releaseDeps(Inflight &inst);
+    void setupScoreboard(uint32_t id);
+    void registerDependent(uint32_t producerId, uint32_t id, SeqNum seq);
+    void wakeDependents(uint32_t producerId, Cycle done);
+    void releaseDeps(uint32_t id);
     void scheduleLoadRecheck();
     DispatchBlock dispatchBlockReason() const;
     bool fetchCanProgress() const;

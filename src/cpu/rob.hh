@@ -33,7 +33,7 @@ class Rob
     {
         panic_if(full(), "push to full ROB");
         ring_[tail_] = id;
-        tail_ = (tail_ + 1) % ring_.size();
+        tail_ = wrapInc(tail_);
         ++count_;
     }
 
@@ -48,7 +48,7 @@ class Rob
     popHead()
     {
         panic_if(empty(), "pop of empty ROB");
-        head_ = (head_ + 1) % ring_.size();
+        head_ = wrapInc(head_);
         --count_;
     }
 
@@ -57,7 +57,7 @@ class Rob
     tail() const
     {
         panic_if(empty(), "tail of empty ROB");
-        return ring_[(tail_ + ring_.size() - 1) % ring_.size()];
+        return ring_[wrapDec(tail_)];
     }
 
     /** Remove the youngest entry (misprediction squash). */
@@ -65,7 +65,7 @@ class Rob
     popTail()
     {
         panic_if(empty(), "popTail of empty ROB");
-        tail_ = (tail_ + ring_.size() - 1) % ring_.size();
+        tail_ = wrapDec(tail_);
         --count_;
     }
 
@@ -74,11 +74,30 @@ class Rob
     void
     forEach(F &&visit) const
     {
-        for (size_t i = 0; i < count_; ++i)
-            visit(ring_[(head_ + i) % ring_.size()]);
+        size_t pos = head_;
+        for (size_t i = 0; i < count_; ++i) {
+            visit(ring_[pos]);
+            pos = wrapInc(pos);
+        }
     }
 
   private:
+    // ROB sizes are rarely powers of two, so the compiler cannot turn
+    // the textbook `% size()` into a mask; wrap-compare avoids the
+    // integer divide on every push/pop of the commit hot loop.
+    size_t
+    wrapInc(size_t pos) const
+    {
+        ++pos;
+        return pos == ring_.size() ? 0 : pos;
+    }
+
+    size_t
+    wrapDec(size_t pos) const
+    {
+        return (pos == 0 ? ring_.size() : pos) - 1;
+    }
+
     std::vector<uint32_t> ring_;
     size_t head_ = 0;
     size_t tail_ = 0;

@@ -14,16 +14,27 @@ using isa::Opcode;
 SparseMemory::Page *
 SparseMemory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr / pageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr num = addr / pageBytes;
+    if (num == memoPageNum_)
+        return memoPage_;
+    auto it = pages_.find(num);
+    Page *page = it == pages_.end() ? nullptr : it->second.get();
+    memoPageNum_ = num;
+    memoPage_ = page;
+    return page;
 }
 
 SparseMemory::Page &
 SparseMemory::getPage(Addr addr)
 {
-    auto &slot = pages_[addr / pageBytes];
+    Addr num = addr / pageBytes;
+    if (num == memoPageNum_ && memoPage_)
+        return *memoPage_;
+    auto &slot = pages_[num];
     if (!slot)
         slot = std::make_unique<Page>();
+    memoPageNum_ = num;
+    memoPage_ = slot.get();
     return *slot;
 }
 
@@ -44,6 +55,18 @@ uint64_t
 SparseMemory::read(Addr addr, unsigned size) const
 {
     panic_if(size == 0 || size > 8, "bad access size %u", size);
+    Addr off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        // Whole access within one page: a single translation instead of
+        // one hash probe per byte.
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= (uint64_t)(*page)[off + i] << (8 * i);
+        return v;
+    }
     uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= (uint64_t)readByte(addr + i) << (8 * i);
@@ -54,6 +77,13 @@ void
 SparseMemory::write(Addr addr, uint64_t value, unsigned size)
 {
     panic_if(size == 0 || size > 8, "bad access size %u", size);
+    Addr off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        Page &page = getPage(addr);
+        for (unsigned i = 0; i < size; ++i)
+            page[off + i] = (value >> (8 * i)) & 0xff;
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(addr + i, (value >> (8 * i)) & 0xff);
 }
@@ -97,6 +127,8 @@ SparseMemory::unserialize(Deserializer &d)
 {
     d.beginObject("sparse_memory");
     pages_.clear();
+    memoPageNum_ = ~(Addr)0;
+    memoPage_ = nullptr;
     uint64_t count = d.u64();
     Addr prev = 0;
     for (uint64_t i = 0; i < count; ++i) {
@@ -115,6 +147,8 @@ void
 SparseMemory::copyFrom(const SparseMemory &other)
 {
     pages_.clear();
+    memoPageNum_ = ~(Addr)0;
+    memoPage_ = nullptr;
     for (const auto &entry : other.pages_)
         pages_[entry.first] = std::make_unique<Page>(*entry.second);
 }

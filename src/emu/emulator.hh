@@ -61,6 +61,16 @@ class SparseMemory
     Page &getPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    // One-entry translation memo: guest accesses cluster on a page for
+    // stretches, and the hash probe per byte dominated the emulator's
+    // host profile on memory-bound workloads. Node-based unordered_map
+    // keeps Page pointers stable across rehash, so the memo only needs
+    // invalidating when the page set is replaced wholesale. A memoised
+    // nullptr (page never written) is refreshed by getPage on the first
+    // allocating write.
+    mutable Addr memoPageNum_ = ~(Addr)0;
+    mutable Page *memoPage_ = nullptr;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include "common/bits.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace pubs::mem
 {
@@ -18,10 +19,12 @@ Cache::Cache(const CacheParams &params, MemLevel *next)
     fatal_if(lines % params.ways != 0, "size/ways mismatch");
     sets_ = (unsigned)(lines / params.ways);
     fatal_if(!isPowerOf2(sets_), "cache sets must be 2^n");
-    fatal_if(params.ways > 255, "MRU way hint stores a uint8_t index");
+    fatal_if(params.ways > 32, "the per-set valid mask is 32 bits");
     mruWay_.assign(sets_, 0);
     fatal_if(params.mshrs == 0, "cache needs at least one MSHR");
     lines_.resize(lines);
+    tags_.assign(lines, 0);
+    validBits_.assign(sets_, 0);
     mshrs_.reserve(params.mshrs);
 }
 
@@ -37,8 +40,8 @@ Cache::tagOf(Addr addr) const
     return (addr / params_.lineBytes) / sets_;
 }
 
-Cache::Line *
-Cache::findLine(Addr addr)
+int
+Cache::findWay(Addr addr) const
 {
     size_t set = setOf(addr);
     size_t base = set * params_.ways;
@@ -46,17 +49,21 @@ Cache::findLine(Addr addr)
     // Most-recently-hit way first: at most one way can match the tag,
     // so the search order cannot change which line is found.
     unsigned hint = mruWay_[set];
-    Line &hinted = lines_[base + hint];
-    if (hinted.valid && hinted.tag == tag)
-        return &hinted;
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag) {
-            mruWay_[set] = (uint8_t)w;
-            return &line;
-        }
-    }
-    return nullptr;
+    if (((validBits_[set] >> hint) & 1u) && tags_[base + hint] == tag)
+        return (int)hint;
+    return simd::tagProbe(&tags_[base], validBits_[set], params_.ways,
+                          tag);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    int way = findWay(addr);
+    if (way < 0)
+        return nullptr;
+    size_t set = setOf(addr);
+    mruWay_[set] = (uint8_t)way;
+    return &lines_[set * params_.ways + (size_t)way];
 }
 
 const Cache::Line *
@@ -65,21 +72,34 @@ Cache::findLine(Addr addr) const
     return const_cast<Cache *>(this)->findLine(addr);
 }
 
-Cache::Line &
-Cache::victimLine(Addr addr)
+unsigned
+Cache::victimWay(Addr addr)
 {
-    size_t base = setOf(addr) * params_.ways;
-    Line *victim = &lines_[base];
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = lines_[base + w];
-        if (!line.valid)
-            return line;
-        if (line.lastUse < victim->lastUse)
-            victim = &line;
+    size_t set = setOf(addr);
+    uint32_t free = ~validBits_[set] &
+                    (params_.ways == 32 ? 0xffffffffu
+                                        : ((1u << params_.ways) - 1));
+    if (free != 0)
+        return (unsigned)countTrailingZeros((uint64_t)free);
+    size_t base = set * params_.ways;
+    unsigned victim = 0;
+    for (unsigned w = 1; w < params_.ways; ++w) {
+        if (lines_[base + w].lastUse < lines_[base + victim].lastUse)
+            victim = w;
     }
-    if (victim->dirty)
+    if (lines_[base + victim].dirty)
         ++writebacks_;
-    return *victim;
+    return victim;
+}
+
+Cache::Line &
+Cache::installLine(Addr addr, unsigned way)
+{
+    size_t set = setOf(addr);
+    mruWay_[set] = (uint8_t)way;
+    validBits_[set] |= 1u << way;
+    tags_[set * params_.ways + way] = tagOf(addr);
+    return lines_[set * params_.ways + way];
 }
 
 Cycle
@@ -116,13 +136,9 @@ Cache::missPath(Addr addr, Cycle now, bool isPrefetch)
 
     // Install the line now; its data only becomes usable at `ready`
     // (accesses that arrive earlier merge with the in-flight fill).
-    Line &line = victimLine(addr);
-    mruWay_[setOf(addr)] =
-        (uint8_t)(&line - &lines_[setOf(addr) * params_.ways]);
-    line.valid = true;
+    Line &line = installLine(addr, victimWay(addr));
     line.dirty = false;
     line.wasPrefetched = isPrefetch;
-    line.tag = tagOf(addr);
     line.lastUse = ++useClock_;
     line.fillReady = ready;
     return ready;
@@ -210,13 +226,9 @@ Cache::warmMissPath(Addr addr, bool isPrefetch)
     // no MSHR entry, no fill-in-flight window, and the level below is
     // warmed instead of timed.
     next_->warmFill(lineAddrOf(addr), isPrefetch);
-    Line &line = victimLine(addr);
-    mruWay_[setOf(addr)] =
-        (uint8_t)(&line - &lines_[setOf(addr) * params_.ways]);
-    line.valid = true;
+    Line &line = installLine(addr, victimWay(addr));
     line.dirty = false;
     line.wasPrefetched = isPrefetch;
-    line.tag = tagOf(addr);
     line.lastUse = ++useClock_;
     line.fillReady = 0;
 }
@@ -289,11 +301,14 @@ Cache::serialize(Serializer &s) const
     s.u32(params_.ways);
     s.u32(params_.lineBytes);
     s.u64(useClock_);
-    for (const Line &line : lines_) {
-        uint8_t flags = (line.valid ? 1 : 0) | (line.dirty ? 2 : 0) |
+    for (size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        bool valid =
+            (validBits_[i / params_.ways] >> (i % params_.ways)) & 1u;
+        uint8_t flags = (valid ? 1 : 0) | (line.dirty ? 2 : 0) |
                         (line.wasPrefetched ? 4 : 0);
         s.u8(flags);
-        s.u64(line.tag);
+        s.u64(tags_[i]);
         s.u64(line.lastUse);
     }
     for (uint8_t way : mruWay_)
@@ -321,14 +336,17 @@ Cache::unserialize(Deserializer &d)
             ") does not match configured '" + params_.name + "'");
     }
     useClock_ = d.u64();
-    for (Line &line : lines_) {
+    std::fill(validBits_.begin(), validBits_.end(), 0);
+    for (size_t i = 0; i < lines_.size(); ++i) {
+        Line &line = lines_[i];
         uint8_t flags = d.u8();
         if (flags & ~7u)
             throw CheckpointError("checkpoint cache line flags corrupt");
-        line.valid = flags & 1;
+        if (flags & 1)
+            validBits_[i / params_.ways] |= 1u << (i % params_.ways);
         line.dirty = flags & 2;
         line.wasPrefetched = flags & 4;
-        line.tag = d.u64();
+        tags_[i] = d.u64();
         line.lastUse = d.u64();
         line.fillReady = 0;
     }

@@ -113,12 +113,18 @@ class Cache : public MemLevel
     }
 
   private:
+    /**
+     * Data-oriented line state (DESIGN.md §13): the fields the probe
+     * touches on every access — tags and valid bits — live in dense
+     * per-set arrays (tags_, validBits_) so a set's tags share one or
+     * two cache lines and can be compared with one vector op. The
+     * remaining per-line state, touched only on hits and fills, stays
+     * in this parallel record.
+     */
     struct Line
     {
-        bool valid = false;
         bool dirty = false;
         bool wasPrefetched = false;
-        uint64_t tag = 0;
         uint64_t lastUse = 0;
         /** Cycle the line's data arrives (fill in flight until then). */
         Cycle fillReady = 0;
@@ -133,9 +139,14 @@ class Cache : public MemLevel
     Addr lineAddrOf(Addr addr) const { return addr & ~(Addr)(params_.lineBytes - 1); }
     size_t setOf(Addr addr) const;
     uint64_t tagOf(Addr addr) const;
+    /** Way holding @p addr, or -1. The SIMD/scalar probe of tags_. */
+    int findWay(Addr addr) const;
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
-    Line &victimLine(Addr addr);
+    /** Pick the victim way for a fill (first invalid way, else LRU). */
+    unsigned victimWay(Addr addr);
+    /** Point set/way metadata at @p tag and return the line record. */
+    Line &installLine(Addr addr, unsigned way);
     Cycle missPath(Addr addr, Cycle now, bool isPrefetch);
     void warmMissPath(Addr addr, bool isPrefetch);
 
@@ -144,6 +155,10 @@ class Cache : public MemLevel
     unsigned sets_;
     uint64_t useClock_ = 0;
     std::vector<Line> lines_;
+    /** Dense set-major tag array: tags_[set * ways + way]. */
+    std::vector<uint64_t> tags_;
+    /** Per-set valid bitmask (bit w = way w valid); ways <= 32. */
+    std::vector<uint32_t> validBits_;
     std::vector<Mshr> mshrs_;
 
     /** Per-set most-recently-hit way, tried first by findLine(). A pure

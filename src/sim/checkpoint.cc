@@ -144,7 +144,11 @@ programFingerprint(const isa::Program &program)
 uint32_t
 paramsFingerprint(const cpu::CoreParams &params)
 {
-    return crc32(params.describe());
+    // Only the functional subset: a checkpoint holds functionally-warmed
+    // state, so a timing-only parameter change (widths, window sizes,
+    // latencies, PUBS dispatch policy) must neither invalidate cached
+    // artifacts nor reject a restore.
+    return crc32(params.describeFunctional());
 }
 
 std::string

@@ -56,7 +56,12 @@ struct CheckpointMeta
 /** CRC32 over the program listing + initial-data directives. */
 uint32_t programFingerprint(const isa::Program &program);
 
-/** CRC32 of CoreParams::describe(): covers every run-shaping field. */
+/**
+ * CRC32 of CoreParams::describeFunctional(): covers exactly the fields
+ * that shape a checkpoint's serialized warm state. Two machines that
+ * differ only in timing parameters share a fingerprint — and therefore
+ * share CheckpointStore artifacts and restore each other's checkpoints.
+ */
 uint32_t paramsFingerprint(const cpu::CoreParams &params);
 
 /**

@@ -445,6 +445,63 @@ TEST(CheckpointStore, KeyCoversSkipDistanceAndMachine)
     EXPECT_NE(a, c);
 }
 
+TEST(CheckpointStore, TimingOnlyParamChangeSharesArtifacts)
+{
+    cpu::CoreParams base = checkedParams(sim::Machine::Pubs);
+
+    // Timing-only knobs (window sizes, widths, latencies, PUBS dispatch
+    // policy, the seed) must not move the fingerprint: a checkpoint
+    // holds functionally-warmed state only, so a timing sweep over one
+    // workload should hit the same cached fast-forward artifact.
+    cpu::CoreParams timing = base;
+    timing.robEntries *= 2;
+    timing.iqEntries *= 2;
+    timing.issueWidth = 2;
+    timing.numIntAlu += 1;
+    timing.memory.l1d.hitLatency += 1;
+    timing.pubs.priorityEntries += 2;
+    timing.pubs.stallPolicy = !timing.pubs.stallPolicy;
+    timing.seed += 99;
+    timing.validate();
+    EXPECT_EQ(sim::paramsFingerprint(base),
+              sim::paramsFingerprint(timing));
+
+    // Any functional knob (cache geometry, predictor tables, PUBS
+    // training configuration) must move it.
+    cpu::CoreParams biggerL1 = base;
+    biggerL1.memory.l1d.sizeBytes *= 2;
+    EXPECT_NE(sim::paramsFingerprint(base),
+              sim::paramsFingerprint(biggerL1));
+    cpu::CoreParams widerCounters = base;
+    widerCounters.pubs.confCounterBits += 1;
+    EXPECT_NE(sim::paramsFingerprint(base),
+              sim::paramsFingerprint(widerCounters));
+
+    // Store behaviour: hit across the timing change, miss across the
+    // functional one.
+    std::string dir = tempPath("pubs_test_ckpt_store_functional");
+    std::filesystem::remove_all(dir);
+    sim::CheckpointStore store(dir);
+    std::string bytes = makeCheckpointBytes();
+    sim::CheckpointMeta meta = sim::readCheckpointMeta(bytes);
+    ASSERT_EQ(meta.paramsFp, sim::paramsFingerprint(base));
+    store.save(meta, bytes);
+
+    sim::CheckpointMeta timingMeta = meta;
+    timingMeta.paramsFp = sim::paramsFingerprint(timing);
+    EXPECT_TRUE(store.contains(timingMeta));
+    sim::CheckpointMeta funcMeta = meta;
+    funcMeta.paramsFp = sim::paramsFingerprint(biggerL1);
+    EXPECT_FALSE(store.contains(funcMeta));
+
+    // And the identity check accepts a restore into the timing-variant
+    // machine (the artifact is actually usable, not merely addressable).
+    wl::Workload w = wl::makeWorkload("sjeng_like");
+    sim::Simulator victim(timing, w.program);
+    EXPECT_NO_THROW(victim.restoreCheckpoint(bytes));
+    std::filesystem::remove_all(dir);
+}
+
 TEST(CheckpointStore, CorruptArtifactIsAMissNotAnError)
 {
     std::string dir = tempPath("pubs_test_ckpt_store_corrupt");
